@@ -1,0 +1,50 @@
+//! Per-point detector latency (figure F7 at criterion precision).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+
+fn bench_detector_updates(c: &mut Criterion) {
+    let d = 200;
+    let mut rng = seeded_rng(3);
+    let data = gaussian_matrix(&mut rng, 1024, d, 1.0);
+    let cfg = DetectorConfig::new(10, 64).with_warmup(64);
+
+    let mut group = c.benchmark_group("detector_update");
+    group.throughput(criterion::Throughput::Elements(data.rows() as u64));
+
+    group.bench_function(BenchmarkId::new("fd-detector", d), |b| {
+        b.iter(|| {
+            let mut det = cfg.build_fd(d);
+            let mut acc = 0.0;
+            for row in data.iter_rows() {
+                acc += det.process(black_box(row));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("rp-detector", d), |b| {
+        b.iter(|| {
+            let mut det = cfg.build_rp(d);
+            let mut acc = 0.0;
+            for row in data.iter_rows() {
+                acc += det.process(black_box(row));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cs-detector", d), |b| {
+        b.iter(|| {
+            let mut det = cfg.build_cs(d);
+            let mut acc = 0.0;
+            for row in data.iter_rows() {
+                acc += det.process(black_box(row));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_updates);
+criterion_main!(benches);

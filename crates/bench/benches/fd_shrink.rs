@@ -1,0 +1,32 @@
+//! Ablation: frequent-directions shrink batching (design choice #2 in
+//! DESIGN.md) — the doubling buffer amortizes one SVD over ℓ rows; this
+//! bench quantifies the cost of the shrink itself across buffer sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+use sketchad_sketch::{FrequentDirections, MatrixSketch};
+
+fn bench_fd_shrink(c: &mut Criterion) {
+    let d = 200;
+    let mut group = c.benchmark_group("fd_shrink");
+    group.sample_size(20);
+    for &ell in &[16usize, 32, 64, 128] {
+        let mut rng = seeded_rng(4);
+        // Feed exactly enough rows to trigger several shrinks.
+        let data = gaussian_matrix(&mut rng, ell * 8, d, 1.0);
+        group.throughput(criterion::Throughput::Elements(data.rows() as u64));
+        group.bench_function(BenchmarkId::new("feed-8x-ell", ell), |b| {
+            b.iter(|| {
+                let mut s = FrequentDirections::new(ell, d);
+                for row in data.iter_rows() {
+                    s.update(black_box(row));
+                }
+                black_box(s.shrink_delta_sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_shrink);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure F3 at criterion precision: detector runtime scales linearly with
+//! the ambient dimension, versus the exact baseline's quadratic blowup.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_core::{DetectorConfig, ExactSvdDetector, ScoreKind, StreamingDetector};
+use sketchad_streams::{generate_low_rank_stream, LowRankStreamConfig};
+
+fn bench_scale_d(c: &mut Criterion) {
+    let n = 1024;
+    let det_cfg = DetectorConfig::new(10, 64).with_warmup(256);
+
+    let mut group = c.benchmark_group("scale_d");
+    group.sample_size(10);
+    for &d in &[100usize, 200, 400] {
+        let cfg = LowRankStreamConfig {
+            n,
+            d,
+            k: 10,
+            anomaly_rate: 0.02,
+            seed: 0xbe3,
+            ..Default::default()
+        };
+        let stream = generate_low_rank_stream(cfg);
+        group.bench_function(BenchmarkId::new("fd-detector", d), |b| {
+            b.iter(|| {
+                let mut det = det_cfg.build_fd(d);
+                let mut acc = 0.0;
+                for (v, _) in stream.iter() {
+                    acc += det.process(black_box(v));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("exact-detector", d), |b| {
+            b.iter(|| {
+                let mut det = ExactSvdDetector::new(
+                    d,
+                    10,
+                    ScoreKind::RelativeProjection,
+                    n / 2,
+                    256,
+                );
+                let mut acc = 0.0;
+                for (v, _) in stream.iter() {
+                    acc += det.process(black_box(v));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_d);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure F2 at criterion precision: detector runtime scales linearly with
+//! the stream length.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_streams::{generate_low_rank_stream, LowRankStreamConfig};
+
+fn bench_scale_n(c: &mut Criterion) {
+    let d = 100;
+    let cfg = LowRankStreamConfig {
+        n: 1 << 13,
+        d,
+        k: 10,
+        anomaly_rate: 0.02,
+        seed: 0xbe2,
+        ..Default::default()
+    };
+    let full = generate_low_rank_stream(cfg);
+    let det_cfg = DetectorConfig::new(10, 64).with_warmup(256);
+
+    let mut group = c.benchmark_group("scale_n");
+    group.sample_size(10);
+    for &e in &[11u32, 12, 13] {
+        let n = 1usize << e;
+        let stream = full.truncated(n);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("fd-detector", n), |b| {
+            b.iter(|| {
+                let mut det = det_cfg.build_fd(d);
+                let mut acc = 0.0;
+                for (v, _) in stream.iter() {
+                    acc += det.process(black_box(v));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_n);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Per-row update throughput of each sketch (supports table T3's speed
+//! claims at the data-structure level).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+use sketchad_sketch::{
+    CountSketch, FrequentDirections, MatrixSketch, RandomProjection, RowSampling,
+};
+
+fn bench_sketch_updates(c: &mut Criterion) {
+    let d = 200;
+    let ell = 64;
+    let mut rng = seeded_rng(1);
+    let data = gaussian_matrix(&mut rng, 512, d, 1.0);
+
+    let mut group = c.benchmark_group("sketch_update");
+    group.throughput(criterion::Throughput::Elements(data.rows() as u64));
+
+    group.bench_function(BenchmarkId::new("frequent-directions", ell), |b| {
+        b.iter(|| {
+            let mut s = FrequentDirections::new(ell, d);
+            for row in data.iter_rows() {
+                s.update(black_box(row));
+            }
+            black_box(s.rows_seen())
+        })
+    });
+    group.bench_function(BenchmarkId::new("random-projection", ell), |b| {
+        b.iter(|| {
+            let mut s = RandomProjection::gaussian(ell, d, 7);
+            for row in data.iter_rows() {
+                s.update(black_box(row));
+            }
+            black_box(s.rows_seen())
+        })
+    });
+    group.bench_function(BenchmarkId::new("count-sketch", ell), |b| {
+        b.iter(|| {
+            let mut s = CountSketch::new(ell, d, 7);
+            for row in data.iter_rows() {
+                s.update(black_box(row));
+            }
+            black_box(s.rows_seen())
+        })
+    });
+    group.bench_function(BenchmarkId::new("row-sampling", ell), |b| {
+        b.iter(|| {
+            let mut s = RowSampling::new(ell, d, 7);
+            for row in data.iter_rows() {
+                s.update(black_box(row));
+            }
+            black_box(s.rows_seen())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_updates);
+criterion_main!(benches);

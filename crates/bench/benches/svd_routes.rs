@@ -1,0 +1,29 @@
+//! Ablation: Gram-route SVD vs one-sided Jacobi on sketch-shaped matrices
+//! (design choice #1 in DESIGN.md).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+use sketchad_linalg::svd::{svd_jacobi, svd_thin};
+
+fn bench_svd_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_routes");
+    for &(ell, d) in &[(16usize, 200usize), (64, 200), (64, 800)] {
+        let mut rng = seeded_rng(2);
+        let a = gaussian_matrix(&mut rng, ell, d, 1.0);
+        group.bench_function(BenchmarkId::new("gram-route", format!("{ell}x{d}")), |b| {
+            b.iter(|| black_box(svd_thin(black_box(&a)).unwrap().s[0]))
+        });
+        // One-sided Jacobi is the reference; skip the largest shape to keep
+        // bench runs short (its cost is the point of the ablation).
+        if ell * d <= 16 * 200 {
+            group.bench_function(
+                BenchmarkId::new("one-sided-jacobi", format!("{ell}x{d}")),
+                |b| b.iter(|| black_box(svd_jacobi(black_box(&a)).unwrap().s[0])),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd_routes);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Hand-rolled argument parsing (keeps the dependency set minimal).
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, `--key value` options, bare flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedArgs {
+    /// First positional argument.
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Errors from argument parsing/validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` given without a value.
+    MissingValue(String),
+    /// Required option absent.
+    MissingOption(String),
+    /// An option failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending raw value.
+        value: String,
+        /// Expected form.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "--{key}: bad value {value:?} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options whose value may legitimately start with `-` (none today), kept
+/// to make intent explicit.
+const VALUE_OPTIONS_ALLOW_DASH: &[&str] = &[];
+
+/// Known bare flags (everything else with `--` expects a value).
+const KNOWN_FLAGS: &[&str] = &["small", "help", "quiet", "normalize"];
+
+/// Parses the raw argument list.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut out = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if KNOWN_FLAGS.contains(&name) {
+                out.flags.push(name.to_string());
+                continue;
+            }
+            match iter.peek() {
+                Some(v)
+                    if !v.starts_with("--") || VALUE_OPTIONS_ALLOW_DASH.contains(&name) =>
+                {
+                    out.options.insert(name.to_string(), iter.next().unwrap().clone());
+                }
+                _ => return Err(ArgError::MissingValue(name.to_string())),
+            }
+        } else if out.command.is_empty() {
+            out.command = arg.clone();
+        } else {
+            // Extra positionals become options keyed by position.
+            let key = format!("arg{}", out.options.len());
+            out.options.insert(key, arg.clone());
+        }
+    }
+    if out.command.is_empty() {
+        return Err(ArgError::MissingCommand);
+    }
+    Ok(out)
+}
+
+impl ParsedArgs {
+    /// True when `--flag` was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// Optional string option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Optional parsed numeric option with default.
+    pub fn get_parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.clone(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse(&sv(&["score", "--input", "x.csv", "--k", "10", "--small"])).unwrap();
+        assert_eq!(p.command, "score");
+        assert_eq!(p.require("input").unwrap(), "x.csv");
+        assert_eq!(p.get_parse_or::<usize>("k", 5, "integer").unwrap(), 10);
+        assert!(p.has_flag("small"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(parse(&sv(&[])), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = parse(&sv(&["score", "--input"])).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("input".into()));
+        let err = parse(&sv(&["score", "--input", "--k"])).unwrap_err();
+        assert!(matches!(err, ArgError::MissingValue(_)));
+    }
+
+    #[test]
+    fn defaults_and_bad_values() {
+        let p = parse(&sv(&["score", "--k", "ten"])).unwrap();
+        assert_eq!(p.get_or("sketch", "fd"), "fd");
+        let err = p.get_parse_or::<usize>("k", 5, "integer").unwrap_err();
+        assert!(err.to_string().contains("bad value"));
+    }
+
+    #[test]
+    fn missing_required_option_reported() {
+        let p = parse(&sv(&["score"])).unwrap();
+        let err = p.require("input").unwrap_err();
+        assert!(err.to_string().contains("--input"));
+    }
+}

@@ -1,0 +1,548 @@
+//! `sketchad` — command-line streaming anomaly detection.
+//!
+//! ```text
+//! # generate a benchmark stream as CSV
+//! sketchad generate --dataset synth-lowrank --output stream.csv [--small]
+//!
+//! # score a CSV stream (features + trailing 0/1 label column)
+//! sketchad score --input stream.csv [--sketch fd|rp|cs|rs] [--k 10] [--ell 64]
+//!                [--score rel-proj|proj|leverage|blended] [--warmup 256]
+//!                [--decay 0.9:100] [--fp-rate 0.01] [--output scores.csv]
+//!
+//! # list available datasets
+//! sketchad datasets
+//! ```
+//!
+//! If the label column is all zeros (unknown ground truth) the AUC line is
+//! omitted; scores and alerts are still produced.
+
+mod args;
+
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::{parse, ParsedArgs};
+use sketchad_core::{
+    DetectorConfig, RefreshPolicy, ScoreKind, StreamingDetector, ThresholdedDetector,
+};
+use sketchad_eval::{fmt_opt, roc_auc};
+use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
+
+const USAGE: &str = "usage: sketchad <generate|score|apply|datasets> [options]
+  generate --dataset NAME --output FILE [--small]
+  score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
+           [--score rel-proj|proj|leverage|blended] [--warmup N]
+           [--decay ALPHA:EVERY] [--fp-rate F] [--output FILE]
+           [--save-model FILE] [--normalize] [--quiet]
+  apply    --model FILE --input FILE [--output FILE] [--quiet]
+  datasets";
+
+/// Persisted artifact of a trained detector: the subspace model plus the
+/// score family it was trained to emit.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedModel {
+    score: ScoreKind,
+    model: sketchad_core::SubspaceModel,
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let parsed = parse(raw).map_err(|e| e.to_string())?;
+    if parsed.has_flag("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match parsed.command.as_str() {
+        "generate" => cmd_generate(&parsed),
+        "score" => cmd_score(&parsed),
+        "apply" => cmd_apply(&parsed),
+        "datasets" => {
+            for name in dataset_names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn dataset_names() -> Vec<&'static str> {
+    vec![
+        "synth-lowrank",
+        "synth-burst",
+        "synth-powerlaw",
+        "p53-like",
+        "dorothea-like",
+        "rcv1-like",
+        "synth-drift",
+        "synth-rotate",
+    ]
+}
+
+fn dataset_by_name(name: &str, scale: DatasetScale) -> Option<LabeledStream> {
+    use sketchad_streams as ss;
+    Some(match name {
+        "synth-lowrank" => ss::synth_lowrank(scale),
+        "synth-burst" => ss::synth_burst(scale),
+        "synth-powerlaw" => ss::synth_powerlaw(scale),
+        "p53-like" => ss::p53_like(scale),
+        "dorothea-like" => ss::dorothea_like(scale),
+        "rcv1-like" => ss::rcv1_like(scale),
+        "synth-drift" => ss::synth_drift(scale),
+        "synth-rotate" => ss::synth_rotate(scale),
+        _ => return None,
+    })
+}
+
+fn cmd_generate(p: &ParsedArgs) -> Result<(), String> {
+    let name = p.require("dataset").map_err(|e| e.to_string())?;
+    let output = p.require("output").map_err(|e| e.to_string())?;
+    let scale = if p.has_flag("small") { DatasetScale::Small } else { DatasetScale::Full };
+    let stream = dataset_by_name(name, scale)
+        .ok_or_else(|| format!("unknown dataset {name:?} (see `sketchad datasets`)"))?;
+    stream_io::write_csv(&stream, Path::new(output)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} points, d={}, {} anomalies) to {output}",
+        stream.name,
+        stream.len(),
+        stream.dim,
+        stream.anomaly_count()
+    );
+    Ok(())
+}
+
+fn parse_score_kind(raw: &str) -> Result<ScoreKind, String> {
+    Ok(match raw {
+        "rel-proj" => ScoreKind::RelativeProjection,
+        "proj" => ScoreKind::ProjectionDistance,
+        "leverage" => ScoreKind::Leverage,
+        "blended" => ScoreKind::Blended { beta: 0.1 },
+        other => return Err(format!("unknown score kind {other:?}")),
+    })
+}
+
+fn parse_decay(raw: &str) -> Result<(f64, usize), String> {
+    let (a, e) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("--decay expects ALPHA:EVERY, got {raw:?}"))?;
+    let alpha: f64 = a.parse().map_err(|_| format!("bad decay alpha {a:?}"))?;
+    let every: usize = e.parse().map_err(|_| format!("bad decay interval {e:?}"))?;
+    if !(0.0 < alpha && alpha < 1.0) || every == 0 {
+        return Err("decay requires 0 < alpha < 1 and EVERY > 0".into());
+    }
+    Ok((alpha, every))
+}
+
+fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
+    let input = p.require("input").map_err(|e| e.to_string())?;
+    let stream = stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?;
+
+    let k: usize = p.get_parse_or("k", 10, "positive integer").map_err(|e| e.to_string())?;
+    let ell: usize =
+        p.get_parse_or("ell", 64, "positive integer").map_err(|e| e.to_string())?;
+    let warmup: usize =
+        p.get_parse_or("warmup", 256, "integer").map_err(|e| e.to_string())?;
+    let fp_rate: f64 =
+        p.get_parse_or("fp-rate", 0.01, "fraction in (0,1)").map_err(|e| e.to_string())?;
+    if !(0.0 < fp_rate && fp_rate < 1.0) {
+        return Err("--fp-rate must be in (0, 1)".into());
+    }
+    let score = parse_score_kind(p.get_or("score", "rel-proj"))?;
+
+    let mut cfg = DetectorConfig::new(k, ell)
+        .with_warmup(warmup)
+        .with_score(score)
+        .with_refresh(RefreshPolicy::Periodic { period: 64 });
+    if let Some(raw) = p.options.get("decay") {
+        let (alpha, every) = parse_decay(raw)?;
+        cfg = cfg.with_decay(alpha, every);
+    }
+
+    let sketch_name = p.get_or("sketch", "fd");
+    let mut detector: Box<dyn StreamingDetector> = match sketch_name {
+        "fd" => Box::new(cfg.build_fd(stream.dim)),
+        "rp" => Box::new(cfg.build_rp(stream.dim)),
+        "cs" => Box::new(cfg.build_cs(stream.dim)),
+        "rs" => Box::new(cfg.build_rs(stream.dim)),
+        other => return Err(format!("unknown sketch {other:?} (fd|rp|cs|rs)")),
+    };
+    if p.has_flag("normalize") {
+        detector = Box::new(sketchad_core::NormalizedDetector::new(BoxedDetector(detector)));
+    }
+
+    let mut alerting = BoxedThreshold::new(detector, fp_rate, warmup.max(64));
+    let mut scores = Vec::with_capacity(stream.len());
+    let mut alerts: Vec<usize> = Vec::new();
+    for (i, (values, _)) in stream.iter().enumerate() {
+        let (s, flagged) = alerting.process(values);
+        scores.push(s);
+        if flagged {
+            alerts.push(i);
+        }
+    }
+
+    // Summary.
+    let labels = stream.labels();
+    let has_both_classes = labels[warmup.min(labels.len())..].iter().any(|&l| l)
+        && labels[warmup.min(labels.len())..].iter().any(|&l| !l);
+    if !p.has_flag("quiet") {
+        println!(
+            "scored {} points (d={}) with {}",
+            stream.len(),
+            stream.dim,
+            alerting.name()
+        );
+        if has_both_classes {
+            let auc = roc_auc(&scores[warmup..], &labels[warmup..]);
+            println!("ROC-AUC (post-warmup): {}", fmt_opt(auc));
+        }
+        println!("alerts at fp-rate {fp_rate}: {}", alerts.len());
+        let mut top: Vec<(usize, f64)> =
+            scores.iter().copied().enumerate().skip(warmup).collect();
+        top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        println!("top anomalies (index: score):");
+        for (i, s) in top.iter().take(5) {
+            println!("  {i}: {s:.4}");
+        }
+    }
+
+    // Optional per-point score dump.
+    if let Some(output) = p.options.get("output") {
+        let mut f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        writeln!(f, "index,score,alert").map_err(|e| e.to_string())?;
+        for (i, s) in scores.iter().enumerate() {
+            let alert = if alerts.binary_search(&i).is_ok() { 1 } else { 0 };
+            writeln!(f, "{i},{s},{alert}").map_err(|e| e.to_string())?;
+        }
+        if !p.has_flag("quiet") {
+            println!("wrote per-point scores to {output}");
+        }
+    }
+
+    // Optional trained-model persistence.
+    if let Some(model_path) = p.options.get("save-model") {
+        let model = alerting
+            .current_model()
+            .ok_or("no model was trained (stream shorter than warmup?)")?;
+        let saved = SavedModel { score, model: model.clone() };
+        let json = serde_json::to_string_pretty(&saved).map_err(|e| e.to_string())?;
+        std::fs::write(model_path, json).map_err(|e| e.to_string())?;
+        if !p.has_flag("quiet") {
+            println!("saved trained model (k={}, d={}) to {model_path}", model.k(), model.dim());
+        }
+    }
+    Ok(())
+}
+
+/// Score-only serving: load a persisted model and score a stream against it
+/// without any model updates (deployment after offline training).
+fn cmd_apply(p: &ParsedArgs) -> Result<(), String> {
+    let model_path = p.require("model").map_err(|e| e.to_string())?;
+    let input = p.require("input").map_err(|e| e.to_string())?;
+    let raw = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
+    let saved: SavedModel = serde_json::from_str(&raw).map_err(|e| e.to_string())?;
+    let stream = stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?;
+    if stream.dim != saved.model.dim() {
+        return Err(format!(
+            "model dimension {} does not match stream dimension {}",
+            saved.model.dim(),
+            stream.dim
+        ));
+    }
+
+    let scores: Vec<f64> = stream
+        .iter()
+        .map(|(v, _)| saved.score.evaluate(&saved.model, v))
+        .collect();
+
+    if !p.has_flag("quiet") {
+        println!(
+            "applied saved model (k={}, trained on {} rows) to {} points",
+            saved.model.k(),
+            saved.model.rows_represented(),
+            stream.len()
+        );
+        let labels = stream.labels();
+        if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
+            println!("ROC-AUC: {}", fmt_opt(roc_auc(&scores, &labels)));
+        }
+    }
+    if let Some(output) = p.options.get("output") {
+        let mut f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        writeln!(f, "index,score").map_err(|e| e.to_string())?;
+        for (i, s) in scores.iter().enumerate() {
+            writeln!(f, "{i},{s}").map_err(|e| e.to_string())?;
+        }
+        if !p.has_flag("quiet") {
+            println!("wrote scores to {output}");
+        }
+    }
+    Ok(())
+}
+
+/// Threshold wrapper over a boxed detector (ThresholdedDetector is generic
+/// over a concrete detector type; this adapts it to `Box<dyn …>`).
+struct BoxedThreshold {
+    inner: ThresholdedDetector<BoxedDetector>,
+}
+
+struct BoxedDetector(Box<dyn StreamingDetector>);
+
+impl StreamingDetector for BoxedDetector {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn process(&mut self, y: &[f64]) -> f64 {
+        self.0.process(y)
+    }
+    fn processed(&self) -> u64 {
+        self.0.processed()
+    }
+    fn is_warmed_up(&self) -> bool {
+        self.0.is_warmed_up()
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
+impl BoxedThreshold {
+    fn new(det: Box<dyn StreamingDetector>, fp_rate: f64, calibration: usize) -> Self {
+        Self { inner: ThresholdedDetector::new(BoxedDetector(det), fp_rate, calibration) }
+    }
+
+    fn process(&mut self, y: &[f64]) -> (f64, bool) {
+        let alert = self.inner.process(y);
+        (alert.score, alert.is_anomaly)
+    }
+
+    fn name(&self) -> String {
+        self.inner.inner().name()
+    }
+
+    fn current_model(&self) -> Option<&sketchad_core::SubspaceModel> {
+        self.inner.inner().0.current_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_kind_parsing() {
+        assert_eq!(parse_score_kind("rel-proj").unwrap(), ScoreKind::RelativeProjection);
+        assert_eq!(parse_score_kind("proj").unwrap(), ScoreKind::ProjectionDistance);
+        assert_eq!(parse_score_kind("leverage").unwrap(), ScoreKind::Leverage);
+        assert!(matches!(
+            parse_score_kind("blended").unwrap(),
+            ScoreKind::Blended { .. }
+        ));
+        assert!(parse_score_kind("nope").is_err());
+    }
+
+    #[test]
+    fn decay_parsing() {
+        assert_eq!(parse_decay("0.9:100").unwrap(), (0.9, 100));
+        assert!(parse_decay("0.9").is_err());
+        assert!(parse_decay("1.5:10").is_err());
+        assert!(parse_decay("0.9:0").is_err());
+        assert!(parse_decay("x:10").is_err());
+    }
+
+    #[test]
+    fn dataset_registry_is_complete() {
+        for name in dataset_names() {
+            assert!(
+                dataset_by_name(name, DatasetScale::Small).is_some(),
+                "{name} missing from registry"
+            );
+        }
+        assert!(dataset_by_name("nope", DatasetScale::Small).is_none());
+    }
+
+    #[test]
+    fn end_to_end_generate_and_score() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("sketchad-cli-test-{}.csv", std::process::id()));
+        let out = dir.join(format!("sketchad-cli-scores-{}.csv", std::process::id()));
+        let gen_args: Vec<String> = [
+            "generate",
+            "--dataset",
+            "synth-lowrank",
+            "--output",
+            csv.to_str().unwrap(),
+            "--small",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&gen_args).unwrap();
+
+        let score_args: Vec<String> = [
+            "score",
+            "--input",
+            csv.to_str().unwrap(),
+            "--k",
+            "10",
+            "--ell",
+            "32",
+            "--warmup",
+            "100",
+            "--output",
+            out.to_str().unwrap(),
+            "--quiet",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&score_args).unwrap();
+
+        let dumped = std::fs::read_to_string(&out).unwrap();
+        assert!(dumped.starts_with("index,score,alert"));
+        assert!(dumped.lines().count() > 100);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn save_and_apply_roundtrip() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("sketchad-apply-{pid}.csv"));
+        let model = dir.join(format!("sketchad-model-{pid}.json"));
+        let out = dir.join(format!("sketchad-apply-out-{pid}.csv"));
+        run(&[
+            "generate".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--output".into(),
+            csv.to_str().unwrap().into(),
+            "--small".into(),
+        ])
+        .unwrap();
+        run(&[
+            "score".into(),
+            "--input".into(),
+            csv.to_str().unwrap().into(),
+            "--k".into(),
+            "10".into(),
+            "--warmup".into(),
+            "100".into(),
+            "--save-model".into(),
+            model.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        run(&[
+            "apply".into(),
+            "--model".into(),
+            model.to_str().unwrap().into(),
+            "--input".into(),
+            csv.to_str().unwrap().into(),
+            "--output".into(),
+            out.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let dumped = std::fs::read_to_string(&out).unwrap();
+        assert!(dumped.starts_with("index,score"));
+        for p in [&csv, &model, &out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn apply_rejects_dimension_mismatch() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv_a = dir.join(format!("sketchad-dimcheck-a-{pid}.csv"));
+        let csv_b = dir.join(format!("sketchad-dimcheck-b-{pid}.csv"));
+        let model = dir.join(format!("sketchad-dimcheck-m-{pid}.json"));
+        run(&[
+            "generate".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--output".into(),
+            csv_a.to_str().unwrap().into(),
+            "--small".into(),
+        ])
+        .unwrap();
+        run(&[
+            "generate".into(),
+            "--dataset".into(),
+            "synth-drift".into(),
+            "--output".into(),
+            csv_b.to_str().unwrap().into(),
+            "--small".into(),
+        ])
+        .unwrap();
+        run(&[
+            "score".into(),
+            "--input".into(),
+            csv_a.to_str().unwrap().into(),
+            "--warmup".into(),
+            "100".into(),
+            "--save-model".into(),
+            model.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let err = run(&[
+            "apply".into(),
+            "--model".into(),
+            model.to_str().unwrap().into(),
+            "--input".into(),
+            csv_b.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap_err();
+        for p in [&csv_a, &csv_b, &model] {
+            std::fs::remove_file(p).ok();
+        }
+        assert!(err.contains("dimension"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_error() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn unknown_sketch_is_error() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("sketchad-cli-badsketch-{}.csv", std::process::id()));
+        run(&[
+            "generate".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--output".into(),
+            csv.to_str().unwrap().into(),
+            "--small".into(),
+        ])
+        .unwrap();
+        let err = run(&[
+            "score".into(),
+            "--input".into(),
+            csv.to_str().unwrap().into(),
+            "--sketch".into(),
+            "bogus".into(),
+        ])
+        .unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert!(err.contains("unknown sketch"));
+    }
+}

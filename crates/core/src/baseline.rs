@@ -1,0 +1,322 @@
+//! Non-sketch baselines used in the accuracy tables.
+//!
+//! * [`OjaDetector`] — Oja's rule incremental PCA: a classical streaming
+//!   subspace tracker with `O(k·d)` memory; the natural "cheap" competitor.
+//! * [`MeanDistanceDetector`] — per-dimension standardized distance to the
+//!   running mean (a diagonal-covariance Mahalanobis score); what one would
+//!   deploy without any subspace modelling.
+//! * [`RandomScoreDetector`] — uniform random scores; the AUC ≈ 0.5 control.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sketchad_linalg::qr::qr_thin;
+use sketchad_linalg::rng::seeded_rng;
+use sketchad_linalg::vecops;
+use sketchad_linalg::Matrix;
+
+use crate::detector::StreamingDetector;
+
+/// Oja's rule streaming PCA detector.
+///
+/// Maintains `k` (approximately orthonormal) basis rows `V`; each point does
+/// a Hebbian update `V ← V + η_t (V y) yᵀ` followed by periodic QR
+/// re-orthonormalization. Score = relative projection residual against `V`.
+#[derive(Debug, Clone)]
+pub struct OjaDetector {
+    v: Matrix, // k × d, rows ≈ orthonormal basis
+    k: usize,
+    warmup: usize,
+    processed: u64,
+    /// Learning-rate schedule η_t = lr0 / (1 + t / lr_decay).
+    lr0: f64,
+    lr_decay: f64,
+    orthonormalize_every: usize,
+}
+
+impl OjaDetector {
+    /// Creates an Oja tracker of rank `k` over dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > dim`.
+    pub fn new(dim: usize, k: usize, warmup: usize, seed: u64) -> Self {
+        assert!(k > 0 && k <= dim, "require 1 <= k <= d");
+        let mut rng = seeded_rng(seed);
+        let v = sketchad_linalg::rng::random_orthonormal_rows(&mut rng, k, dim);
+        Self {
+            v,
+            k,
+            warmup,
+            processed: 0,
+            lr0: 0.5,
+            lr_decay: 200.0,
+            orthonormalize_every: 16,
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr0 / (1.0 + self.processed as f64 / self.lr_decay)
+    }
+
+    fn reorthonormalize(&mut self) {
+        // Thin QR of Vᵀ gives an orthonormal basis of the row space.
+        let (q, _r) = qr_thin(&self.v.transpose()).expect("QR of Oja basis");
+        self.v = q.transpose();
+    }
+
+    /// Relative projection residual of `y` against the tracked basis.
+    fn residual_fraction(&self, y: &[f64]) -> f64 {
+        let norm_sq = vecops::norm2_sq(y);
+        if norm_sq <= 0.0 {
+            return 0.0;
+        }
+        let mut captured = 0.0;
+        for j in 0..self.k {
+            let c = vecops::dot(self.v.row(j), y);
+            captured += c * c;
+        }
+        ((norm_sq - captured) / norm_sq).clamp(0.0, 1.0)
+    }
+}
+
+impl StreamingDetector for OjaDetector {
+    fn dim(&self) -> usize {
+        self.v.cols()
+    }
+
+    fn process(&mut self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.dim(), "point dimension mismatch");
+        let score = if self.is_warmed_up() {
+            self.residual_fraction(y)
+        } else {
+            0.0
+        };
+
+        // Hebbian update on a normalized copy (keeps step sizes bounded).
+        let norm = vecops::norm2(y);
+        if norm > 0.0 {
+            let eta = self.learning_rate();
+            let yn: Vec<f64> = y.iter().map(|v| v / norm).collect();
+            let coeffs = self.v.matvec(&yn); // k projections
+            for j in 0..self.k {
+                let step = eta * coeffs[j];
+                vecops::axpy(step, &yn, self.v.row_mut(j));
+            }
+        }
+        self.processed += 1;
+        if self.processed % self.orthonormalize_every as u64 == 0 {
+            self.reorthonormalize();
+        }
+        score
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn is_warmed_up(&self) -> bool {
+        self.processed as usize >= self.warmup
+    }
+
+    fn name(&self) -> String {
+        format!("oja[k={}]", self.k)
+    }
+}
+
+/// Diagonal-covariance distance-to-mean detector (Welford online moments).
+#[derive(Debug, Clone)]
+pub struct MeanDistanceDetector {
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    warmup: usize,
+    processed: u64,
+}
+
+impl MeanDistanceDetector {
+    /// Creates the detector over dimension `dim`.
+    pub fn new(dim: usize, warmup: usize) -> Self {
+        Self { mean: vec![0.0; dim], m2: vec![0.0; dim], warmup, processed: 0 }
+    }
+}
+
+impl StreamingDetector for MeanDistanceDetector {
+    fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    fn process(&mut self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.dim(), "point dimension mismatch");
+        let n = self.processed as f64;
+        let score = if self.is_warmed_up() && n >= 2.0 {
+            let d = self.dim() as f64;
+            let mut acc = 0.0;
+            for i in 0..self.dim() {
+                let var = self.m2[i] / (n - 1.0);
+                let diff = y[i] - self.mean[i];
+                acc += diff * diff / (var + 1e-12);
+            }
+            acc / d
+        } else {
+            0.0
+        };
+
+        // Welford update.
+        let n1 = n + 1.0;
+        for i in 0..self.dim() {
+            let delta = y[i] - self.mean[i];
+            self.mean[i] += delta / n1;
+            let delta2 = y[i] - self.mean[i];
+            self.m2[i] += delta * delta2;
+        }
+        self.processed += 1;
+        score
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn is_warmed_up(&self) -> bool {
+        self.processed as usize >= self.warmup
+    }
+
+    fn name(&self) -> String {
+        "mean-distance".into()
+    }
+}
+
+/// Uniform-random control detector (AUC ≈ 0.5 by construction).
+#[derive(Debug, Clone)]
+pub struct RandomScoreDetector {
+    dim: usize,
+    rng: StdRng,
+    processed: u64,
+}
+
+impl RandomScoreDetector {
+    /// Creates the control detector.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self { dim, rng: seeded_rng(seed), processed: 0 }
+    }
+}
+
+impl StreamingDetector for RandomScoreDetector {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn process(&mut self, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.dim, "point dimension mismatch");
+        self.processed += 1;
+        self.rng.gen()
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn is_warmed_up(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "random".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_linalg::rng::{gaussian_vec, random_orthonormal_rows, seeded_rng};
+
+    #[test]
+    fn oja_tracks_a_planted_subspace() {
+        let d = 10;
+        let k = 2;
+        let mut rng = seeded_rng(20);
+        let basis = random_orthonormal_rows(&mut rng, k, d);
+        let mut det = OjaDetector::new(d, k, 50, 1);
+        for _ in 0..600 {
+            let c = gaussian_vec(&mut rng, k);
+            let row = basis.tr_matvec(&c);
+            det.process(&row);
+        }
+        // In-subspace point should have a tiny residual; orthogonal large.
+        let c = gaussian_vec(&mut rng, k);
+        let inside = basis.tr_matvec(&c);
+        let r_in = det.residual_fraction(&inside);
+        assert!(r_in < 0.05, "in-subspace residual {r_in}");
+
+        let mut outside = gaussian_vec(&mut rng, d);
+        // Remove in-subspace components to make it orthogonal.
+        for j in 0..k {
+            let b = basis.row(j).to_vec();
+            let coef = vecops::dot(&outside, &b);
+            vecops::axpy(-coef, &b, &mut outside);
+        }
+        let r_out = det.residual_fraction(&outside);
+        assert!(r_out > 0.8, "orthogonal residual {r_out}");
+    }
+
+    #[test]
+    fn oja_basis_stays_orthonormal() {
+        let mut det = OjaDetector::new(6, 3, 10, 2);
+        let mut rng = seeded_rng(21);
+        for _ in 0..160 {
+            det.process(&gaussian_vec(&mut rng, 6));
+        }
+        let g = det.v.outer_gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < 0.05, "G[{i}][{j}]={}", g[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_distance_flags_shifted_points() {
+        let mut det = MeanDistanceDetector::new(4, 20);
+        let mut rng = seeded_rng(22);
+        let mut last_normal = 0.0;
+        for _ in 0..200 {
+            let y: Vec<f64> = gaussian_vec(&mut rng, 4);
+            last_normal = det.process(&y);
+        }
+        let outlier = vec![10.0; 4];
+        let s = det.process(&outlier);
+        assert!(s > 20.0 * last_normal.max(0.5), "outlier {s} vs normal {last_normal}");
+    }
+
+    #[test]
+    fn mean_distance_zero_variance_is_safe() {
+        let mut det = MeanDistanceDetector::new(2, 2);
+        for _ in 0..10 {
+            let s = det.process(&[1.0, 1.0]);
+            assert!(s.is_finite());
+        }
+        // A deviation on a zero-variance dimension gives a huge, finite score.
+        let s = det.process(&[1.0, 2.0]);
+        assert!(s.is_finite() && s > 1e6);
+    }
+
+    #[test]
+    fn random_detector_is_uninformative() {
+        let mut det = RandomScoreDetector::new(3, 7);
+        let scores: Vec<f64> = (0..1000).map(|_| det.process(&[0.0; 3])).collect();
+        let mean = scores.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn warmup_gates_scores() {
+        let mut oja = OjaDetector::new(3, 1, 5, 1);
+        let mut md = MeanDistanceDetector::new(3, 5);
+        for _ in 0..5 {
+            assert_eq!(oja.process(&[1.0, 0.0, 0.0]), 0.0);
+            assert_eq!(md.process(&[1.0, 0.0, 0.0]), 0.0);
+        }
+        assert!(oja.is_warmed_up());
+        assert!(md.is_warmed_up());
+    }
+}

@@ -1,0 +1,81 @@
+//! The streaming-detector abstraction.
+
+use crate::subspace::SubspaceModel;
+
+/// A one-pass anomaly detector over a stream of `d`-dimensional points.
+///
+/// `process` consumes one point and returns its anomaly score (higher is
+/// more anomalous). Detectors are single-pass and bounded-memory; all
+/// experiment harnesses and examples drive them only through this trait.
+pub trait StreamingDetector {
+    /// Ambient dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Scores one arriving point and folds it into the detector state.
+    ///
+    /// # Panics
+    /// Implementations panic when `y.len() != self.dim()`.
+    fn process(&mut self, y: &[f64]) -> f64;
+
+    /// Number of points processed so far.
+    fn processed(&self) -> u64;
+
+    /// True once the detector has seen enough data to emit meaningful
+    /// scores; scores emitted before this are a conventional `0.0`.
+    fn is_warmed_up(&self) -> bool;
+
+    /// Human-readable method name for tables.
+    fn name(&self) -> String;
+
+    /// The current trained subspace model, for detectors that have one
+    /// (subspace detectors return it once warmed up; others return `None`).
+    /// Used to persist a trained model for score-only serving.
+    fn current_model(&self) -> Option<&SubspaceModel> {
+        None
+    }
+
+    /// Convenience: scores an entire slice of rows.
+    fn process_all(&mut self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.process(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial detector for exercising the default method.
+    struct NormDetector {
+        dim: usize,
+        n: u64,
+    }
+
+    impl StreamingDetector for NormDetector {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn process(&mut self, y: &[f64]) -> f64 {
+            assert_eq!(y.len(), self.dim);
+            self.n += 1;
+            y.iter().map(|v| v * v).sum()
+        }
+        fn processed(&self) -> u64 {
+            self.n
+        }
+        fn is_warmed_up(&self) -> bool {
+            self.n > 0
+        }
+        fn name(&self) -> String {
+            "norm".into()
+        }
+    }
+
+    #[test]
+    fn process_all_maps_over_rows() {
+        let mut d = NormDetector { dim: 2, n: 0 };
+        let scores = d.process_all(&[vec![3.0, 4.0], vec![1.0, 0.0]]);
+        assert_eq!(scores, vec![25.0, 1.0]);
+        assert_eq!(d.processed(), 2);
+        assert!(d.is_warmed_up());
+    }
+}

@@ -1,0 +1,73 @@
+//! # sketchad-core
+//!
+//! Streaming anomaly detection via randomized matrix sketching — a
+//! from-scratch Rust reproduction of the VLDB 2015 paper *"Streaming Anomaly
+//! Detection Using Randomized Matrix Sketching"*.
+//!
+//! ## The idea
+//!
+//! In high-dimensional streams, normal points lie close to the dominant
+//! low-rank subspace of the history matrix. Each arriving point is scored by
+//! how poorly the rank-k subspace explains it ([`SubspaceModel`]): the
+//! projection-residual and leverage scores of [`ScoreKind`]. Computing that
+//! subspace exactly needs the full covariance (the [`ExactSvdDetector`]
+//! baseline, `O(d²)` memory); the paper's contribution is doing it from an
+//! `O(ℓ·d)` **matrix sketch** with provable accuracy — [`SketchDetector`],
+//! generic over every sketch in `sketchad-sketch`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sketchad_core::{DetectorConfig, StreamingDetector};
+//!
+//! // rank-4 model from a 32-row frequent-directions sketch
+//! let mut det = DetectorConfig::new(4, 32).with_warmup(64).build_fd(16);
+//!
+//! // feed points that live on a 1-D line through R^16 …
+//! let normal: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+//! for _ in 0..200 {
+//!     det.process(&normal);
+//! }
+//! // … then an off-subspace point scores much higher
+//! let mut outlier = vec![0.0; 16];
+//! outlier[7] = 5.0;
+//! let anomaly_score = det.score_only(&outlier).unwrap();
+//! let normal_score = det.score_only(&normal).unwrap();
+//! assert!(anomaly_score > 10.0 * (normal_score + 1e-9));
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`subspace`] — the rank-k model and both anomaly scores.
+//! * [`sketched`] — [`SketchDetector`], the paper's streaming algorithm.
+//! * [`exact`] — exact-SVD baselines (global and sliding-window).
+//! * [`baseline`] — Oja incremental PCA, distance-to-mean, random control.
+//! * [`refresh`] — model refresh policies (periodic / energy-triggered).
+//! * [`threshold`] — P² streaming quantile + alerting wrapper.
+//! * [`normalize`] — online z-scoring wrapper.
+//! * [`config`] — [`DetectorConfig`] builder entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod detector;
+pub mod exact;
+pub mod normalize;
+pub mod refresh;
+pub mod score;
+pub mod sketched;
+pub mod subspace;
+pub mod threshold;
+
+pub use baseline::{MeanDistanceDetector, OjaDetector, RandomScoreDetector};
+pub use config::DetectorConfig;
+pub use detector::StreamingDetector;
+pub use exact::{ExactSvdDetector, ExactWindowedDetector};
+pub use normalize::{NormalizedDetector, OnlineNormalizer};
+pub use refresh::RefreshPolicy;
+pub use score::ScoreKind;
+pub use sketched::{DecayConfig, SketchDetector, UpdatePolicy};
+pub use subspace::SubspaceModel;
+pub use threshold::{Alert, QuantileEstimator, ThresholdedDetector};

@@ -1,0 +1,694 @@
+//! The paper's contribution: the sketch-based streaming anomaly detector.
+//!
+//! [`SketchDetector`] is generic over any [`MatrixSketch`]: it scores each
+//! arriving point against the top-k subspace of the sketch, folds the point
+//! into the sketch, and rebuilds the subspace on a refresh schedule. Memory
+//! is `O(ℓ·d)` and amortized per-point cost is the sketch update plus an
+//! `O(ℓ²·d / period)` share of the model rebuild — constant per point and
+//! independent of the stream length.
+
+use sketchad_sketch::MatrixSketch;
+
+use crate::detector::StreamingDetector;
+use crate::refresh::RefreshPolicy;
+use crate::score::ScoreKind;
+use crate::subspace::SubspaceModel;
+use crate::threshold::QuantileEstimator;
+
+/// Whether anomalous-looking points are folded into the sketch.
+///
+/// Folding every point in (the default, and what the original algorithm
+/// does) lets a sustained burst of similar anomalies *poison* the sketch:
+/// the burst direction accumulates enough energy to enter the normal
+/// subspace, and the tail of the burst scores as normal. The filtering
+/// policy skips sketch updates for points whose score exceeds a running
+/// quantile of past scores, keeping the normal model clean (ablated in
+/// experiment A2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdatePolicy {
+    /// Fold every point into the sketch.
+    Always,
+    /// Skip points scoring above the running `quantile` of past scores.
+    SkipAnomalous {
+        /// Quantile in `(0, 1)` (e.g. `0.99`): points above it are not
+        /// folded into the sketch.
+        quantile: f64,
+    },
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> Self {
+        UpdatePolicy::Always
+    }
+}
+
+/// Exponential forgetting configuration: every `every` points the sketch
+/// covariance is scaled by `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayConfig {
+    /// Covariance multiplier in `(0, 1)`.
+    pub alpha: f64,
+    /// Points between decay applications (a "time tick").
+    pub every: usize,
+}
+
+impl DecayConfig {
+    /// Creates a decay configuration.
+    ///
+    /// # Panics
+    /// Panics when `alpha ∉ (0,1)` or `every == 0`.
+    pub fn new(alpha: f64, every: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(every > 0, "decay interval must be positive");
+        Self { alpha, every }
+    }
+}
+
+/// Streaming subspace anomaly detector over an arbitrary matrix sketch.
+#[derive(Debug, Clone)]
+pub struct SketchDetector<S: MatrixSketch> {
+    sketch: S,
+    k: usize,
+    score: ScoreKind,
+    refresh: RefreshPolicy,
+    warmup: usize,
+    decay: Option<DecayConfig>,
+    update_policy: UpdatePolicy,
+    score_quantile: Option<QuantileEstimator>,
+    skipped_updates: u64,
+    model: Option<SubspaceModel>,
+    since_refresh: usize,
+    energy_at_refresh: f64,
+    processed: u64,
+    refresh_count: u64,
+}
+
+impl<S: MatrixSketch> SketchDetector<S> {
+    /// Wraps `sketch` into a detector extracting a rank-`k` model.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > sketch.capacity()` (the model cannot have
+    /// more directions than the sketch retains).
+    pub fn new(
+        sketch: S,
+        k: usize,
+        score: ScoreKind,
+        refresh: RefreshPolicy,
+        warmup: usize,
+    ) -> Self {
+        assert!(k > 0, "model rank k must be positive");
+        assert!(
+            k <= sketch.capacity(),
+            "model rank k={k} exceeds sketch capacity ℓ={}",
+            sketch.capacity()
+        );
+        Self {
+            sketch,
+            k,
+            score,
+            refresh,
+            warmup,
+            decay: None,
+            update_policy: UpdatePolicy::Always,
+            score_quantile: None,
+            skipped_updates: 0,
+            model: None,
+            since_refresh: 0,
+            energy_at_refresh: 0.0,
+            processed: 0,
+            refresh_count: 0,
+        }
+    }
+
+    /// Enables exponential forgetting.
+    pub fn with_decay(mut self, decay: DecayConfig) -> Self {
+        self.decay = Some(decay);
+        self
+    }
+
+    /// Sets the sketch-update policy (anomaly filtering).
+    ///
+    /// # Panics
+    /// Panics when a `SkipAnomalous` quantile is outside `(0, 1)`.
+    pub fn with_update_policy(mut self, policy: UpdatePolicy) -> Self {
+        if let UpdatePolicy::SkipAnomalous { quantile } = policy {
+            self.score_quantile = Some(QuantileEstimator::new(quantile));
+        } else {
+            self.score_quantile = None;
+        }
+        self.update_policy = policy;
+        self
+    }
+
+    /// Number of points the filtering policy kept out of the sketch.
+    pub fn skipped_updates(&self) -> u64 {
+        self.skipped_updates
+    }
+
+    /// Decides whether the current point (already scored as `score`) is
+    /// folded into the sketch, and feeds the filtering quantile.
+    fn should_update(&mut self, score: f64) -> bool {
+        match self.update_policy {
+            UpdatePolicy::Always => true,
+            UpdatePolicy::SkipAnomalous { .. } => {
+                let warmed = self.is_warmed_up();
+                let q = self
+                    .score_quantile
+                    .as_mut()
+                    .expect("quantile exists for SkipAnomalous");
+                if !warmed {
+                    return true; // nothing reliable to filter on yet
+                }
+                // Require a calibrated estimator before filtering.
+                let decision = if q.count() >= 32 {
+                    score <= q.estimate()
+                } else {
+                    true
+                };
+                q.update(score);
+                if !decision {
+                    self.skipped_updates += 1;
+                }
+                decision
+            }
+        }
+    }
+
+    /// Model rank k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The score family in use.
+    pub fn score_kind(&self) -> ScoreKind {
+        self.score
+    }
+
+    /// Borrow the underlying sketch (e.g. for quality measurement).
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// The current subspace model, if one has been built.
+    pub fn model(&self) -> Option<&SubspaceModel> {
+        self.model.as_ref()
+    }
+
+    /// How many model rebuilds have happened (diagnostics for F8).
+    pub fn refresh_count(&self) -> u64 {
+        self.refresh_count
+    }
+
+    /// Scores `y` against the current model without updating any state.
+    /// Returns `None` before the first model build.
+    pub fn score_only(&self, y: &[f64]) -> Option<f64> {
+        self.model.as_ref().map(|m| self.score.evaluate(m, y))
+    }
+
+    /// Explainability hook: per-dimension residual of `y` against the
+    /// current normal subspace (`None` before warmup).
+    pub fn explain(&self, y: &[f64]) -> Option<Vec<f64>> {
+        self.model.as_ref().map(|m| m.residual(y))
+    }
+
+    /// Sparse-input variant of [`StreamingDetector::process`]: scores and
+    /// folds in a sparse point in `O(k·nnz)` + the sketch's sparse update
+    /// cost, without densifying for linear sketches.
+    pub fn process_sparse(&mut self, y: &sketchad_linalg::SparseVec) -> f64 {
+        let score = if self.is_warmed_up() {
+            match &self.model {
+                Some(m) => self.score.evaluate_sparse(m, y),
+                None => 0.0,
+            }
+        } else {
+            0.0
+        };
+        if self.should_update(score) {
+            self.sketch.update_sparse(y);
+        }
+        self.after_update();
+        score
+    }
+
+    /// Post-update bookkeeping shared by the dense and sparse paths: decay
+    /// ticks and model-refresh scheduling.
+    fn after_update(&mut self) {
+        self.processed += 1;
+        self.since_refresh += 1;
+        if let Some(d) = self.decay {
+            if self.processed % d.every as u64 == 0 {
+                self.sketch.decay(d.alpha);
+            }
+        }
+        let warmup_just_done = self.processed as usize == self.warmup.max(1);
+        let due = self.refresh.should_refresh(
+            self.since_refresh,
+            self.sketch.stream_frobenius_sq(),
+            self.energy_at_refresh,
+        );
+        if (self.model.is_none() && warmup_just_done)
+            || (due && self.processed as usize >= self.warmup)
+        {
+            self.rebuild_model();
+        }
+    }
+
+    /// Forces an immediate model rebuild (used at warmup end and by tests).
+    pub fn rebuild_model(&mut self) {
+        let b = self.sketch.sketch();
+        if b.rows() == 0 {
+            return;
+        }
+        match SubspaceModel::from_matrix(&b, self.k, self.sketch.rows_seen()) {
+            Ok(m) => {
+                self.model = Some(m);
+                self.since_refresh = 0;
+                self.energy_at_refresh = self.sketch.stream_frobenius_sq();
+                self.refresh_count += 1;
+            }
+            Err(_) => {
+                // A degenerate sketch (e.g. all-zero rows) yields no model;
+                // keep the previous one and retry at the next trigger.
+            }
+        }
+    }
+}
+
+impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
+    fn dim(&self) -> usize {
+        self.sketch.dim()
+    }
+
+    fn process(&mut self, y: &[f64]) -> f64 {
+        // 1. Score against the model built from *past* data only.
+        let score = if self.is_warmed_up() {
+            match &self.model {
+                Some(m) => self.score.evaluate(m, y),
+                None => 0.0,
+            }
+        } else {
+            0.0
+        };
+
+        // 2. Fold the point into the sketch (subject to the update policy),
+        //    then run decay + refresh maintenance.
+        if self.should_update(score) {
+            self.sketch.update(y);
+        }
+        self.after_update();
+        score
+    }
+
+    fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn is_warmed_up(&self) -> bool {
+        self.processed as usize >= self.warmup && self.model.is_some()
+    }
+
+    fn name(&self) -> String {
+        format!("{}[k={},{}]", self.sketch.name(), self.k, self.score.label())
+    }
+
+    fn current_model(&self) -> Option<&SubspaceModel> {
+        self.model.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_linalg::rng::{gaussian_vec, random_orthonormal_rows, seeded_rng};
+    use sketchad_sketch::{CountSketch, FrequentDirections, RandomProjection};
+
+    /// Generates `n` points near a planted rank-k subspace plus `n_anom`
+    /// off-subspace anomalies at the end; returns (rows, labels).
+    fn planted_stream(
+        n: usize,
+        n_anom: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = seeded_rng(seed);
+        let basis = random_orthonormal_rows(&mut rng, k, d); // k×d
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let coeff = gaussian_vec(&mut rng, k);
+            let mut row = basis.tr_matvec(&coeff);
+            for v in row.iter_mut() {
+                *v *= 3.0;
+            }
+            // small ambient noise
+            for v in row.iter_mut() {
+                *v += 0.01 * sketchad_linalg::rng::gaussian(&mut rng);
+            }
+            rows.push(row);
+            labels.push(false);
+        }
+        for _ in 0..n_anom {
+            let row = gaussian_vec(&mut rng, d); // isotropic: mostly off-subspace
+            rows.push(row);
+            labels.push(true);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_normals() {
+        let d = 24;
+        let (rows, labels) = planted_stream(400, 40, d, 4, 1);
+        let sketch = FrequentDirections::new(16, d);
+        let mut det = SketchDetector::new(
+            sketch,
+            4,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 32 },
+            64,
+        );
+        let scores: Vec<f64> = rows.iter().map(|r| det.process(r)).collect();
+        // Mean score of anomalies must dominate mean score of (post-warmup)
+        // normal points.
+        let mut normal_sum = 0.0;
+        let mut normal_n = 0.0;
+        let mut anom_sum = 0.0;
+        let mut anom_n = 0.0;
+        for (i, (&lbl, &s)) in labels.iter().zip(scores.iter()).enumerate() {
+            if i < 64 {
+                continue;
+            }
+            if lbl {
+                anom_sum += s;
+                anom_n += 1.0;
+            } else {
+                normal_sum += s;
+                normal_n += 1.0;
+            }
+        }
+        let normal_mean = normal_sum / normal_n;
+        let anom_mean = anom_sum / anom_n;
+        assert!(
+            anom_mean > 10.0 * normal_mean,
+            "anomaly mean {anom_mean} vs normal mean {normal_mean}"
+        );
+    }
+
+    fn check_separation<S: MatrixSketch>(
+        name: &str,
+        mut det: SketchDetector<S>,
+        rows: &[Vec<f64>],
+        labels: &[bool],
+    ) {
+        let scores: Vec<f64> = rows.iter().map(|r| det.process(r)).collect();
+        let n_anom = labels.iter().filter(|&&l| l).count() as f64;
+        let anom_mean: f64 = scores
+            .iter()
+            .zip(labels.iter())
+            .filter(|(_, &l)| l)
+            .map(|(s, _)| s)
+            .sum::<f64>()
+            / n_anom;
+        let norm_mean: f64 = scores[64..300].iter().sum::<f64>() / 236.0;
+        assert!(
+            anom_mean > 5.0 * norm_mean.max(1e-6),
+            "{name}: anomaly separation too weak ({anom_mean} vs {norm_mean})"
+        );
+    }
+
+    #[test]
+    fn works_with_randomized_sketches() {
+        let d = 16;
+        let (rows, labels) = planted_stream(300, 30, d, 3, 2);
+        let rp = SketchDetector::new(
+            RandomProjection::gaussian(24, d, 7),
+            3,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 32 },
+            64,
+        );
+        check_separation("rp", rp, &rows, &labels);
+        let cs = SketchDetector::new(
+            CountSketch::new(48, d, 7),
+            3,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 32 },
+            64,
+        );
+        check_separation("cs", cs, &rows, &labels);
+    }
+
+    #[test]
+    fn warmup_scores_are_zero() {
+        let sketch = FrequentDirections::new(8, 4);
+        let mut det = SketchDetector::new(
+            sketch,
+            2,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 8 },
+            10,
+        );
+        let mut rng = seeded_rng(3);
+        for i in 0..10 {
+            let y = gaussian_vec(&mut rng, 4);
+            let s = det.process(&y);
+            assert_eq!(s, 0.0, "point {i} scored during warmup");
+        }
+        assert!(det.is_warmed_up());
+        let s = det.process(&gaussian_vec(&mut rng, 4));
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn refresh_counts_follow_policy() {
+        let sketch = FrequentDirections::new(8, 4);
+        let mut det = SketchDetector::new(
+            sketch,
+            2,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 10 },
+            10,
+        );
+        let mut rng = seeded_rng(4);
+        for _ in 0..100 {
+            det.process(&gaussian_vec(&mut rng, 4));
+        }
+        // One build at warmup (t=10) then every 10 points.
+        assert!(
+            det.refresh_count() >= 9 && det.refresh_count() <= 11,
+            "refreshes: {}",
+            det.refresh_count()
+        );
+    }
+
+    #[test]
+    fn decay_enables_drift_adaptation() {
+        // Phase 1 along e1, phase 2 along e2. With strong decay the detector
+        // must stop flagging e2 points soon after the switch.
+        let d = 8;
+        let sketch = FrequentDirections::new(8, d);
+        let mut det = SketchDetector::new(
+            sketch,
+            1,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 8 },
+            16,
+        )
+        .with_decay(DecayConfig::new(0.5, 8));
+        let mut e1 = vec![0.0; d];
+        e1[0] = 5.0;
+        let mut e2 = vec![0.0; d];
+        e2[1] = 5.0;
+        for _ in 0..200 {
+            det.process(&e1);
+        }
+        let at_switch = det.score_only(&e2).unwrap();
+        for _ in 0..200 {
+            det.process(&e2);
+        }
+        let after_adapt = det.score_only(&e2).unwrap();
+        assert!(at_switch > 0.9, "e2 should be anomalous at switch: {at_switch}");
+        assert!(
+            after_adapt < 0.1,
+            "detector failed to adapt: {after_adapt}"
+        );
+    }
+
+    #[test]
+    fn explain_returns_residual_direction() {
+        let d = 6;
+        let sketch = FrequentDirections::new(6, d);
+        let mut det = SketchDetector::new(
+            sketch,
+            1,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 4 },
+            8,
+        );
+        let mut e1 = vec![0.0; d];
+        e1[0] = 2.0;
+        for _ in 0..20 {
+            det.process(&e1);
+        }
+        let mut y = vec![0.0; d];
+        y[0] = 1.0;
+        y[3] = 4.0; // anomalous component
+        let res = det.explain(&y).unwrap();
+        assert!(res[3].abs() > 3.9, "residual should isolate dim 3: {res:?}");
+        assert!(res[0].abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sketch capacity")]
+    fn k_larger_than_capacity_rejected() {
+        let sketch = FrequentDirections::new(4, 8);
+        let _ = SketchDetector::new(
+            sketch,
+            5,
+            ScoreKind::default(),
+            RefreshPolicy::default(),
+            10,
+        );
+    }
+
+    #[test]
+    fn score_only_none_before_model() {
+        let sketch = FrequentDirections::new(4, 3);
+        let det = SketchDetector::new(
+            sketch,
+            2,
+            ScoreKind::default(),
+            RefreshPolicy::default(),
+            5,
+        );
+        assert!(det.score_only(&[1.0, 0.0, 0.0]).is_none());
+        assert!(det.explain(&[1.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        use sketchad_linalg::SparseVec;
+        let d = 12;
+        let (rows, _) = planted_stream(150, 10, d, 2, 9);
+        let make = || {
+            SketchDetector::new(
+                FrequentDirections::new(8, d),
+                2,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 16 },
+                32,
+            )
+        };
+        let mut dense_det = make();
+        let mut sparse_det = make();
+        for r in &rows {
+            let s1 = dense_det.process(r);
+            let s2 = sparse_det.process_sparse(&SparseVec::from_dense(r));
+            assert!(
+                (s1 - s2).abs() < 1e-12,
+                "dense {s1} vs sparse {s2}"
+            );
+        }
+        assert_eq!(dense_det.processed(), sparse_det.processed());
+    }
+
+    #[test]
+    fn sparse_path_with_count_sketch_matches_dense() {
+        use rand::Rng;
+        use sketchad_linalg::SparseVec;
+        let d = 10;
+        let mut dense_det = SketchDetector::new(
+            CountSketch::new(16, d, 3),
+            2,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 8 },
+            16,
+        );
+        let mut sparse_det = dense_det.clone();
+        let mut rng = seeded_rng(11);
+        for _ in 0..60 {
+            // Sparse rows: 2 non-zeros out of 10.
+            let mut r = vec![0.0; d];
+            r[(rng.gen::<u64>() % d as u64) as usize] = gaussian_vec(&mut rng, 1)[0];
+            r[(rng.gen::<u64>() % d as u64) as usize] = gaussian_vec(&mut rng, 1)[0];
+            let s1 = dense_det.process(&r);
+            let s2 = sparse_det.process_sparse(&SparseVec::from_dense(&r));
+            assert!((s1 - s2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filtering_policy_resists_sketch_poisoning() {
+        // Normal traffic along e0; then a sustained burst along e1. With
+        // Always-update the burst's own energy enters the model and the
+        // burst tail scores as normal; with filtering, scores stay high.
+        let d = 8;
+        let run = |policy: UpdatePolicy| -> (f64, u64) {
+            let mut det = SketchDetector::new(
+                FrequentDirections::new(8, d),
+                1,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 16 },
+                32,
+            )
+            .with_update_policy(policy);
+            let mut e0 = vec![0.0; d];
+            e0[0] = 3.0;
+            let mut e1 = vec![0.0; d];
+            e1[1] = 3.0;
+            for _ in 0..400 {
+                det.process(&e0);
+            }
+            let mut tail_scores = Vec::new();
+            for i in 0..500 {
+                let s = det.process(&e1);
+                if i >= 400 {
+                    tail_scores.push(s);
+                }
+            }
+            let mean = tail_scores.iter().sum::<f64>() / tail_scores.len() as f64;
+            (mean, det.skipped_updates())
+        };
+        let (poisoned, skipped_always) = run(UpdatePolicy::Always);
+        let (filtered, skipped_filter) = run(UpdatePolicy::SkipAnomalous { quantile: 0.99 });
+        assert_eq!(skipped_always, 0);
+        assert!(skipped_filter > 400, "filter skipped only {skipped_filter}");
+        assert!(
+            poisoned < 0.6,
+            "burst tail should look normal under Always: {poisoned}"
+        );
+        assert!(
+            filtered > 0.9,
+            "burst tail should stay anomalous under filtering: {filtered}"
+        );
+    }
+
+    #[test]
+    fn filtering_policy_keeps_normal_accuracy() {
+        // On a stream with rare anomalies the filter must not hurt AUC.
+        let d = 16;
+        let (rows, labels) = planted_stream(400, 20, d, 3, 5);
+        let base = SketchDetector::new(
+            FrequentDirections::new(12, d),
+            3,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 32 },
+            64,
+        );
+        let mut filtered = base
+            .clone()
+            .with_update_policy(UpdatePolicy::SkipAnomalous { quantile: 0.98 });
+        check_separation("filtered", filtered.clone(), &rows, &labels);
+        let scores: Vec<f64> = rows.iter().map(|r| filtered.process(r)).collect();
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn decay_config_validation() {
+        assert!(std::panic::catch_unwind(|| DecayConfig::new(1.0, 5)).is_err());
+        assert!(std::panic::catch_unwind(|| DecayConfig::new(0.5, 0)).is_err());
+        let d = DecayConfig::new(0.9, 10);
+        assert_eq!(d.alpha, 0.9);
+    }
+}

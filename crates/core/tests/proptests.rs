@@ -1,0 +1,140 @@
+//! Property-based tests for the detection core.
+
+use proptest::prelude::*;
+use sketchad_core::{
+    DetectorConfig, QuantileEstimator, ScoreKind, StreamingDetector, SubspaceModel,
+};
+use sketchad_linalg::vecops;
+use sketchad_linalg::Matrix;
+
+/// Strategy: a non-degenerate sketch-like matrix.
+fn sketch_matrix(max_rows: usize, dim: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, dim..=dim),
+        2..=max_rows,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows).unwrap())
+    .prop_filter("needs nonzero mass", |m| m.squared_frobenius_norm() > 1e-6)
+}
+
+fn point(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, dim..=dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pythagoras: captured energy + residual = ‖y‖².
+    #[test]
+    fn projection_decomposition_is_pythagorean(
+        b in sketch_matrix(8, 6),
+        y in point(6),
+    ) {
+        let model = SubspaceModel::from_matrix(&b, 3, 1).unwrap();
+        let rec = model.reconstruct(&y);
+        let res = model.residual(&y);
+        // rec + res == y
+        for i in 0..6 {
+            prop_assert!((rec[i] + res[i] - y[i]).abs() < 1e-8);
+        }
+        // ‖res‖² == projection distance
+        let pd = model.projection_distance_sq(&y);
+        prop_assert!((vecops::norm2_sq(&res) - pd).abs() < 1e-7 * (1.0 + pd));
+        // residual ⟂ reconstruction
+        let cross = vecops::dot(&rec, &res);
+        prop_assert!(cross.abs() < 1e-6 * (1.0 + vecops::norm2_sq(&y)));
+    }
+
+    /// Scores are non-negative, finite, and relative projection is in [0,1].
+    #[test]
+    fn scores_are_well_behaved(
+        b in sketch_matrix(8, 5),
+        y in point(5),
+    ) {
+        let model = SubspaceModel::from_matrix(&b, 2, 1).unwrap();
+        for kind in [
+            ScoreKind::ProjectionDistance,
+            ScoreKind::RelativeProjection,
+            ScoreKind::Leverage,
+            ScoreKind::Blended { beta: 0.3 },
+        ] {
+            let s = kind.evaluate(&model, &y);
+            prop_assert!(s.is_finite(), "{:?} produced {}", kind, s);
+            prop_assert!(s >= 0.0, "{:?} produced {}", kind, s);
+        }
+        let rel = model.relative_projection_distance(&y);
+        prop_assert!((0.0..=1.0).contains(&rel));
+    }
+
+    /// Scaling a point leaves the relative projection unchanged but scales
+    /// the absolute projection quadratically.
+    #[test]
+    fn score_scaling_laws(
+        b in sketch_matrix(8, 5),
+        y in point(5),
+        c in 0.5f64..4.0,
+    ) {
+        let model = SubspaceModel::from_matrix(&b, 2, 1).unwrap();
+        let scaled: Vec<f64> = y.iter().map(|v| c * v).collect();
+        let rel_a = model.relative_projection_distance(&y);
+        let rel_b = model.relative_projection_distance(&scaled);
+        prop_assert!((rel_a - rel_b).abs() < 1e-8);
+        let abs_a = model.projection_distance_sq(&y);
+        let abs_b = model.projection_distance_sq(&scaled);
+        prop_assert!((abs_b - c * c * abs_a).abs() < 1e-6 * (1.0 + abs_b));
+    }
+
+    /// A detector never emits NaN/inf and respects warmup on any stream.
+    #[test]
+    fn detector_is_total(
+        rows in prop::collection::vec(point(4), 20..60),
+        warmup in 1usize..15,
+    ) {
+        let cfg = DetectorConfig::new(2, 8).with_warmup(warmup);
+        let mut det = cfg.build_fd(4);
+        for (i, r) in rows.iter().enumerate() {
+            let s = det.process(r);
+            prop_assert!(s.is_finite());
+            if i + 1 < warmup {
+                prop_assert_eq!(s, 0.0, "scored during warmup at {}", i);
+            }
+        }
+        prop_assert_eq!(det.processed(), rows.len() as u64);
+    }
+
+    /// The P² estimate always lies within the observed range.
+    #[test]
+    fn quantile_estimate_within_range(
+        values in prop::collection::vec(-1e3f64..1e3, 6..200),
+        q in 0.05f64..0.95,
+    ) {
+        let mut est = QuantileEstimator::new(q);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &values {
+            est.update(v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let e = est.estimate();
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9,
+            "estimate {} outside [{}, {}]", e, lo, hi);
+    }
+
+    /// Quantile monotonicity: a higher q never yields a smaller estimate on
+    /// the same data (checked on fresh estimators).
+    #[test]
+    fn quantile_monotone_in_q(
+        values in prop::collection::vec(0.0f64..100.0, 50..300),
+    ) {
+        let mut lo_est = QuantileEstimator::new(0.25);
+        let mut hi_est = QuantileEstimator::new(0.9);
+        for &v in &values {
+            lo_est.update(v);
+            hi_est.update(v);
+        }
+        // P² is approximate: allow slack proportional to the range.
+        prop_assert!(lo_est.estimate() <= hi_est.estimate() + 10.0,
+            "q=0.25 -> {}, q=0.9 -> {}", lo_est.estimate(), hi_est.estimate());
+    }
+}

@@ -1,0 +1,23 @@
+//! # sketchad-eval
+//!
+//! Evaluation machinery for the `sketchad` experiments: ranking metrics
+//! ([`metrics`]), score-fidelity statistics ([`correlation`]), wall-clock
+//! and latency measurement ([`timing`]), aligned text tables ([`table`]) and
+//! JSON result artifacts ([`report`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correlation;
+pub mod metrics;
+pub mod report;
+pub mod table;
+pub mod timing;
+
+pub use correlation::{mean_relative_error, pearson, spearman};
+pub use metrics::{
+    average_precision, best_f1, precision_at_k, prequential_auc, roc_auc, Confusion,
+};
+pub use report::{ExperimentReport, MethodResult, Series};
+pub use table::{fmt_f, fmt_opt, fmt_secs, Table};
+pub use timing::{LatencyStats, Stopwatch};

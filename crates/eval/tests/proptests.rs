@@ -1,0 +1,98 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use sketchad_eval::{
+    average_precision, best_f1, precision_at_k, prequential_auc, roc_auc, spearman,
+};
+
+/// Strategy: parallel scores/labels with both classes present.
+fn labeled_scores() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    prop::collection::vec((0.0f64..1.0, proptest::bool::ANY), 4..200).prop_filter_map(
+        "need both classes",
+        |pairs| {
+            let scores: Vec<f64> = pairs.iter().map(|&(s, _)| s).collect();
+            let labels: Vec<bool> = pairs.iter().map(|&(_, l)| l).collect();
+            if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
+                Some((scores, labels))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All ranking metrics stay in [0, 1].
+    #[test]
+    fn metrics_are_bounded((scores, labels) in labeled_scores()) {
+        let auc = roc_auc(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let ap = average_precision(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ap));
+        let f1 = best_f1(&scores, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let p = precision_at_k(&scores, &labels, 3).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Complementing the labels flips AUC around ½.
+    #[test]
+    fn auc_complement_symmetry((scores, labels) in labeled_scores()) {
+        let auc = roc_auc(&scores, &labels).unwrap();
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let auc_f = roc_auc(&scores, &flipped).unwrap();
+        prop_assert!((auc + auc_f - 1.0).abs() < 1e-9, "{} + {}", auc, auc_f);
+    }
+
+    /// Negating scores flips AUC around ½.
+    #[test]
+    fn auc_negation_symmetry((scores, labels) in labeled_scores()) {
+        let auc = roc_auc(&scores, &labels).unwrap();
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let auc_n = roc_auc(&neg, &labels).unwrap();
+        prop_assert!((auc + auc_n - 1.0).abs() < 1e-9);
+    }
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_monotone_invariance((scores, labels) in labeled_scores()) {
+        let a = roc_auc(&scores, &labels).unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|s| (3.0 * s).exp() + 7.0).collect();
+        let b = roc_auc(&transformed, &labels).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// An oracle that scores every anomaly above every normal gets AUC,
+    /// AP and best-F1 of exactly 1.
+    #[test]
+    fn oracle_scores_are_perfect(labels in prop::collection::vec(proptest::bool::ANY, 4..100)) {
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let scores: Vec<f64> = labels.iter().map(|&l| if l { 2.0 } else { 1.0 }).collect();
+        prop_assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+        prop_assert_eq!(average_precision(&scores, &labels), Some(1.0));
+        prop_assert_eq!(best_f1(&scores, &labels), Some(1.0));
+    }
+
+    /// Spearman self-correlation is 1 for any non-constant vector.
+    #[test]
+    fn spearman_self_is_one(x in prop::collection::vec(-100.0f64..100.0, 3..100)) {
+        prop_assume!(x.windows(2).any(|w| w[0] != w[1]));
+        let s = spearman(&x, &x).unwrap();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// Prequential AUC chunks tile the stream and agree with whole-stream
+    /// AUC when there is a single chunk.
+    #[test]
+    fn prequential_single_chunk_matches_global((scores, labels) in labeled_scores()) {
+        let n = scores.len();
+        let seq = prequential_auc(&scores, &labels, n);
+        prop_assert_eq!(seq.len(), 1);
+        prop_assert_eq!(seq[0].1, roc_auc(&scores, &labels));
+        // Chunk count for smaller chunks.
+        let seq = prequential_auc(&scores, &labels, 2);
+        prop_assert_eq!(seq.len(), n / 2);
+    }
+}

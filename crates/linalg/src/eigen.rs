@@ -1,0 +1,574 @@
+//! Symmetric eigendecomposition.
+//!
+//! Two routines:
+//!
+//! * [`jacobi_eigen_sym`] — cyclic Jacobi rotations; unconditionally stable,
+//!   `O(n³)` per sweep. Used for the small (ℓ×ℓ) Gram matrices arising from
+//!   sketches, where ℓ ≤ a few hundred.
+//! * [`subspace_iteration`] — block orthogonal iteration extracting only the
+//!   top-k eigenpairs of a large symmetric PSD matrix. Used by the exact-SVD
+//!   baseline detector on full `d × d` covariance matrices, where a dense
+//!   full decomposition would be needlessly cubic in `d`.
+
+use crate::error::{LinAlgError, Result};
+use crate::matrix::Matrix;
+use crate::qr::qr_thin;
+use crate::rng::{gaussian_matrix, seeded_rng};
+
+/// Eigendecomposition of a symmetric matrix: `S = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose **columns** are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Maximum Jacobi sweeps before declaring non-convergence.
+const MAX_JACOBI_SWEEPS: usize = 64;
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Eigenvalues are returned in descending order; the `i`-th column of
+/// `vectors` is the eigenvector for `values[i]`.
+///
+/// # Errors
+/// * [`LinAlgError::ShapeMismatch`] for non-square input.
+/// * [`LinAlgError::NotFinite`] for NaN/inf input.
+/// * [`LinAlgError::NoConvergence`] if the sweep budget is exhausted
+///   (practically unreachable for symmetric input).
+pub fn jacobi_eigen_sym(s: &Matrix) -> Result<SymEigen> {
+    let n = s.rows();
+    if s.rows() != s.cols() {
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (n, n),
+            got: s.shape(),
+            op: "jacobi_eigen_sym",
+        });
+    }
+    if !s.all_finite() {
+        return Err(LinAlgError::NotFinite { op: "jacobi_eigen_sym" });
+    }
+    if n == 0 {
+        return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    let mut a = s.clone();
+    let mut v = Matrix::identity(n);
+
+    // Convergence threshold relative to the matrix scale.
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+
+    for sweep in 0..MAX_JACOBI_SWEEPS {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(a[(i, j)].abs());
+            }
+        }
+        if off <= tol {
+            return Ok(finish_jacobi(a, v));
+        }
+        let _ = sweep;
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                // Compute the Jacobi rotation (c, s) annihilating a[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s_rot = t * c;
+
+                // A ← Jᵀ A J applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s_rot * akq;
+                    a[(k, q)] = s_rot * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s_rot * aqk;
+                    a[(q, k)] = s_rot * apk + c * aqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s_rot * vkq;
+                    v[(k, q)] = s_rot * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    Err(LinAlgError::NoConvergence { op: "jacobi_eigen_sym", iterations: MAX_JACOBI_SWEEPS })
+}
+
+/// Sorts eigenpairs in descending eigenvalue order.
+fn finish_jacobi(a: Matrix, v: Matrix) -> SymEigen {
+    let n = a.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+/// Size at which [`eigen_sym`] switches from cyclic Jacobi to the
+/// tridiagonal QL solver (QL is `O(n³)` with a much smaller constant;
+/// Jacobi is kept for small matrices where its accuracy is cheap).
+const JACOBI_CUTOFF: usize = 64;
+
+/// Full symmetric eigendecomposition, dispatching on size:
+/// cyclic Jacobi for `n ≤ 64`, Householder tridiagonalization + implicit QL
+/// for larger matrices.
+///
+/// # Errors
+/// Same conditions as [`jacobi_eigen_sym`].
+pub fn eigen_sym(s: &Matrix) -> Result<SymEigen> {
+    if s.rows() <= JACOBI_CUTOFF {
+        jacobi_eigen_sym(s)
+    } else {
+        tridiag_eigen_sym(s)
+    }
+}
+
+/// Full symmetric eigendecomposition via Householder tridiagonalization
+/// followed by the implicit-shift QL algorithm (the classical
+/// `tred2`/`tql2` pair). `O(n³)` with small constants; the workhorse for
+/// `n` in the hundreds (large sketch buffers, exact-baseline covariances).
+///
+/// # Errors
+/// * [`LinAlgError::ShapeMismatch`] for non-square input.
+/// * [`LinAlgError::NotFinite`] for NaN/inf input.
+/// * [`LinAlgError::NoConvergence`] if QL exceeds its iteration budget.
+pub fn tridiag_eigen_sym(s: &Matrix) -> Result<SymEigen> {
+    let n = s.rows();
+    if s.rows() != s.cols() {
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (n, n),
+            got: s.shape(),
+            op: "tridiag_eigen_sym",
+        });
+    }
+    if !s.all_finite() {
+        return Err(LinAlgError::NotFinite { op: "tridiag_eigen_sym" });
+    }
+    if n == 0 {
+        return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    // ---- tred2: Householder reduction to tridiagonal form. ----
+    // `z` accumulates the orthogonal transform; `d` diagonal, `e` off-diag.
+    let mut z = s.clone();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        let l = i;
+        if d[i] != 0.0 {
+            for j in 0..l {
+                let mut g = 0.0;
+                for k in 0..l {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..l {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        if i > 0 {
+            for k in 0..i {
+                z[(k, i)] = 0.0;
+                z[(i, k)] = 0.0;
+            }
+        }
+    }
+
+    // ---- tql2: implicit-shift QL on the tridiagonal (d, e). ----
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    const MAX_QL_ITERS: usize = 50;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small subdiagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERS {
+                return Err(LinAlgError::NoConvergence {
+                    op: "tridiag_eigen_sym",
+                    iterations: MAX_QL_ITERS,
+                });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s_rot = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s_rot * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s_rot = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s_rot + 2.0 * c * b;
+                p = s_rot * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s_rot * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s_rot * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = z[(row, old_col)];
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
+/// Top-`k` eigenpairs of a symmetric PSD matrix by block orthogonal
+/// (subspace) iteration with Rayleigh–Ritz extraction.
+///
+/// Converges geometrically at rate `λ_{k+1}/λ_k`; a small oversampling block
+/// (`k + 8`) is used internally to sharpen the trailing eigenpairs.
+///
+/// # Errors
+/// * [`LinAlgError::ShapeMismatch`] for non-square input.
+/// * [`LinAlgError::InvalidParameter`] when `k` is zero or exceeds `n`.
+pub fn subspace_iteration(
+    s: &Matrix,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> Result<SymEigen> {
+    let n = s.rows();
+    if s.rows() != s.cols() {
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (n, n),
+            got: s.shape(),
+            op: "subspace_iteration",
+        });
+    }
+    if k == 0 || k > n {
+        return Err(LinAlgError::InvalidParameter {
+            op: "subspace_iteration",
+            message: "k must satisfy 1 <= k <= n",
+        });
+    }
+
+    let block = (k + 8).min(n);
+    let mut rng = seeded_rng(seed);
+    let mut q = {
+        let g = gaussian_matrix(&mut rng, n, block, 1.0);
+        let (q0, _) = qr_thin(&g)?;
+        q0
+    };
+
+    for _ in 0..iterations.max(1) {
+        let z = s.matmul(&q)?;
+        let (qn, _) = qr_thin(&z)?;
+        q = qn;
+    }
+
+    // Rayleigh–Ritz: project S into the converged subspace and solve the
+    // small symmetric problem exactly.
+    let sq = s.matmul(&q)?;
+    let small = q.tr_matmul(&sq)?; // block × block
+    let eig = eigen_sym(&small)?;
+
+    // Lift the Ritz vectors back: columns of Q * W.
+    let lifted = q.matmul(&eig.vectors)?;
+
+    let values = eig.values[..k].to_vec();
+    let mut vectors = Matrix::zeros(n, k);
+    for col in 0..k {
+        for row in 0..n {
+            vectors[(row, col)] = lifted[(row, col)];
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{random_orthonormal_rows, seeded_rng};
+
+    /// Builds V diag(λ) Vᵀ with a random orthonormal V.
+    fn synth_sym(n: usize, eigs: &[f64], seed: u64) -> (Matrix, Matrix) {
+        assert_eq!(eigs.len(), n);
+        let mut rng = seeded_rng(seed);
+        let v = random_orthonormal_rows(&mut rng, n, n); // rows orthonormal => square orthogonal
+        let vt = v.transpose();
+        let d = Matrix::from_diag(eigs);
+        let s = vt.matmul(&d).unwrap().matmul(&v).unwrap();
+        (s, vt)
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let s = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen_sym(&s).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let s = Matrix::from_vec(2, 2, vec![2., 1., 1., 2.]).unwrap();
+        let e = jacobi_eigen_sym(&s).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0.0 - v0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_random_symmetric() {
+        let eigs = [9.0, 4.0, 1.0, 0.25, 0.0];
+        let (s, _) = synth_sym(5, &eigs, 21);
+        let e = jacobi_eigen_sym(&s).unwrap();
+        for (got, want) in e.values.iter().zip(eigs.iter()) {
+            assert!((got - want).abs() < 1e-9, "eig {got} vs {want}");
+        }
+        // V diag(λ) Vᵀ == S
+        let d = Matrix::from_diag(&e.values);
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(rec.sub(&s).unwrap().max_abs() < 1e-9);
+        // Vᵀ V == I
+        let g = e.vectors.tr_matmul(&e.vectors).unwrap();
+        assert!(g.sub(&Matrix::identity(5)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_rejects_nonsquare_and_nan() {
+        assert!(jacobi_eigen_sym(&Matrix::zeros(2, 3)).is_err());
+        let mut m = Matrix::identity(2);
+        m[(1, 1)] = f64::NAN;
+        assert!(jacobi_eigen_sym(&m).is_err());
+    }
+
+    #[test]
+    fn jacobi_empty_matrix() {
+        let e = jacobi_eigen_sym(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn tridiag_matches_jacobi_on_random_symmetric() {
+        let eigs = [12.0, 7.5, 3.0, 1.5, 0.8, 0.3, 0.1, 0.0];
+        let (s, _) = synth_sym(8, &eigs, 91);
+        let j = jacobi_eigen_sym(&s).unwrap();
+        let t = tridiag_eigen_sym(&s).unwrap();
+        for (a, b) in j.values.iter().zip(t.values.iter()) {
+            assert!((a - b).abs() < 1e-9, "eig {a} vs {b}");
+        }
+        // Reconstruction from the QL decomposition.
+        let d = Matrix::from_diag(&t.values);
+        let rec = t.vectors.matmul(&d).unwrap().matmul(&t.vectors.transpose()).unwrap();
+        assert!(rec.sub(&s).unwrap().max_abs() < 1e-9);
+        // Orthonormal vectors.
+        let g = t.vectors.tr_matmul(&t.vectors).unwrap();
+        assert!(g.sub(&Matrix::identity(8)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn tridiag_handles_larger_matrices() {
+        // 120×120 with known spectrum — above the Jacobi dispatch cutoff.
+        let n = 120;
+        let eigs: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let (s, _) = synth_sym(n, &eigs, 92);
+        let e = eigen_sym(&s).unwrap();
+        for (got, want) in e.values.iter().zip(eigs.iter()) {
+            assert!((got - want).abs() < 1e-7, "eig {got} vs {want}");
+        }
+        let d = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        assert!(rec.sub(&s).unwrap().max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn tridiag_diagonal_and_degenerate_cases() {
+        let s = Matrix::from_diag(&[3.0, 1.0, 2.0, 2.0]);
+        let e = tridiag_eigen_sym(&s).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 2.0, 1.0]);
+        // 1×1.
+        let s1 = Matrix::from_diag(&[5.0]);
+        let e1 = tridiag_eigen_sym(&s1).unwrap();
+        assert_eq!(e1.values, vec![5.0]);
+        // Zero matrix.
+        let z = Matrix::zeros(5, 5);
+        let ez = tridiag_eigen_sym(&z).unwrap();
+        assert!(ez.values.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn tridiag_rejects_bad_input() {
+        assert!(tridiag_eigen_sym(&Matrix::zeros(2, 3)).is_err());
+        let mut m = Matrix::identity(2);
+        m[(0, 0)] = f64::NAN;
+        assert!(tridiag_eigen_sym(&m).is_err());
+    }
+
+    #[test]
+    fn subspace_iteration_matches_jacobi_top_k() {
+        let eigs = [50.0, 20.0, 10.0, 1.0, 0.5, 0.2, 0.1, 0.05];
+        let (s, _) = synth_sym(8, &eigs, 33);
+        let top = subspace_iteration(&s, 3, 50, 7).unwrap();
+        for (got, want) in top.values.iter().zip(eigs.iter()) {
+            assert!((got - want).abs() < 1e-6, "eig {got} vs {want}");
+        }
+        // Residual check: ‖S v − λ v‖ small.
+        for j in 0..3 {
+            let v = top.vectors.col(j);
+            let sv = s.matvec(&v);
+            let lv: Vec<f64> = v.iter().map(|x| x * top.values[j]).collect();
+            let res: f64 = sv
+                .iter()
+                .zip(lv.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-5, "residual {res} for pair {j}");
+        }
+    }
+
+    #[test]
+    fn subspace_iteration_parameter_validation() {
+        let s = Matrix::identity(4);
+        assert!(subspace_iteration(&s, 0, 10, 1).is_err());
+        assert!(subspace_iteration(&s, 5, 10, 1).is_err());
+        assert!(subspace_iteration(&Matrix::zeros(2, 3), 1, 10, 1).is_err());
+    }
+
+    #[test]
+    fn subspace_iteration_full_k_equals_n() {
+        let eigs = [4.0, 3.0, 2.0, 1.0];
+        let (s, _) = synth_sym(4, &eigs, 5);
+        let e = subspace_iteration(&s, 4, 60, 2).unwrap();
+        for (got, want) in e.values.iter().zip(eigs.iter()) {
+            assert!((got - want).abs() < 1e-7);
+        }
+    }
+}

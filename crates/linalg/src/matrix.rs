@@ -1,0 +1,668 @@
+//! Dense row-major matrix of `f64` values.
+//!
+//! This is the workhorse type of the workspace. It is deliberately simple:
+//! a contiguous `Vec<f64>` in row-major order plus dimensions. All sketch
+//! matrices in this project are short-and-wide (ℓ×d with ℓ ≪ d), so row-major
+//! storage makes the hot kernels (row updates, Gram products) cache-friendly.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LinAlgError, Result};
+use crate::vecops;
+
+/// A dense, row-major, heap-allocated matrix of `f64`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawMatrix")]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Unvalidated wire form of [`Matrix`]; deserialization goes through
+/// [`TryFrom`] so shape/data inconsistencies are rejected.
+#[derive(Deserialize)]
+struct RawMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl TryFrom<RawMatrix> for Matrix {
+    type Error = String;
+
+    fn try_from(raw: RawMatrix) -> std::result::Result<Self, Self::Error> {
+        if raw.data.len() != raw.rows * raw.cols {
+            return Err(format!(
+                "matrix payload has {} elements for shape {}x{}",
+                raw.data.len(),
+                raw.rows,
+                raw.cols
+            ));
+        }
+        Ok(Matrix { rows: raw.rows, cols: raw.cols, data: raw.data })
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix where every element is `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinAlgError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+                op: "Matrix::from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    ///
+    /// # Errors
+    /// Returns [`LinAlgError::ShapeMismatch`] when rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinAlgError::ShapeMismatch {
+                    expected: (1, cols),
+                    got: (1, r.len()),
+                    op: "Matrix::from_rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a square diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Mutably borrow two distinct rows at once.
+    ///
+    /// # Panics
+    /// Panics when `i == j` or either index is out of bounds.
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(i != j, "two_rows_mut requires distinct indices");
+        assert!(i < self.rows && j < self.rows, "row index out of bounds");
+        let c = self.cols;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * c);
+            (&mut a[i * c..(i + 1) * c], &mut b[..c])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * c);
+            let (rj, ri) = (&mut a[j * c..(j + 1) * c], &mut b[..c]);
+            (ri, rj)
+        }
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Set row `i` from a slice.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or `i` is out of bounds.
+    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "set_row length mismatch");
+        self.row_mut(i).copy_from_slice(values);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                for i in ib..(ib + B).min(self.rows) {
+                    for j in jb..(jb + B).min(self.cols) {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop runs over contiguous rows
+    /// of both the accumulator and `rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinAlgError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.cols, 0),
+                got: (rhs.rows, rhs.cols),
+                op: "Matrix::matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                vecops::axpy(aik, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.rows, 0),
+                got: (rhs.rows, rhs.cols),
+                op: "Matrix::tr_matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (i, &ari) in a_row.iter().enumerate() {
+                if ari == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                vecops::axpy(ari, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (`cols × cols`), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..d {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let grow = &mut g.data[i * d..(i + 1) * d];
+                for j in i..d {
+                    grow[j] += ri * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..d {
+            for j in 0..i {
+                g.data[i * d + j] = g.data[j * d + i];
+            }
+        }
+        g
+    }
+
+    /// Outer Gram matrix `self * selfᵀ` (`rows × rows`), exploiting symmetry.
+    pub fn outer_gram(&self) -> Matrix {
+        let n = self.rows;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            let ri = self.row(i);
+            for j in i..n {
+                let v = vecops::dot(ri, self.row(j));
+                g.data[i * n + j] = v;
+                g.data[j * n + i] = v;
+            }
+        }
+        g
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec length mismatch");
+        self.iter_rows().map(|r| vecops::dot(r, x)).collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_matvec length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, row) in self.iter_rows().enumerate() {
+            vecops::axpy(x[i], row, &mut out);
+        }
+        out
+    }
+
+    /// Elementwise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "Matrix::add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "Matrix::sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: self.shape(),
+                got: rhs.shape(),
+                op,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(s);
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.squared_frobenius_norm().sqrt()
+    }
+
+    /// Squared Frobenius norm `Σ aᵢⱼ²`.
+    pub fn squared_frobenius_norm(&self) -> f64 {
+        vecops::dot(&self.data, &self.data)
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Sub-matrix of the first `r` rows (copies).
+    ///
+    /// # Panics
+    /// Panics when `r > rows`.
+    pub fn top_rows(&self, r: usize) -> Matrix {
+        assert!(r <= self.rows, "top_rows: {r} > {}", self.rows);
+        Matrix {
+            rows: r,
+            cols: self.cols,
+            data: self.data[..r * self.cols].to_vec(),
+        }
+    }
+
+    /// Extract a copy of the rows selected by `indices` (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (oi, &i) in indices.iter().enumerate() {
+            out.set_row(oi, self.row(i));
+        }
+        out
+    }
+
+    /// Append a row, growing the matrix by one row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != cols` (for a non-empty matrix).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Symmetric check up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Matrix::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![6., 5., 4., 3., 2., 1.]).unwrap();
+        let fast = a.tr_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn gram_matches_tr_matmul_self() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let g = a.gram();
+        let g2 = a.tr_matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], g2[(i, j)]));
+            }
+        }
+        assert!(g.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn outer_gram_matches_matmul_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 0., 2., -1., 3., 1.]).unwrap();
+        let g = a.outer_gram();
+        let g2 = a.matmul(&a.transpose()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], g2[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec_agree_with_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let x = [1.0, -1.0, 2.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![5.0, 11.0]);
+        let z = a.tr_matvec(&[1.0, 1.0]);
+        assert_eq!(z, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn two_rows_mut_both_orders() {
+        let mut m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        {
+            let (a, b) = m.two_rows_mut(0, 2);
+            std::mem::swap(&mut a[0], &mut b[0]);
+        }
+        assert_eq!(m[(0, 0)], 5.0);
+        assert_eq!(m[(2, 0)], 1.0);
+        {
+            let (a, b) = m.two_rows_mut(2, 0);
+            std::mem::swap(&mut a[1], &mut b[1]);
+        }
+        assert_eq!(m[(2, 1)], 2.0);
+        assert_eq!(m[(0, 1)], 6.0);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = Matrix::from_vec(2, 2, vec![3., 0., 0., 4.]).unwrap();
+        assert!(approx(m.frobenius_norm(), 5.0));
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_and_add_sub() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let b = Matrix::identity(2);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c[(0, 0)], 3.0);
+        let d = c.sub(&b).unwrap();
+        assert_eq!(d, a);
+        assert_eq!(a.scaled(0.5)[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let mut m = Matrix::identity(3);
+        assert!(m.is_symmetric(0.0));
+        m[(0, 1)] = 0.5;
+        assert!(!m.is_symmetric(1e-9));
+    }
+}

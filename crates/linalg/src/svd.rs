@@ -1,0 +1,465 @@
+//! Thin singular value decomposition.
+//!
+//! Two routes are provided:
+//!
+//! * [`svd_thin`] — the *Gram route*: eigendecompose the smaller of `A Aᵀ`
+//!   or `Aᵀ A` with Jacobi, then recover the other factor. For the
+//!   short-and-wide sketch matrices in this project (ℓ ≪ d) this costs
+//!   `O(ℓ²d + ℓ³)` and is the default. It loses accuracy for singular values
+//!   below `√ε·σ₁`, which is irrelevant for top-k extraction with k ≪ ℓ.
+//! * [`svd_jacobi`] — one-sided Jacobi on the columns; slower but accurate to
+//!   full precision for all singular values. Kept as the reference
+//!   implementation and for the `svd_routes` ablation bench.
+
+use crate::error::{LinAlgError, Result};
+use crate::matrix::Matrix;
+use crate::rng::{random_unit_vector, seeded_rng};
+use crate::vecops;
+
+/// Thin SVD `A = U diag(s) Vᵀ` with `U: m×r`, `s: r`, `Vᵀ: r×n`, `r = min(m,n)`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values in descending order (non-negative).
+    pub s: Vec<f64>,
+    /// Right singular vectors (rows of `vt`).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Effective numerical rank: number of singular values above
+    /// `rel_tol * s[0]`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        if self.s.is_empty() || self.s[0] <= 0.0 {
+            return 0;
+        }
+        let thresh = rel_tol * self.s[0];
+        self.s.iter().take_while(|&&v| v > thresh).count()
+    }
+
+    /// Reconstructs `U diag(s) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for (j, &sv) in self.s.iter().enumerate() {
+                us[(i, j)] *= sv;
+            }
+        }
+        us.matmul(&self.vt).expect("shape by construction")
+    }
+
+    /// Truncates to the top `k` singular triplets (`k` is clamped to `r`).
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.s.len());
+        let mut u = Matrix::zeros(self.u.rows(), k);
+        for i in 0..self.u.rows() {
+            for j in 0..k {
+                u[(i, j)] = self.u[(i, j)];
+            }
+        }
+        Svd { u, s: self.s[..k].to_vec(), vt: self.vt.top_rows(k) }
+    }
+}
+
+/// Relative cutoff below which singular values are treated as zero when
+/// recovering the paired factor.
+const SIGMA_REL_TOL: f64 = 1e-10;
+
+/// Thin SVD via the Gram route (default, fast for ℓ ≪ d sketches).
+///
+/// # Errors
+/// * [`LinAlgError::EmptyInput`] for an empty matrix.
+/// * [`LinAlgError::NotFinite`] for NaN/inf input.
+/// * Propagates eigensolver failures.
+pub fn svd_thin(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinAlgError::EmptyInput { op: "svd_thin" });
+    }
+    if !a.all_finite() {
+        return Err(LinAlgError::NotFinite { op: "svd_thin" });
+    }
+
+    if m <= n {
+        // Eigendecompose A Aᵀ (m×m): A Aᵀ = U diag(σ²) Uᵀ.
+        let g = a.outer_gram();
+        let eig = crate::eigen::eigen_sym(&g)?;
+        let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let u = eig.vectors; // m×m, columns are left singular vectors
+        // Recover Vᵀ rows: vᵢ = Aᵀ uᵢ / σᵢ.
+        let ut = u.transpose(); // m×m; row i = uᵢ
+        let mut vt = ut.matmul(a)?; // m×n; row i = uᵢᵀ A = σᵢ vᵢᵀ
+        let sigma_max = s.first().copied().unwrap_or(0.0);
+        let tol = SIGMA_REL_TOL * sigma_max.max(f64::MIN_POSITIVE);
+        let mut degenerate = Vec::new();
+        for i in 0..m {
+            if s[i] > tol {
+                vecops::scale(1.0 / s[i], vt.row_mut(i));
+            } else {
+                degenerate.push(i);
+            }
+        }
+        complete_rows(&mut vt, &degenerate, 0x5eed_57d0);
+        Ok(Svd { u, s, vt })
+    } else {
+        // Eigendecompose Aᵀ A (n×n): Aᵀ A = V diag(σ²) Vᵀ.
+        let g = a.gram();
+        let eig = crate::eigen::eigen_sym(&g)?;
+        let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.vectors; // n×n, columns are right singular vectors
+        // Recover U columns: uᵢ = A vᵢ / σᵢ.
+        let mut u = a.matmul(&v)?; // m×n; column i = A vᵢ = σᵢ uᵢ
+        let sigma_max = s.first().copied().unwrap_or(0.0);
+        let tol = SIGMA_REL_TOL * sigma_max.max(f64::MIN_POSITIVE);
+        let mut degenerate = Vec::new();
+        for j in 0..n {
+            if s[j] > tol {
+                let inv = 1.0 / s[j];
+                for i in 0..m {
+                    u[(i, j)] *= inv;
+                }
+            } else {
+                degenerate.push(j);
+            }
+        }
+        complete_cols(&mut u, &degenerate, 0x5eed_57d1);
+        Ok(Svd { u, s, vt: v.transpose() })
+    }
+}
+
+/// Thin SVD of `a` truncated to the top `k` triplets.
+///
+/// # Errors
+/// See [`svd_thin`]; additionally `k = 0` is invalid.
+pub fn top_k_svd(a: &Matrix, k: usize) -> Result<Svd> {
+    if k == 0 {
+        return Err(LinAlgError::InvalidParameter {
+            op: "top_k_svd",
+            message: "k must be positive",
+        });
+    }
+    Ok(svd_thin(a)?.truncate(k))
+}
+
+/// Maximum one-sided Jacobi sweeps.
+const MAX_ONESIDED_SWEEPS: usize = 64;
+
+/// Thin SVD via one-sided Jacobi rotations (reference implementation).
+///
+/// # Errors
+/// Same conditions as [`svd_thin`], plus [`LinAlgError::NoConvergence`] when
+/// the sweep budget is exhausted.
+pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinAlgError::EmptyInput { op: "svd_jacobi" });
+    }
+    if !a.all_finite() {
+        return Err(LinAlgError::NotFinite { op: "svd_jacobi" });
+    }
+    if m < n {
+        // Work on the transpose and swap the factors.
+        let svd = svd_jacobi(&a.transpose())?;
+        return Ok(Svd { u: svd.vt.transpose(), s: svd.s, vt: svd.u.transpose() });
+    }
+
+    let mut b = a.clone(); // m×n, columns will be rotated to orthogonality
+    let mut v = Matrix::identity(n);
+    let eps = 1e-15;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_ONESIDED_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for i in 0..m {
+                    let bp = b[(i, p)];
+                    let bq = b[(i, q)];
+                    alpha += bp * bp;
+                    beta += bq * bq;
+                    gamma += bp * bq;
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = {
+                    let sign = if zeta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (zeta.abs() + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s_rot = c * t;
+                for i in 0..m {
+                    let bp = b[(i, p)];
+                    let bq = b[(i, q)];
+                    b[(i, p)] = c * bp - s_rot * bq;
+                    b[(i, q)] = s_rot * bp + c * bq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s_rot * vq;
+                    v[(i, q)] = s_rot * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinAlgError::NoConvergence {
+            op: "svd_jacobi",
+            iterations: MAX_ONESIDED_SWEEPS,
+        });
+    }
+
+    // Extract singular values (column norms) and sort descending.
+    let mut sigma: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = (0..m).map(|i| b[(i, j)] * b[(i, j)]).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    sigma.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms"));
+
+    let s: Vec<f64> = sigma.iter().map(|&(v, _)| v).collect();
+    let sigma_max = s.first().copied().unwrap_or(0.0);
+    let tol = SIGMA_REL_TOL * sigma_max.max(f64::MIN_POSITIVE);
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut degenerate_u = Vec::new();
+    for (new_j, &(norm, old_j)) in sigma.iter().enumerate() {
+        if norm > tol {
+            let inv = 1.0 / norm;
+            for i in 0..m {
+                u[(i, new_j)] = b[(i, old_j)] * inv;
+            }
+        } else {
+            degenerate_u.push(new_j);
+        }
+        for i in 0..n {
+            vt[(new_j, i)] = v[(i, old_j)];
+        }
+    }
+    complete_cols(&mut u, &degenerate_u, 0x5eed_57d2);
+
+    Ok(Svd { u, s, vt })
+}
+
+/// Replaces the rows listed in `degenerate` with unit vectors orthonormal to
+/// all other rows (deterministic given `seed`).
+fn complete_rows(m: &mut Matrix, degenerate: &[usize], seed: u64) {
+    if degenerate.is_empty() {
+        return;
+    }
+    let mut rng = seeded_rng(seed);
+    let cols = m.cols();
+    // Rows still pending replacement: must not be orthogonalized against,
+    // since they hold stale (unnormalized) data. Once filled, a degenerate
+    // row becomes a valid basis row for subsequent candidates.
+    let mut pending: Vec<usize> = degenerate.to_vec();
+    for &row in degenerate {
+        loop {
+            let mut cand = random_unit_vector(&mut rng, cols);
+            // Two Gram–Schmidt passes for robustness.
+            for _ in 0..2 {
+                for other in 0..m.rows() {
+                    if pending.contains(&other) {
+                        continue;
+                    }
+                    let c = vecops::dot(&cand, m.row(other));
+                    let other_row = m.row(other).to_vec();
+                    vecops::axpy(-c, &other_row, &mut cand);
+                }
+            }
+            if vecops::normalize(&mut cand) > 1e-8 {
+                m.set_row(row, &cand);
+                pending.retain(|&r| r != row);
+                break;
+            }
+        }
+    }
+}
+
+/// Replaces the columns listed in `degenerate` with unit vectors orthonormal
+/// to all other columns (deterministic given `seed`).
+fn complete_cols(m: &mut Matrix, degenerate: &[usize], seed: u64) {
+    if degenerate.is_empty() {
+        return;
+    }
+    let mut t = m.transpose();
+    complete_rows(&mut t, degenerate, seed);
+    *m = t.transpose();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{gaussian_matrix, random_orthonormal_rows, seeded_rng};
+
+    fn check_svd(a: &Matrix, svd: &Svd, tol: f64) {
+        let (m, n) = a.shape();
+        let r = m.min(n);
+        assert_eq!(svd.u.shape(), (m, r));
+        assert_eq!(svd.s.len(), r);
+        assert_eq!(svd.vt.shape(), (r, n));
+        // Non-negative, descending.
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not descending: {:?}", svd.s);
+        }
+        assert!(svd.s.iter().all(|&v| v >= 0.0));
+        // Reconstruction.
+        let rec = svd.reconstruct();
+        let err = rec.sub(a).unwrap().max_abs();
+        assert!(err < tol, "reconstruction error {err} (tol {tol})");
+        // Orthonormality.
+        let utu = svd.u.tr_matmul(&svd.u).unwrap();
+        assert!(utu.sub(&Matrix::identity(r)).unwrap().max_abs() < tol);
+        let vvt = svd.vt.matmul(&svd.vt.transpose()).unwrap();
+        assert!(vvt.sub(&Matrix::identity(r)).unwrap().max_abs() < tol);
+    }
+
+    #[test]
+    fn svd_thin_wide_random() {
+        let mut rng = seeded_rng(101);
+        let a = gaussian_matrix(&mut rng, 12, 40, 1.0);
+        let svd = svd_thin(&a).unwrap();
+        check_svd(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn svd_thin_tall_random() {
+        let mut rng = seeded_rng(102);
+        let a = gaussian_matrix(&mut rng, 40, 12, 1.0);
+        let svd = svd_thin(&a).unwrap();
+        check_svd(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn svd_thin_square_random() {
+        let mut rng = seeded_rng(103);
+        let a = gaussian_matrix(&mut rng, 15, 15, 2.0);
+        let svd = svd_thin(&a).unwrap();
+        check_svd(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn svd_known_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 5.0, 1.0]);
+        let svd = svd_thin(&a).unwrap();
+        assert!((svd.s[0] - 5.0).abs() < 1e-10);
+        assert!((svd.s[1] - 3.0).abs() < 1e-10);
+        assert!((svd.s[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_rank_deficient_completes_basis() {
+        // Rank-1 matrix, 3×4: remaining singular vectors must still be orthonormal.
+        let mut a = Matrix::zeros(3, 4);
+        for j in 0..4 {
+            a[(0, j)] = 1.0;
+            a[(1, j)] = 2.0;
+            a[(2, j)] = -1.0;
+        }
+        let svd = svd_thin(&a).unwrap();
+        check_svd(&a, &svd, 1e-8);
+        assert_eq!(svd.rank(1e-8), 1);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(3, 5);
+        let svd = svd_thin(&a).unwrap();
+        assert!(svd.s.iter().all(|&v| v == 0.0));
+        assert_eq!(svd.rank(1e-8), 0);
+        // Completed singular vectors remain orthonormal.
+        let utu = svd.u.tr_matmul(&svd.u).unwrap();
+        assert!(utu.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_jacobi_matches_gram_route() {
+        let mut rng = seeded_rng(104);
+        let a = gaussian_matrix(&mut rng, 10, 24, 1.0);
+        let s1 = svd_thin(&a).unwrap();
+        let s2 = svd_jacobi(&a).unwrap();
+        check_svd(&a, &s2, 1e-9);
+        for (a1, a2) in s1.s.iter().zip(s2.s.iter()) {
+            assert!((a1 - a2).abs() < 1e-7, "σ mismatch {a1} vs {a2}");
+        }
+    }
+
+    #[test]
+    fn svd_jacobi_tall() {
+        let mut rng = seeded_rng(105);
+        let a = gaussian_matrix(&mut rng, 30, 8, 1.0);
+        let svd = svd_jacobi(&a).unwrap();
+        check_svd(&a, &svd, 1e-9);
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues() {
+        let mut rng = seeded_rng(106);
+        let a = gaussian_matrix(&mut rng, 9, 20, 1.0);
+        let svd = svd_thin(&a).unwrap();
+        let g = a.gram();
+        let eig = crate::eigen::jacobi_eigen_sym(&g).unwrap();
+        for i in 0..9 {
+            let want = eig.values[i].max(0.0).sqrt();
+            assert!((svd.s[i] - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn truncate_keeps_top_triplets() {
+        let mut rng = seeded_rng(107);
+        let a = gaussian_matrix(&mut rng, 10, 10, 1.0);
+        let svd = svd_thin(&a).unwrap();
+        let t = svd.truncate(3);
+        assert_eq!(t.s.len(), 3);
+        assert_eq!(t.u.shape(), (10, 3));
+        assert_eq!(t.vt.shape(), (3, 10));
+        assert_eq!(&t.s[..], &svd.s[..3]);
+        // Truncation beyond r clamps.
+        let t2 = svd.truncate(99);
+        assert_eq!(t2.s.len(), 10);
+    }
+
+    #[test]
+    fn top_k_svd_low_rank_recovery() {
+        // Planted rank-3 matrix: top-3 SVD must reconstruct it.
+        let mut rng = seeded_rng(108);
+        let u = random_orthonormal_rows(&mut rng, 3, 20).transpose(); // 20×3
+        let vt = random_orthonormal_rows(&mut rng, 3, 30); // 3×30
+        let d = Matrix::from_diag(&[10.0, 5.0, 2.0]);
+        let a = u.matmul(&d).unwrap().matmul(&vt).unwrap();
+        let svd = top_k_svd(&a, 3).unwrap();
+        assert!((svd.s[0] - 10.0).abs() < 1e-8);
+        assert!((svd.s[1] - 5.0).abs() < 1e-8);
+        assert!((svd.s[2] - 2.0).abs() < 1e-8);
+        let rec = svd.reconstruct();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn top_k_rejects_zero_k() {
+        assert!(top_k_svd(&Matrix::identity(3), 0).is_err());
+    }
+
+    #[test]
+    fn svd_rejects_empty_and_nan() {
+        assert!(svd_thin(&Matrix::zeros(0, 2)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::INFINITY;
+        assert!(svd_thin(&a).is_err());
+        assert!(svd_jacobi(&a).is_err());
+    }
+}

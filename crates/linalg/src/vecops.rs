@@ -1,0 +1,205 @@
+//! Vector kernels over `&[f64]` slices.
+//!
+//! These free functions are the innermost loops of every sketch update and
+//! score computation, so they are written to auto-vectorize: straight-line
+//! iterator chains over contiguous slices, no bounds checks in the hot path.
+
+/// Dot product `Σ aᵢ bᵢ`.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    // Four-lane manual unroll: keeps independent accumulator chains so the
+    // compiler can vectorize without needing -ffast-math reassociation.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `y ← y + alpha * x`.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha * y`.
+#[inline]
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// ℓ₁ norm `Σ |xᵢ|`.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// ℓ∞ norm `max |xᵢ|`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Normalizes `x` to unit Euclidean length in place; returns the original norm.
+///
+/// A zero vector is left unchanged and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Squared Euclidean distance `‖a − b‖₂²`.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Elementwise subtraction into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect()
+}
+
+/// Elementwise addition into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+/// True when every element is finite.
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Gram–Schmidt: removes from `v` its components along each (unit-norm) row of
+/// `basis`, iterating twice for numerical robustness ("twice is enough").
+pub fn orthogonalize_against(v: &mut [f64], basis: &[&[f64]]) {
+    for _ in 0..2 {
+        for b in basis {
+            let c = dot(v, b);
+            axpy(-c, b, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_values() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // Length > 4 exercises the unrolled path plus tail.
+        let a: Vec<f64> = (1..=9).map(f64::from).collect();
+        let expect: f64 = a.iter().map(|v| v * v).sum();
+        assert_eq!(dot(&a, &a), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms_known_values() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm2_sq(&x), 25.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn normalize_unit_length_and_zero_vector() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist_sq_symmetry() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(dist_sq(&a, &b), 25.0);
+        assert_eq!(dist_sq(&b, &a), 25.0);
+    }
+
+    #[test]
+    fn orthogonalize_removes_component() {
+        let e1 = [1.0, 0.0, 0.0];
+        let e2 = [0.0, 1.0, 0.0];
+        let mut v = vec![3.0, 4.0, 5.0];
+        orthogonalize_against(&mut v, &[&e1, &e2]);
+        assert!(v[0].abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12);
+        assert!((v[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0];
+        let b = [0.5, -0.5];
+        assert_eq!(sub(&add(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

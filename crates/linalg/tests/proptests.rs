@@ -1,0 +1,136 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use sketchad_linalg::eigen::jacobi_eigen_sym;
+use sketchad_linalg::power::spectral_norm;
+use sketchad_linalg::qr::qr_thin;
+use sketchad_linalg::svd::svd_thin;
+use sketchad_linalg::vecops;
+use sketchad_linalg::Matrix;
+
+/// Strategy: a matrix with bounded entries and small-but-varied shape.
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(-100.0f64..100.0, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+        })
+}
+
+/// Strategy: a symmetric matrix built as M + Mᵀ.
+fn symmetric_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n)
+        .prop_flat_map(|n| {
+            prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
+                let m = Matrix::from_vec(n, n, data).unwrap();
+                m.add(&m.transpose()).unwrap()
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(a in matrix_strategy(12, 12)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(6, 6),
+        bdata in prop::collection::vec(-10.0f64..10.0, 36),
+        cdata in prop::collection::vec(-10.0f64..10.0, 36),
+    ) {
+        let n = a.cols();
+        let b = Matrix::from_vec(n, 6, bdata[..n * 6].to_vec()).unwrap();
+        let c = Matrix::from_vec(6, 4, cdata[..24].to_vec()).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        let diff = left.sub(&right).unwrap().max_abs();
+        let scale = left.max_abs().max(1.0);
+        prop_assert!(diff / scale < 1e-10, "assoc diff {}", diff);
+    }
+
+    #[test]
+    fn gram_is_psd(a in matrix_strategy(10, 8)) {
+        let g = a.gram();
+        prop_assert!(g.is_symmetric(1e-9 * g.max_abs().max(1.0)));
+        // xᵀGx >= 0 for a few deterministic probes.
+        let d = g.rows();
+        for probe in 0..3usize {
+            let x: Vec<f64> = (0..d).map(|i| ((i + probe * 7 + 1) as f64).sin()).collect();
+            let gx = g.matvec(&x);
+            let quad = vecops::dot(&x, &gx);
+            prop_assert!(quad >= -1e-8 * g.max_abs().max(1.0), "quad {}", quad);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_orthogonal(a in matrix_strategy(10, 10)) {
+        let (q, r) = qr_thin(&a).unwrap();
+        let rec = q.matmul(&r).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(rec.sub(&a).unwrap().max_abs() / scale < 1e-9);
+        let k = a.rows().min(a.cols());
+        let qtq = q.tr_matmul(&q).unwrap();
+        prop_assert!(qtq.sub(&Matrix::identity(k)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy(9, 9)) {
+        let svd = svd_thin(&a).unwrap();
+        let rec = svd.reconstruct();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(rec.sub(&a).unwrap().max_abs() / scale < 1e-7,
+            "svd reconstruction error {}", rec.sub(&a).unwrap().max_abs());
+        // Singular values descending and non-negative.
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] + 1e-12 >= w[1]);
+        }
+        prop_assert!(svd.s.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix_strategy(8, 10)) {
+        // ‖A‖_F² == Σ σᵢ².
+        let svd = svd_thin(&a).unwrap();
+        let sum_sq: f64 = svd.s.iter().map(|v| v * v).sum();
+        let fro = a.squared_frobenius_norm();
+        prop_assert!((sum_sq - fro).abs() / fro.max(1.0) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigen_trace_identity(s in symmetric_strategy(8)) {
+        // tr(S) == Σ λᵢ and eigenvectors are orthonormal.
+        let e = jacobi_eigen_sym(&s).unwrap();
+        let trace: f64 = (0..s.rows()).map(|i| s[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() / trace.abs().max(1.0) < 1e-9);
+        let n = s.rows();
+        let vtv = e.vectors.tr_matmul(&e.vectors).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_frobenius(a in matrix_strategy(8, 8)) {
+        let s2 = spectral_norm(&a, 200, 99);
+        let fro = a.frobenius_norm();
+        prop_assert!(s2 <= fro * (1.0 + 1e-9), "spectral {} > frobenius {}", s2, fro);
+        // And at least fro / sqrt(rank) >= fro / sqrt(min dim).
+        let r = a.rows().min(a.cols()) as f64;
+        prop_assert!(s2 * r.sqrt() >= fro * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        x in prop::collection::vec(-50.0f64..50.0, 1..40),
+        y in prop::collection::vec(-50.0f64..50.0, 1..40),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let d = vecops::dot(x, y).abs();
+        let bound = vecops::norm2(x) * vecops::norm2(y);
+        prop_assert!(d <= bound * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,282 @@
+//! CountSketch — the O(d)-per-row hashing sketch.
+//!
+//! Each stream row `y_t` is assigned a bucket `h(t) ∈ [ℓ]` and a sign
+//! `g(t) ∈ {±1}`; the sketch adds `g(t)·y_t` into bucket row `h(t)`. This is
+//! `B = S·A` for the sparse embedding matrix `S` with one ±1 per column, so
+//! `E[BᵀB] = AᵀA`, and `S` is an oblivious subspace embedding for
+//! `ℓ = Ω(k²/ε²)` (Clarkson–Woodruff). It trades a larger required ℓ for the
+//! cheapest possible update: one signed vector addition, no multiplies by
+//! random values.
+//!
+//! Hashing is done on the running row counter with a SplitMix64-style mixer,
+//! so the sketch needs no per-row storage and replays deterministically.
+
+use sketchad_linalg::vecops;
+use sketchad_linalg::Matrix;
+
+use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
+
+/// Sparse-embedding (CountSketch) matrix sketch.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    ell: usize,
+    dim: usize,
+    seed: u64,
+    b: Matrix,
+    rows_seen: u64,
+    /// Absolute stream position used for hashing; unlike `rows_seen` it is
+    /// preserved across [`CountSketch::fork_empty`] so forked sketches stay
+    /// hash-aligned with their parent.
+    stream_pos: u64,
+    frobenius_sq: f64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer, used as a deterministic
+/// hash of (seed, counter).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CountSketch {
+    /// Creates an empty CountSketch with `ell` buckets over dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `ell == 0` or `dim == 0`.
+    pub fn new(ell: usize, dim: usize, seed: u64) -> Self {
+        assert!(ell > 0, "sketch size ℓ must be positive");
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            ell,
+            dim,
+            seed,
+            b: Matrix::zeros(ell, dim),
+            rows_seen: 0,
+            stream_pos: 0,
+            frobenius_sq: 0.0,
+        }
+    }
+
+    /// Returns an empty sketch that shares this sketch's hash family *and
+    /// stream position*: rows fed to both in lockstep hash identically, so
+    /// the fork's sketch can later be [`subtract`](Self::subtract)ed from the
+    /// parent to delete that suffix exactly.
+    pub fn fork_empty(&self) -> CountSketch {
+        CountSketch {
+            ell: self.ell,
+            dim: self.dim,
+            seed: self.seed,
+            b: Matrix::zeros(self.ell, self.dim),
+            rows_seen: 0,
+            stream_pos: self.stream_pos,
+            frobenius_sq: 0.0,
+        }
+    }
+
+    /// Bucket and sign for stream index `t`.
+    #[inline]
+    fn bucket_sign(&self, t: u64) -> (usize, f64) {
+        let h = mix64(self.seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let bucket = (h % self.ell as u64) as usize;
+        let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+        (bucket, sign)
+    }
+
+    /// Subtracts another CountSketch built with the *same seed and aligned
+    /// stream offsets* (exact deletion by linearity).
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn subtract(&mut self, other: &CountSketch) {
+        assert_eq!(self.b.shape(), other.b.shape(), "sketch shape mismatch");
+        for i in 0..self.ell {
+            let src = other.b.row(i).to_vec();
+            vecops::axpy(-1.0, &src, self.b.row_mut(i));
+        }
+        self.frobenius_sq = (self.frobenius_sq - other.frobenius_sq).max(0.0);
+        self.rows_seen = self.rows_seen.saturating_sub(other.rows_seen);
+    }
+}
+
+impl MatrixSketch for CountSketch {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn capacity(&self) -> usize {
+        self.ell
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    fn update(&mut self, row: &[f64]) {
+        assert_row_len(row, self.dim, "CountSketch::update");
+        let (bucket, sign) = self.bucket_sign(self.stream_pos);
+        vecops::axpy(sign, row, self.b.row_mut(bucket));
+        self.rows_seen += 1;
+        self.stream_pos += 1;
+        self.frobenius_sq += vecops::norm2_sq(row);
+    }
+
+    fn update_sparse(&mut self, row: &sketchad_linalg::SparseVec) {
+        assert_eq!(row.dim(), self.dim, "CountSketch::update_sparse dimension mismatch");
+        let (bucket, sign) = self.bucket_sign(self.stream_pos);
+        row.axpy_into(sign, self.b.row_mut(bucket)); // O(nnz)
+        self.rows_seen += 1;
+        self.stream_pos += 1;
+        self.frobenius_sq += row.norm2_sq();
+    }
+
+    fn sketch(&self) -> Matrix {
+        self.b.clone()
+    }
+
+    fn decay(&mut self, alpha: f64) {
+        assert_valid_decay(alpha);
+        self.b.scale_mut(alpha.sqrt());
+        self.frobenius_sq *= alpha;
+    }
+
+    fn reset(&mut self) {
+        self.b = Matrix::zeros(self.ell, self.dim);
+        self.rows_seen = 0;
+        self.stream_pos = 0;
+        self.frobenius_sq = 0.0;
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "count-sketch"
+    }
+
+    fn stream_frobenius_sq(&self) -> f64 {
+        self.frobenius_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_linalg::power::gram_diff_spectral_norm;
+    use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    fn feed(s: &mut CountSketch, a: &Matrix) {
+        for row in a.iter_rows() {
+            s.update(row);
+        }
+    }
+
+    #[test]
+    fn mixer_spreads_buckets_evenly() {
+        let cs = CountSketch::new(16, 1, 123);
+        let mut counts = vec![0usize; 16];
+        let mut plus = 0usize;
+        let n = 32_000u64;
+        for t in 0..n {
+            let (b, s) = cs.bucket_sign(t);
+            counts[b] += 1;
+            if s > 0.0 {
+                plus += 1;
+            }
+        }
+        let expect = n as f64 / 16.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.1,
+                "bucket {i} count {c} far from {expect}"
+            );
+        }
+        let frac = plus as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "sign bias {frac}");
+    }
+
+    #[test]
+    fn unbiasedness_over_seeds() {
+        let mut rng = seeded_rng(90);
+        let a = gaussian_matrix(&mut rng, 40, 5, 1.0);
+        let truth = a.gram();
+        let trials = 500;
+        let mut mean = Matrix::zeros(5, 5);
+        for t in 0..trials {
+            let mut cs = CountSketch::new(8, 5, 5000 + t);
+            feed(&mut cs, &a);
+            mean = mean.add(&cs.sketch().gram()).unwrap();
+        }
+        mean.scale_mut(1.0 / trials as f64);
+        let rel = mean.sub(&truth).unwrap().max_abs() / truth.max_abs();
+        assert!(rel < 0.15, "relative bias {rel}");
+    }
+
+    #[test]
+    fn accuracy_improves_with_ell() {
+        let mut rng = seeded_rng(91);
+        let a = gaussian_matrix(&mut rng, 600, 16, 1.0);
+        let mut errs = Vec::new();
+        for ell in [8usize, 64, 256] {
+            let mut cs = CountSketch::new(ell, 16, 3);
+            feed(&mut cs, &a);
+            errs.push(gram_diff_spectral_norm(&a, &cs.sketch(), 200, 6));
+        }
+        assert!(errs[2] < errs[0], "errors {errs:?}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut rng = seeded_rng(92);
+        let a = gaussian_matrix(&mut rng, 20, 4, 1.0);
+        let mut s1 = CountSketch::new(4, 4, 11);
+        let mut s2 = CountSketch::new(4, 4, 11);
+        feed(&mut s1, &a);
+        feed(&mut s2, &a);
+        assert_eq!(s1.sketch(), s2.sketch());
+        s1.reset();
+        feed(&mut s1, &a);
+        assert_eq!(s1.sketch(), s2.sketch());
+    }
+
+    #[test]
+    fn subtract_is_exact_for_aligned_suffix() {
+        let mut rng = seeded_rng(93);
+        let a = gaussian_matrix(&mut rng, 10, 3, 1.0);
+        let c = gaussian_matrix(&mut rng, 6, 3, 1.0);
+        let mut full = CountSketch::new(4, 3, 2);
+        feed(&mut full, &a);
+        // Suffix sketch aligned at the same stream offsets.
+        let mut suffix = full.fork_empty();
+        feed(&mut full, &c);
+        feed(&mut suffix, &c);
+        let mut prefix = CountSketch::new(4, 3, 2);
+        feed(&mut prefix, &a);
+        full.subtract(&suffix);
+        let diff = full.sketch().sub(&prefix.sketch()).unwrap().max_abs();
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn decay_and_reset() {
+        let mut s = CountSketch::new(2, 2, 1);
+        s.update(&[3.0, 4.0]);
+        assert_eq!(s.stream_frobenius_sq(), 25.0);
+        s.decay(0.5);
+        assert!((s.stream_frobenius_sq() - 12.5).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.rows_seen(), 0);
+        assert_eq!(s.sketch().max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn update_rejects_wrong_dimension() {
+        let mut s = CountSketch::new(2, 3, 1);
+        s.update(&[1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # sketchad-sketch
+//!
+//! Matrix-sketching substrate for the VLDB'15 reproduction *"Streaming
+//! Anomaly Detection Using Randomized Matrix Sketching"*.
+//!
+//! Every algorithm maintains a small matrix `B` (ℓ rows, `O(ℓ·d)` memory)
+//! whose Gram matrix approximates the covariance of the stream seen so far,
+//! behind the shared [`MatrixSketch`] trait:
+//!
+//! * [`FrequentDirections`] — deterministic, with the provable
+//!   `‖AᵀA − BᵀB‖₂ ≤ ‖A‖_F²/ℓ` guarantee (the paper's deterministic arm);
+//! * [`RandomProjection`] — Gaussian/Rademacher linear sketch (the paper's
+//!   randomized arm), supporting exact subtraction;
+//! * [`CountSketch`] — O(d)-per-row sparse embedding;
+//! * [`RowSampling`] — length-squared weighted reservoir sampling, keeping
+//!   interpretable real rows;
+//! * [`BlockWindowSketch`] — tumbling-block combinator giving hard
+//!   sliding-window semantics over any of the above.
+//!
+//! [`bounds`] contains the theoretical error-bound helpers used by the
+//! sketch-quality experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use sketchad_sketch::{FrequentDirections, MatrixSketch};
+//!
+//! let mut fd = FrequentDirections::new(8, 16);
+//! for i in 0..100 {
+//!     let row: Vec<f64> = (0..16).map(|j| ((i * j) as f64).sin()).collect();
+//!     fd.update(&row);
+//! }
+//! let b = fd.sketch();
+//! assert!(b.rows() <= 16); // ≤ 2ℓ buffer rows
+//! assert_eq!(b.cols(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod count_sketch;
+pub mod frequent_directions;
+pub mod isvd;
+pub mod random_projection;
+pub mod row_sampling;
+pub mod sparse_jl;
+pub mod traits;
+pub mod window;
+
+pub use count_sketch::CountSketch;
+pub use frequent_directions::FrequentDirections;
+pub use isvd::IsvdTruncation;
+pub use random_projection::{ProjectionKind, RandomProjection};
+pub use row_sampling::RowSampling;
+pub use sparse_jl::SparseJl;
+pub use traits::MatrixSketch;
+pub use window::BlockWindowSketch;

@@ -1,0 +1,296 @@
+//! Sparse Johnson–Lindenstrauss (OSNAP-style) sketch.
+//!
+//! Generalizes CountSketch: each stream row is added into `s ≥ 1` distinct
+//! bucket rows, each with an independent sign and weight `1/√s`. `s = 1`
+//! recovers CountSketch exactly; larger `s` trades update cost (`O(s·d)`)
+//! for sharper concentration — OSNAP shows `s = O(log)` nonzeros per column
+//! make the embedding a subspace embedding at ℓ = Õ(k) rather than the
+//! `ℓ = Ω(k²)` CountSketch needs.
+//!
+//! Like every linear sketch here, it is unbiased (`E[BᵀB] = AᵀA`), supports
+//! exact suffix deletion via [`SparseJl::fork_empty`] + [`SparseJl::subtract`],
+//! and hashes on an absolute stream position so forks stay aligned.
+
+use sketchad_linalg::vecops;
+use sketchad_linalg::Matrix;
+
+use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
+
+/// OSNAP-style sparse-embedding sketch with `s` buckets per row.
+#[derive(Debug, Clone)]
+pub struct SparseJl {
+    ell: usize,
+    dim: usize,
+    s: usize,
+    seed: u64,
+    b: Matrix,
+    rows_seen: u64,
+    stream_pos: u64,
+    frobenius_sq: f64,
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SparseJl {
+    /// Creates an empty sketch with `ell` buckets, `s` buckets per row.
+    ///
+    /// # Panics
+    /// Panics when `ell == 0`, `dim == 0`, `s == 0`, or `s > ell`.
+    pub fn new(ell: usize, dim: usize, s: usize, seed: u64) -> Self {
+        assert!(ell > 0, "sketch size ℓ must be positive");
+        assert!(dim > 0, "dimension must be positive");
+        assert!(s > 0 && s <= ell, "need 1 <= s <= ℓ (s={s}, ℓ={ell})");
+        Self {
+            ell,
+            dim,
+            s,
+            seed,
+            b: Matrix::zeros(ell, dim),
+            rows_seen: 0,
+            stream_pos: 0,
+            frobenius_sq: 0.0,
+        }
+    }
+
+    /// Nonzeros per embedded row.
+    pub fn nnz_per_row(&self) -> usize {
+        self.s
+    }
+
+    /// The `s` distinct `(bucket, signed weight)` targets for stream
+    /// position `t`, sampled without replacement via rejection.
+    fn targets(&self, t: u64) -> Vec<(usize, f64)> {
+        let w = 1.0 / (self.s as f64).sqrt();
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.s);
+        let mut salt = 0u64;
+        while out.len() < self.s {
+            let h = mix64(self.seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (salt << 48));
+            salt += 1;
+            let bucket = (h % self.ell as u64) as usize;
+            if out.iter().any(|&(b, _)| b == bucket) {
+                continue;
+            }
+            let sign = if (h >> 63) == 0 { w } else { -w };
+            out.push((bucket, sign));
+        }
+        out
+    }
+
+    /// Returns an empty sketch sharing this one's hash family and stream
+    /// position (for exact suffix deletion).
+    pub fn fork_empty(&self) -> SparseJl {
+        SparseJl {
+            ell: self.ell,
+            dim: self.dim,
+            s: self.s,
+            seed: self.seed,
+            b: Matrix::zeros(self.ell, self.dim),
+            rows_seen: 0,
+            stream_pos: self.stream_pos,
+            frobenius_sq: 0.0,
+        }
+    }
+
+    /// Subtracts an aligned sketch (exact deletion by linearity).
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn subtract(&mut self, other: &SparseJl) {
+        assert_eq!(self.b.shape(), other.b.shape(), "sketch shape mismatch");
+        for i in 0..self.ell {
+            let src = other.b.row(i).to_vec();
+            vecops::axpy(-1.0, &src, self.b.row_mut(i));
+        }
+        self.frobenius_sq = (self.frobenius_sq - other.frobenius_sq).max(0.0);
+        self.rows_seen = self.rows_seen.saturating_sub(other.rows_seen);
+    }
+}
+
+impl MatrixSketch for SparseJl {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn capacity(&self) -> usize {
+        self.ell
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    fn update(&mut self, row: &[f64]) {
+        assert_row_len(row, self.dim, "SparseJl::update");
+        for (bucket, weight) in self.targets(self.stream_pos) {
+            vecops::axpy(weight, row, self.b.row_mut(bucket));
+        }
+        self.rows_seen += 1;
+        self.stream_pos += 1;
+        self.frobenius_sq += vecops::norm2_sq(row);
+    }
+
+    fn update_sparse(&mut self, row: &sketchad_linalg::SparseVec) {
+        assert_eq!(row.dim(), self.dim, "SparseJl::update_sparse dimension mismatch");
+        for (bucket, weight) in self.targets(self.stream_pos) {
+            row.axpy_into(weight, self.b.row_mut(bucket));
+        }
+        self.rows_seen += 1;
+        self.stream_pos += 1;
+        self.frobenius_sq += row.norm2_sq();
+    }
+
+    fn sketch(&self) -> Matrix {
+        self.b.clone()
+    }
+
+    fn decay(&mut self, alpha: f64) {
+        assert_valid_decay(alpha);
+        self.b.scale_mut(alpha.sqrt());
+        self.frobenius_sq *= alpha;
+    }
+
+    fn reset(&mut self) {
+        self.b = Matrix::zeros(self.ell, self.dim);
+        self.rows_seen = 0;
+        self.stream_pos = 0;
+        self.frobenius_sq = 0.0;
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-jl"
+    }
+
+    fn stream_frobenius_sq(&self) -> f64 {
+        self.frobenius_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_linalg::power::gram_diff_spectral_norm;
+    use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    fn feed(s: &mut SparseJl, a: &Matrix) {
+        for row in a.iter_rows() {
+            s.update(row);
+        }
+    }
+
+    #[test]
+    fn targets_are_distinct_and_weighted() {
+        let s = SparseJl::new(16, 4, 4, 7);
+        for t in 0..200 {
+            let targets = s.targets(t);
+            assert_eq!(targets.len(), 4);
+            let mut buckets: Vec<usize> = targets.iter().map(|&(b, _)| b).collect();
+            buckets.sort_unstable();
+            buckets.dedup();
+            assert_eq!(buckets.len(), 4, "duplicate buckets at t={t}");
+            for &(_, w) in &targets {
+                assert!((w.abs() - 0.5).abs() < 1e-12); // 1/√4
+            }
+        }
+    }
+
+    #[test]
+    fn s_equals_one_behaves_like_count_sketch_contract() {
+        let mut rng = seeded_rng(80);
+        let a = gaussian_matrix(&mut rng, 50, 6, 1.0);
+        let mut s = SparseJl::new(8, 6, 1, 3);
+        feed(&mut s, &a);
+        assert_eq!(s.rows_seen(), 50);
+        // Unbiasedness over seeds.
+        let truth = a.gram();
+        let trials = 300;
+        let mut mean = Matrix::zeros(6, 6);
+        for t in 0..trials {
+            let mut s = SparseJl::new(8, 6, 1, 7000 + t);
+            feed(&mut s, &a);
+            mean = mean.add(&s.sketch().gram()).unwrap();
+        }
+        mean.scale_mut(1.0 / trials as f64);
+        let rel = mean.sub(&truth).unwrap().max_abs() / truth.max_abs();
+        assert!(rel < 0.2, "bias {rel}");
+    }
+
+    #[test]
+    fn more_nonzeros_concentrate_better() {
+        // At fixed ℓ, average error over seeds should not increase with s.
+        let mut rng = seeded_rng(81);
+        let a = gaussian_matrix(&mut rng, 300, 12, 1.0);
+        let avg_err = |s_nnz: usize| -> f64 {
+            let mut total = 0.0;
+            for seed in 0..12 {
+                let mut s = SparseJl::new(16, 12, s_nnz, 100 + seed);
+                feed(&mut s, &a);
+                total += gram_diff_spectral_norm(&a, &s.sketch(), 150, 5);
+            }
+            total / 12.0
+        };
+        let e1 = avg_err(1);
+        let e4 = avg_err(4);
+        assert!(
+            e4 < e1 * 1.05,
+            "s=4 ({e4}) should concentrate at least as well as s=1 ({e1})"
+        );
+    }
+
+    #[test]
+    fn fork_and_subtract_delete_suffix_exactly() {
+        let mut rng = seeded_rng(82);
+        let a = gaussian_matrix(&mut rng, 10, 5, 1.0);
+        let c = gaussian_matrix(&mut rng, 7, 5, 1.0);
+        let mut full = SparseJl::new(6, 5, 2, 11);
+        feed(&mut full, &a);
+        let mut sfx = full.fork_empty();
+        feed(&mut full, &c);
+        feed(&mut sfx, &c);
+        let mut prefix = SparseJl::new(6, 5, 2, 11);
+        feed(&mut prefix, &a);
+        full.subtract(&sfx);
+        let diff = full.sketch().sub(&prefix.sketch()).unwrap().max_abs();
+        assert!(diff < 1e-12, "residue {diff}");
+    }
+
+    #[test]
+    fn sparse_and_dense_updates_agree() {
+        use sketchad_linalg::SparseVec;
+        let dense = vec![0.0, 3.0, 0.0, -1.0, 0.0, 2.0];
+        let mut s1 = SparseJl::new(4, 6, 2, 5);
+        let mut s2 = SparseJl::new(4, 6, 2, 5);
+        for _ in 0..10 {
+            s1.update(&dense);
+            s2.update_sparse(&SparseVec::from_dense(&dense));
+        }
+        assert_eq!(s1.sketch(), s2.sketch());
+        assert_eq!(s1.stream_frobenius_sq(), s2.stream_frobenius_sq());
+    }
+
+    #[test]
+    fn reseed_changes_hashing() {
+        let mut s1 = SparseJl::new(4, 3, 2, 1);
+        let mut s2 = SparseJl::new(4, 3, 2, 1);
+        s2.reseed(99);
+        s1.update(&[1.0, 2.0, 3.0]);
+        s2.update(&[1.0, 2.0, 3.0]);
+        assert_ne!(s1.sketch(), s2.sketch());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= s <= ℓ")]
+    fn invalid_s_rejected() {
+        let _ = SparseJl::new(4, 3, 5, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`MatrixSketch`] abstraction shared by every sketching algorithm.
+
+use sketchad_linalg::{Matrix, SparseVec};
+
+/// A streaming sketch of a tall row matrix `A` (one row per stream point).
+///
+/// Implementations maintain a small matrix `B` (at most [`capacity`] rows ×
+/// [`dim`] columns) such that `BᵀB ≈ AᵀA`, the covariance-like Gram matrix of
+/// everything observed so far. The anomaly detectors in `sketchad-core`
+/// consume sketches only through this trait, which is what makes the
+/// detector generic over deterministic (frequent directions) and randomized
+/// (projection / hashing / sampling) sketches.
+///
+/// [`capacity`]: MatrixSketch::capacity
+/// [`dim`]: MatrixSketch::dim
+pub trait MatrixSketch {
+    /// Ambient dimensionality `d` (columns of `A`).
+    fn dim(&self) -> usize;
+
+    /// Sketch size parameter ℓ: the maximum number of rows the sketch
+    /// guarantees to expose from [`MatrixSketch::sketch`]. Memory is `O(ℓ·d)`.
+    fn capacity(&self) -> usize;
+
+    /// Number of stream rows folded into the sketch since the last reset.
+    fn rows_seen(&self) -> u64;
+
+    /// Folds one stream row into the sketch.
+    ///
+    /// # Panics
+    /// Implementations panic when `row.len() != self.dim()`.
+    fn update(&mut self, row: &[f64]);
+
+    /// Folds one sparse stream row into the sketch. The default densifies;
+    /// linear sketches override this with `O(nnz)`-class updates.
+    ///
+    /// # Panics
+    /// Implementations panic when `row.dim() != self.dim()`.
+    fn update_sparse(&mut self, row: &SparseVec) {
+        assert_eq!(
+            row.dim(),
+            self.dim(),
+            "sparse row dimension {} does not match sketch dimension {}",
+            row.dim(),
+            self.dim()
+        );
+        self.update(&row.to_dense());
+    }
+
+    /// Returns a copy of the current sketch matrix `B` (at most
+    /// `capacity_bound` × `dim`). `BᵀB` approximates the Gram matrix of the
+    /// observed stream prefix.
+    fn sketch(&self) -> Matrix;
+
+    /// Multiplies the *covariance estimate* `BᵀB` by `alpha ∈ (0, 1]`,
+    /// i.e. scales the sketch rows by `√alpha`. This is the exponential
+    /// forgetting used by drift-aware detectors.
+    ///
+    /// # Panics
+    /// Implementations panic when `alpha` is not in `(0, 1]`.
+    fn decay(&mut self, alpha: f64);
+
+    /// Clears the sketch back to its empty state (seeds are re-derived so a
+    /// reset sketch replays deterministically).
+    fn reset(&mut self);
+
+    /// Re-derives internal randomness from `seed` and clears the sketch.
+    /// Deterministic sketches simply reset; randomized sketches must draw an
+    /// independent hash/projection family. Used by the sliding-window
+    /// combinator to give each block independent randomness.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+        self.reset();
+    }
+
+    /// Short human-readable algorithm name (for tables and logs).
+    fn name(&self) -> &'static str;
+
+    /// Squared Frobenius mass `‖A‖_F²` of everything folded in (after decay
+    /// scaling). Implementations track this exactly; it parameterizes the
+    /// deterministic error bounds.
+    fn stream_frobenius_sq(&self) -> f64;
+}
+
+/// Validates a decay factor, panicking with a uniform message otherwise.
+pub(crate) fn assert_valid_decay(alpha: f64) {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "decay factor must be in (0, 1], got {alpha}"
+    );
+}
+
+/// Validates an updated row's length against the sketch dimension.
+pub(crate) fn assert_row_len(row: &[f64], dim: usize, name: &str) {
+    assert_eq!(
+        row.len(),
+        dim,
+        "{name}: row length {} does not match sketch dimension {dim}",
+        row.len()
+    );
+}

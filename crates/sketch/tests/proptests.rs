@@ -1,0 +1,224 @@
+//! Property-based tests for the sketching substrate.
+
+use proptest::prelude::*;
+use sketchad_linalg::power::gram_diff_spectral_norm;
+use sketchad_linalg::Matrix;
+use sketchad_sketch::{
+    BlockWindowSketch, CountSketch, FrequentDirections, MatrixSketch, RandomProjection,
+    RowSampling,
+};
+
+/// Strategy: a stream of rows with bounded entries.
+fn stream_strategy(
+    max_rows: usize,
+    dim: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-20.0f64..20.0, dim..=dim),
+        1..=max_rows,
+    )
+}
+
+fn to_matrix(rows: &[Vec<f64>]) -> Matrix {
+    Matrix::from_rows(rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The FD deterministic guarantee holds on arbitrary streams.
+    #[test]
+    fn fd_guarantee_on_arbitrary_streams(
+        rows in stream_strategy(80, 6),
+        ell in 2usize..8,
+    ) {
+        let a = to_matrix(&rows);
+        let mut fd = FrequentDirections::new(ell, 6);
+        for r in &rows {
+            fd.update(r);
+        }
+        let err = gram_diff_spectral_norm(&a, &fd.sketch(), 150, 3);
+        let bound = a.squared_frobenius_norm() / ell as f64;
+        prop_assert!(err <= bound * (1.0 + 1e-8) + 1e-9,
+            "err {} > bound {}", err, bound);
+        // FD also never overestimates Frobenius mass.
+        prop_assert!(fd.sketch().squared_frobenius_norm()
+            <= a.squared_frobenius_norm() * (1.0 + 1e-9) + 1e-9);
+    }
+
+    /// All sketches track the exact stream Frobenius mass.
+    #[test]
+    fn frobenius_tracking_exact(rows in stream_strategy(40, 5)) {
+        let a = to_matrix(&rows);
+        let want = a.squared_frobenius_norm();
+        let mut sketches: Vec<Box<dyn MatrixSketch>> = vec![
+            Box::new(FrequentDirections::new(3, 5)),
+            Box::new(RandomProjection::gaussian(3, 5, 1)),
+            Box::new(CountSketch::new(3, 5, 1)),
+            Box::new(RowSampling::new(3, 5, 1)),
+        ];
+        for s in &mut sketches {
+            for r in &rows {
+                s.update(r);
+            }
+            let got = s.stream_frobenius_sq();
+            prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0),
+                "{}: {} vs {}", s.name(), got, want);
+            prop_assert_eq!(s.rows_seen(), rows.len() as u64);
+        }
+    }
+
+    /// Reset + replay is identical for every sketch (determinism).
+    #[test]
+    fn reset_replay_determinism(rows in stream_strategy(30, 4)) {
+        let mut sketches: Vec<Box<dyn MatrixSketch>> = vec![
+            Box::new(FrequentDirections::new(3, 4)),
+            Box::new(RandomProjection::rademacher(3, 4, 7)),
+            Box::new(CountSketch::new(3, 4, 7)),
+            Box::new(RowSampling::new(3, 4, 7)),
+        ];
+        for s in &mut sketches {
+            for r in &rows {
+                s.update(r);
+            }
+            let first = s.sketch();
+            s.reset();
+            prop_assert_eq!(s.rows_seen(), 0);
+            for r in &rows {
+                s.update(r);
+            }
+            prop_assert_eq!(s.sketch(), first, "{} replay mismatch", s.name());
+        }
+    }
+
+    /// Decay composes multiplicatively: decay(a) then decay(b) ==
+    /// covariance scaled by a·b.
+    #[test]
+    fn decay_composes(
+        rows in stream_strategy(20, 3),
+        a in 0.1f64..1.0,
+        b in 0.1f64..1.0,
+    ) {
+        let mut s1 = FrequentDirections::new(4, 3);
+        let mut s2 = FrequentDirections::new(4, 3);
+        for r in &rows {
+            s1.update(r);
+            s2.update(r);
+        }
+        s1.decay(a);
+        s1.decay(b);
+        s2.decay(a * b);
+        let g1 = s1.sketch().gram();
+        let g2 = s2.sketch().gram();
+        let diff = g1.sub(&g2).unwrap().max_abs();
+        prop_assert!(diff <= 1e-9 * g2.max_abs().max(1.0), "diff {}", diff);
+    }
+
+    /// The windowed sketch never reports more rows than the window length
+    /// and its Gram mass is bounded by the covered sub-stream's mass.
+    #[test]
+    fn window_mass_bounded(
+        rows in stream_strategy(120, 4),
+        block in 3usize..10,
+        nblocks in 2usize..5,
+    ) {
+        let inner = FrequentDirections::new(4, 4);
+        let mut w = BlockWindowSketch::new(inner, block, nblocks);
+        for r in &rows {
+            w.update(r);
+        }
+        prop_assert!(w.rows_in_window() <= w.window_len());
+        let a = to_matrix(&rows);
+        let n = rows.len();
+        let in_win = w.rows_in_window().min(n);
+        let idx: Vec<usize> = (n - in_win..n).collect();
+        let window_data = a.select_rows(&idx);
+        let mass = w.sketch().squared_frobenius_norm();
+        prop_assert!(mass <= window_data.squared_frobenius_norm() * (1.0 + 1e-9) + 1e-9,
+            "window sketch mass {} exceeds data mass {}",
+            mass, window_data.squared_frobenius_norm());
+    }
+
+    /// Sparse and dense update paths produce identical sketches for every
+    /// implementation, including through the window combinator.
+    #[test]
+    fn sparse_dense_parity_everywhere(rows in stream_strategy(40, 5)) {
+        use sketchad_linalg::SparseVec;
+        use sketchad_sketch::SparseJl;
+        let sparse_rows: Vec<SparseVec> =
+            rows.iter().map(|r| SparseVec::from_dense(r)).collect();
+        // FD
+        let mut d1 = FrequentDirections::new(3, 5);
+        let mut s1 = FrequentDirections::new(3, 5);
+        // CountSketch
+        let mut d2 = CountSketch::new(4, 5, 9);
+        let mut s2 = CountSketch::new(4, 5, 9);
+        // RandomProjection
+        let mut d3 = RandomProjection::gaussian(3, 5, 9);
+        let mut s3 = RandomProjection::gaussian(3, 5, 9);
+        // SparseJL
+        let mut d4 = SparseJl::new(4, 5, 2, 9);
+        let mut s4 = SparseJl::new(4, 5, 2, 9);
+        // Windowed FD
+        let mut d5 = BlockWindowSketch::new(FrequentDirections::new(3, 5), 7, 3);
+        let mut s5 = BlockWindowSketch::new(FrequentDirections::new(3, 5), 7, 3);
+        for (r, sr) in rows.iter().zip(sparse_rows.iter()) {
+            d1.update(r); s1.update_sparse(sr);
+            d2.update(r); s2.update_sparse(sr);
+            d3.update(r); s3.update_sparse(sr);
+            d4.update(r); s4.update_sparse(sr);
+            d5.update(r); s5.update_sparse(sr);
+        }
+        prop_assert_eq!(d1.sketch(), s1.sketch(), "FD parity");
+        prop_assert_eq!(d2.sketch(), s2.sketch(), "CS parity");
+        prop_assert_eq!(d3.sketch(), s3.sketch(), "RP parity");
+        prop_assert_eq!(d4.sketch(), s4.sketch(), "SparseJL parity");
+        prop_assert_eq!(d5.sketch(), s5.sketch(), "window parity");
+    }
+
+    /// FD merge equals feeding the concatenated stream, up to the FD error
+    /// bound on the concatenation.
+    #[test]
+    fn fd_merge_respects_combined_bound(
+        a_rows in stream_strategy(40, 4),
+        b_rows in stream_strategy(40, 4),
+        ell in 2usize..6,
+    ) {
+        let mut fd_a = FrequentDirections::new(ell, 4);
+        let mut fd_b = FrequentDirections::new(ell, 4);
+        for r in &a_rows { fd_a.update(r); }
+        for r in &b_rows { fd_b.update(r); }
+        fd_a.merge(&fd_b);
+        let all = to_matrix(&a_rows.iter().chain(b_rows.iter()).cloned().collect::<Vec<_>>());
+        let err = gram_diff_spectral_norm(&all, &fd_a.sketch(), 150, 2);
+        let bound = all.squared_frobenius_norm() / ell as f64;
+        prop_assert!(err <= bound * (1.0 + 1e-8) + 1e-9, "err {} > bound {}", err, bound);
+        prop_assert_eq!(fd_a.rows_seen(), (a_rows.len() + b_rows.len()) as u64);
+    }
+
+    /// Linear sketches support exact subtraction of an aligned suffix.
+    #[test]
+    fn linear_subtraction_roundtrip(
+        prefix in stream_strategy(15, 3),
+        suffix in stream_strategy(15, 3),
+    ) {
+        let mut full = CountSketch::new(4, 3, 5);
+        for r in &prefix {
+            full.update(r);
+        }
+        // Fork keeps the hash alignment so the suffix can be deleted exactly.
+        let mut sfx = full.fork_empty();
+        for r in &suffix {
+            full.update(r);
+            sfx.update(r);
+        }
+        let mut pre_only = CountSketch::new(4, 3, 5);
+        for r in &prefix {
+            pre_only.update(r);
+        }
+        let mut recovered = full.clone();
+        recovered.subtract(&sfx);
+        let diff = recovered.sketch().sub(&pre_only.sketch()).unwrap().max_abs();
+        prop_assert!(diff < 1e-9, "subtraction residue {}", diff);
+    }
+}

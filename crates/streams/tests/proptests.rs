@@ -1,0 +1,115 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use sketchad_streams::{
+    generate_drift_stream, generate_low_rank_stream, AnomalyKind, DriftKind,
+    LowRankStreamConfig,
+};
+
+fn config_strategy() -> impl Strategy<Value = LowRankStreamConfig> {
+    (
+        200usize..800,         // n
+        6usize..40,            // d
+        1usize..5,             // k
+        0.0f64..0.08,          // anomaly_rate
+        0u64..1000,            // seed
+        prop::sample::select(vec![
+            AnomalyKind::OffSubspace,
+            AnomalyKind::InSubspaceExtreme,
+            AnomalyKind::CorrelatedBurst,
+        ]),
+    )
+        .prop_map(|(n, d, k, anomaly_rate, seed, anomaly_kind)| LowRankStreamConfig {
+            n,
+            d,
+            k: k.min(d),
+            anomaly_rate,
+            seed,
+            anomaly_kind,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated stream is well-formed: right shape, finite values,
+    /// anomaly count close to the requested rate, clean warmup region.
+    #[test]
+    fn generated_streams_are_well_formed(cfg in config_strategy()) {
+        let s = generate_low_rank_stream(cfg);
+        prop_assert_eq!(s.len(), cfg.n);
+        prop_assert_eq!(s.dim, cfg.d);
+        for p in &s.points {
+            prop_assert!(p.values.iter().all(|v| v.is_finite()));
+        }
+        let expected = (cfg.n as f64 * cfg.anomaly_rate).round() as usize;
+        let got = s.anomaly_count();
+        // Burst placement can under-fill when bursts run off the stream end.
+        prop_assert!(got <= expected + 1, "{} anomalies vs expected {}", got, expected);
+        if cfg.anomaly_kind != AnomalyKind::CorrelatedBurst {
+            prop_assert!(got + 1 >= expected, "{} anomalies vs expected {}", got, expected);
+        }
+        // First 10% is anomaly-free by construction.
+        let guard = cfg.n / 10;
+        prop_assert!(s.points[..guard].iter().all(|p| !p.is_anomaly));
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let a = generate_low_rank_stream(cfg);
+        let b = generate_low_rank_stream(cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds produce different streams (collision would indicate
+    /// broken seeding).
+    #[test]
+    fn seeds_matter(cfg in config_strategy()) {
+        let mut other = cfg;
+        other.seed = cfg.seed.wrapping_add(1);
+        let a = generate_low_rank_stream(cfg);
+        let b = generate_low_rank_stream(other);
+        prop_assert_ne!(a, b);
+    }
+
+    /// Drift streams share the invariants of stationary ones.
+    #[test]
+    fn drift_streams_are_well_formed(
+        cfg in config_strategy(),
+        frac in 0.2f64..0.8,
+        rotate in proptest::bool::ANY,
+    ) {
+        let kind = if rotate {
+            DriftKind::Rotating { radians_per_point: 0.01 }
+        } else {
+            DriftKind::AbruptSwitch { at_fraction: frac }
+        };
+        let s = generate_drift_stream(cfg, kind);
+        prop_assert_eq!(s.len(), cfg.n);
+        for p in &s.points {
+            prop_assert!(p.values.iter().all(|v| v.is_finite()));
+        }
+        // Labels are only placed after the guard region.
+        let guard = cfg.n / 10;
+        prop_assert!(s.points[..guard].iter().all(|p| !p.is_anomaly));
+    }
+
+    /// CSV roundtrip preserves any generated stream exactly.
+    #[test]
+    fn csv_roundtrip_is_lossless(cfg in config_strategy()) {
+        let s = generate_low_rank_stream(cfg).truncated(100);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "sketchad-prop-{}-{}.csv",
+            std::process::id(),
+            cfg.seed
+        ));
+        sketchad_streams::io::write_csv(&s, &path).unwrap();
+        let back = sketchad_streams::io::read_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.points, s.points);
+        prop_assert_eq!(back.dim, s.dim);
+    }
+}

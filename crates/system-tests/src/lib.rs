@@ -1,0 +1,3 @@
+//! This crate exists only to host the workspace-level integration tests in
+//! the repository-root `tests/` directory (see `[[test]]` entries in
+//! `Cargo.toml`). It exports nothing.

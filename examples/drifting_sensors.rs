@@ -1,0 +1,61 @@
+//! Drifting-sensor scenario: a sensor array whose correlation structure
+//! drifts over time (re-calibration, seasonal effects). A global detector
+//! degrades after the drift; decay and sliding-window variants recover.
+//!
+//! ```text
+//! cargo run --release -p sketchad-core --example drifting_sensors
+//! ```
+
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_eval::roc_auc;
+use sketchad_streams::{
+    generate_drift_stream, DriftKind, LowRankStreamConfig,
+};
+
+fn main() {
+    // 64 sensors whose readings live on a rank-6 manifold that is abruptly
+    // re-calibrated halfway through the stream; 2% faulty readings.
+    let cfg = LowRankStreamConfig {
+        n: 8_000,
+        d: 64,
+        k: 6,
+        anomaly_rate: 0.02,
+        seed: 99,
+        ..Default::default()
+    };
+    let stream = generate_drift_stream(cfg, DriftKind::AbruptSwitch { at_fraction: 0.5 });
+    let warmup = 400;
+    let labels = stream.labels();
+
+    let base = DetectorConfig::new(6, 48).with_warmup(warmup);
+    let variants: Vec<(&str, Box<dyn StreamingDetector>)> = vec![
+        ("global (no forgetting)", Box::new(base.build_fd(stream.dim))),
+        (
+            "exponential decay (alpha=0.9 / 50 pts)",
+            Box::new(base.with_decay(0.9, 50).build_fd(stream.dim)),
+        ),
+        (
+            "sliding window (last 1000 pts)",
+            Box::new(base.build_windowed_fd(stream.dim, 250, 4)),
+        ),
+    ];
+
+    println!("sensor stream: n={}, d={}, drift at t=4000\n", stream.len(), stream.dim);
+    println!("{:<42} {:>10} {:>12} {:>12}", "detector", "AUC(all)", "AUC(pre)", "AUC(post)");
+    for (name, mut det) in variants {
+        let mut scores = Vec::with_capacity(stream.len());
+        for (v, _) in stream.iter() {
+            scores.push(det.process(v));
+        }
+        let mid = stream.len() / 2;
+        let all = roc_auc(&scores[warmup..], &labels[warmup..]).unwrap();
+        let pre = roc_auc(&scores[warmup..mid], &labels[warmup..mid]).unwrap();
+        // Skip the immediate post-switch adaptation region for the "post"
+        // column so it measures steady-state behaviour.
+        let post_start = mid + 500;
+        let post = roc_auc(&scores[post_start..], &labels[post_start..]).unwrap();
+        println!("{name:<42} {all:>10.4} {pre:>12.4} {post:>12.4}");
+    }
+    println!("\nExpected shape: all three match before the drift; the global");
+    println!("detector's post-drift AUC collapses while decay/window recover.");
+}

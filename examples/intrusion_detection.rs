@@ -1,0 +1,105 @@
+//! Network-intrusion scenario: detect a coordinated denial-of-service
+//! burst in a stream of flow records, and *explain* each alert by the
+//! feature dimensions driving its residual.
+//!
+//! Flow features (d = 24): log packet counts, log byte counts, duration,
+//! inter-arrival statistics, and a hashed port/protocol signature — the
+//! usual shape of modern flow exporters. Normal traffic is a mixture of a
+//! few service profiles (web, dns, mail, …), i.e. genuinely low-rank;
+//! the attack is a sudden group of near-identical flows from one profile
+//! that no service exhibits.
+//!
+//! ```text
+//! cargo run --release -p sketchad-core --example intrusion_detection
+//! ```
+
+use rand::Rng;
+use sketchad_core::{DetectorConfig, ScoreKind, StreamingDetector};
+use sketchad_linalg::rng::{gaussian, seeded_rng};
+
+const D: usize = 24;
+const N_PROFILES: usize = 6;
+
+/// One service profile: a template flow-feature vector.
+fn profiles(rng: &mut rand::rngs::StdRng) -> Vec<Vec<f64>> {
+    (0..N_PROFILES)
+        .map(|_| (0..D).map(|_| 2.0 + gaussian(rng).abs() * 2.0).collect())
+        .collect()
+}
+
+fn normal_flow(rng: &mut rand::rngs::StdRng, profiles: &[Vec<f64>]) -> Vec<f64> {
+    let p = &profiles[rng.gen_range(0..profiles.len())];
+    p.iter().map(|&v| v * (1.0 + 0.08 * gaussian(rng))).collect()
+}
+
+/// The DoS burst: tiny duration, huge packet rate, one hashed port bucket
+/// saturated — a pattern orthogonal to every service profile.
+fn attack_flow(rng: &mut rand::rngs::StdRng) -> Vec<f64> {
+    let mut v = vec![0.0; D];
+    v[0] = 9.0 + 0.1 * gaussian(rng); // log packet count: extreme
+    v[1] = 3.0 + 0.1 * gaussian(rng); // log bytes: small packets
+    v[7] = 8.0 + 0.1 * gaussian(rng); // syn-flag rate bucket
+    v[19] = 7.5 + 0.1 * gaussian(rng); // hashed target-port bucket
+    v
+}
+
+fn main() {
+    let mut rng = seeded_rng(2024);
+    let profiles = profiles(&mut rng);
+
+    // Stream: 5000 normal flows with a 120-flow DoS burst at t=3000.
+    let mut stream: Vec<(Vec<f64>, bool)> = Vec::new();
+    for t in 0..5000 {
+        if (3000..3120).contains(&t) {
+            stream.push((attack_flow(&mut rng), true));
+        } else {
+            stream.push((normal_flow(&mut rng, &profiles), false));
+        }
+    }
+
+    let mut det = DetectorConfig::new(N_PROFILES, 32)
+        .with_warmup(400)
+        .with_score(ScoreKind::RelativeProjection)
+        .build_fd(D);
+
+    let mut first_detection: Option<usize> = None;
+    let mut scores = Vec::with_capacity(stream.len());
+    for (t, (flow, _)) in stream.iter().enumerate() {
+        let s = det.process(flow);
+        if s > 0.5 && first_detection.is_none() && t >= 400 {
+            first_detection = Some(t);
+        }
+        scores.push(s);
+    }
+
+    // Accuracy summary.
+    let labels: Vec<bool> = stream.iter().map(|(_, l)| *l).collect();
+    let auc = sketchad_eval::roc_auc(&scores[400..], &labels[400..]).unwrap();
+    println!("flows processed: {}", stream.len());
+    println!("ROC-AUC (post-warmup): {auc:.4}");
+    match first_detection {
+        Some(t) => println!(
+            "first high-score flow at t={t} (burst starts at t=3000 → detection lag {})",
+            t as i64 - 3000
+        ),
+        None => println!("no flow crossed the 0.5 score level"),
+    }
+
+    // Explainability: which feature dimensions drive the anomaly?
+    let burst_flow = &stream[3050].0;
+    let residual = det.explain(burst_flow).expect("model is built");
+    let mut ranked: Vec<(usize, f64)> =
+        residual.iter().enumerate().map(|(i, &v)| (i, v.abs())).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("top residual dimensions for a burst flow (feature, |residual|):");
+    for (dim, mag) in ranked.iter().take(4) {
+        let name = match dim {
+            0 => "log-packet-count".to_string(),
+            1 => "log-bytes".to_string(),
+            7 => "syn-rate-bucket".to_string(),
+            19 => "port-hash-19".to_string(),
+            other => format!("f{other}"),
+        };
+        println!("  {name}: {mag:.2}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: score a stream with the frequent-directions detector and
+//! turn scores into alerts with a target false-positive rate.
+//!
+//! ```text
+//! cargo run --release -p sketchad-core --example quickstart
+//! ```
+
+use sketchad_core::{DetectorConfig, StreamingDetector, ThresholdedDetector};
+use sketchad_streams::{generate_low_rank_stream, LowRankStreamConfig};
+
+fn main() {
+    // 1. A synthetic stream: points near a rank-5 subspace of R^50, with 2%
+    //    planted off-subspace anomalies. Swap in your own data by reading a
+    //    CSV via `sketchad_streams::io::read_csv`.
+    let stream = generate_low_rank_stream(LowRankStreamConfig {
+        n: 4_000,
+        d: 50,
+        k: 5,
+        anomaly_rate: 0.02,
+        seed: 42,
+        ..Default::default()
+    });
+
+    // 2. A rank-5 detector over a 32-row frequent-directions sketch.
+    //    Memory is O(ell * d) regardless of how long the stream runs.
+    let detector = DetectorConfig::new(5, 32)
+        .with_warmup(200)
+        .build_fd(stream.dim);
+
+    // 3. Wrap it for binary alerts targeting a 1% false-positive rate.
+    let mut alerting = ThresholdedDetector::new(detector, 0.01, 300);
+
+    let mut true_pos = 0usize;
+    let mut false_pos = 0usize;
+    let mut flagged = Vec::new();
+    for (i, (values, is_anomaly)) in stream.iter().enumerate() {
+        let alert = alerting.process(values);
+        if alert.is_anomaly {
+            flagged.push(i);
+            if is_anomaly {
+                true_pos += 1;
+            } else {
+                false_pos += 1;
+            }
+        }
+    }
+
+    let total_anomalies = stream.anomaly_count();
+    println!("stream: n={}, d={}, planted anomalies={total_anomalies}", stream.len(), stream.dim);
+    println!(
+        "alerts: {} raised — {true_pos} true positives, {false_pos} false positives",
+        flagged.len()
+    );
+    println!(
+        "recall: {:.1}%  (first alerts at indices {:?})",
+        100.0 * true_pos as f64 / total_anomalies as f64,
+        &flagged[..flagged.len().min(5)]
+    );
+    println!("detector: {}", alerting.inner().name());
+}

@@ -1,0 +1,113 @@
+//! Drift experiments at test scale: forgetting detectors recover after a
+//! subspace switch; the global detector does not.
+
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_eval::roc_auc;
+use sketchad_streams::{
+    generate_drift_stream, DriftKind, LabeledStream, LowRankStreamConfig,
+};
+
+const WARMUP: usize = 150;
+
+fn drift_stream() -> LabeledStream {
+    generate_drift_stream(
+        LowRankStreamConfig {
+            n: 3_000,
+            d: 40,
+            k: 4,
+            anomaly_rate: 0.03,
+            seed: 0xd21f7,
+            ..Default::default()
+        },
+        DriftKind::AbruptSwitch { at_fraction: 0.5 },
+    )
+}
+
+/// AUC over (transition, steady-state) regions after the switch: the
+/// transition is the 400 points right after the drift; steady state is the
+/// rest of the stream.
+fn post_drift_aucs(det: &mut dyn StreamingDetector, stream: &LabeledStream) -> (f64, f64) {
+    let mut scores = Vec::with_capacity(stream.len());
+    for (v, _) in stream.iter() {
+        scores.push(det.process(v));
+    }
+    let labels = stream.labels();
+    let mid = stream.len() / 2;
+    let trans =
+        roc_auc(&scores[mid..mid + 400], &labels[mid..mid + 400]).expect("both classes");
+    let steady = roc_auc(&scores[mid + 400..], &labels[mid + 400..]).expect("both classes");
+    (trans, steady)
+}
+
+#[test]
+fn global_detector_degrades_after_switch() {
+    let stream = drift_stream();
+    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP);
+    let mut global = cfg.build_fd(stream.dim);
+    let (trans, steady) = post_drift_aucs(&mut global, &stream);
+    // The stale global subspace misranks post-switch normals vs anomalies
+    // during the transition, and never fully recovers (the old regime's
+    // energy keeps polluting the global model).
+    assert!(trans < 0.8, "global transition AUC unexpectedly high ({trans})");
+    assert!(steady < 0.97, "global steady-state AUC unexpectedly high ({steady})");
+}
+
+#[test]
+fn decay_detector_recovers_after_switch() {
+    let stream = drift_stream();
+    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP).with_decay(0.9, 25);
+    let mut det = cfg.build_fd(stream.dim);
+    let (trans, steady) = post_drift_aucs(&mut det, &stream);
+    assert!(steady > 0.97, "decay detector failed to recover (AUC {steady})");
+    assert!(trans > 0.8, "decay detector too slow in transition ({trans})");
+}
+
+#[test]
+fn windowed_detector_recovers_after_switch() {
+    let stream = drift_stream();
+    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP);
+    let mut det = cfg.build_windowed_fd(stream.dim, 100, 4);
+    let (trans, steady) = post_drift_aucs(&mut det, &stream);
+    assert!(steady > 0.97, "windowed detector failed to recover (AUC {steady})");
+    assert!(trans > 0.8, "windowed detector too slow in transition ({trans})");
+}
+
+#[test]
+fn forgetting_detectors_beat_global_after_drift() {
+    let stream = drift_stream();
+    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP);
+    let mut global = cfg.build_fd(stream.dim);
+    let (g_trans, g_steady) = post_drift_aucs(&mut global, &stream);
+    let mut decay = cfg.with_decay(0.9, 25).build_fd(stream.dim);
+    let (d_trans, d_steady) = post_drift_aucs(&mut decay, &stream);
+    let mut window = cfg.build_windowed_fd(stream.dim, 100, 4);
+    let (w_trans, w_steady) = post_drift_aucs(&mut window, &stream);
+    assert!(d_trans > g_trans + 0.1, "decay trans ({d_trans}) vs global ({g_trans})");
+    assert!(w_trans > g_trans + 0.1, "window trans ({w_trans}) vs global ({g_trans})");
+    assert!(d_steady > g_steady + 0.03, "decay steady ({d_steady}) vs global ({g_steady})");
+    assert!(w_steady > g_steady + 0.03, "window steady ({w_steady}) vs global ({g_steady})");
+}
+
+#[test]
+fn all_variants_agree_before_drift() {
+    let stream = drift_stream();
+    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP);
+    let pre_auc = |det: &mut dyn StreamingDetector| {
+        let mut scores = Vec::new();
+        for (v, _) in stream.iter() {
+            scores.push(det.process(v));
+        }
+        let labels = stream.labels();
+        let end = stream.len() / 2;
+        roc_auc(&scores[WARMUP..end], &labels[WARMUP..end]).unwrap()
+    };
+    let mut global = cfg.build_fd(stream.dim);
+    let mut decay = cfg.with_decay(0.9, 25).build_fd(stream.dim);
+    let mut window = cfg.build_windowed_fd(stream.dim, 100, 4);
+    let g = pre_auc(&mut global);
+    let d = pre_auc(&mut decay);
+    let w = pre_auc(&mut window);
+    for (name, auc) in [("global", g), ("decay", d), ("window", w)] {
+        assert!(auc > 0.9, "{name} pre-drift AUC {auc}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate fidelity checks: the deterministic sketch guarantee holds
+//! end-to-end, and sketched anomaly scores track the exact detector.
+
+use sketchad_core::{DetectorConfig, ExactSvdDetector, ScoreKind, StreamingDetector};
+use sketchad_eval::spearman;
+use sketchad_linalg::Matrix;
+use sketchad_sketch::bounds::{covariance_error, fd_spectral_error_bound};
+use sketchad_sketch::{FrequentDirections, MatrixSketch};
+use sketchad_streams::{synth_lowrank, DatasetScale};
+
+#[test]
+fn fd_guarantee_holds_on_real_dataset_streams() {
+    for stream in [
+        synth_lowrank(DatasetScale::Small),
+        sketchad_streams::p53_like(DatasetScale::Small),
+    ] {
+        let a = Matrix::from_rows(&stream.rows()).unwrap();
+        for ell in [8usize, 24] {
+            let mut fd = FrequentDirections::new(ell, stream.dim);
+            for (v, _) in stream.iter() {
+                fd.update(v);
+            }
+            let err = covariance_error(&a, &fd.sketch(), 7);
+            let bound = fd_spectral_error_bound(a.squared_frobenius_norm(), ell);
+            assert!(
+                err.absolute <= bound * (1.0 + 1e-9),
+                "{} ell={ell}: measured {} > bound {bound}",
+                stream.name,
+                err.absolute
+            );
+        }
+    }
+}
+
+#[test]
+fn sketched_scores_track_exact_scores() {
+    let stream = synth_lowrank(DatasetScale::Small);
+    let warmup = 150;
+    let k = 5;
+
+    let mut exact = ExactSvdDetector::new(
+        stream.dim,
+        k,
+        ScoreKind::RelativeProjection,
+        64,
+        warmup,
+    );
+    let mut exact_scores = Vec::new();
+    for (v, _) in stream.iter() {
+        exact_scores.push(exact.process(v));
+    }
+
+    let cfg = DetectorConfig::new(k, 32).with_warmup(warmup);
+    let mut fd = cfg.build_fd(stream.dim);
+    let mut fd_scores = Vec::new();
+    for (v, _) in stream.iter() {
+        fd_scores.push(fd.process(v));
+    }
+
+    let corr = spearman(&fd_scores[warmup..], &exact_scores[warmup..]).unwrap();
+    assert!(corr > 0.9, "FD/exact Spearman correlation {corr}");
+}
+
+#[test]
+fn larger_sketches_are_more_faithful() {
+    let stream = synth_lowrank(DatasetScale::Small);
+    let warmup = 150;
+    let k = 5;
+    let mut exact = ExactSvdDetector::new(
+        stream.dim,
+        k,
+        ScoreKind::RelativeProjection,
+        64,
+        warmup,
+    );
+    let mut exact_scores = Vec::new();
+    for (v, _) in stream.iter() {
+        exact_scores.push(exact.process(v));
+    }
+
+    let mut corrs = Vec::new();
+    for ell in [6usize, 12, 32] {
+        let cfg = DetectorConfig::new(k.min(ell), ell).with_warmup(warmup);
+        let mut det = cfg.build_fd(stream.dim);
+        let mut scores = Vec::new();
+        for (v, _) in stream.iter() {
+            scores.push(det.process(v));
+        }
+        corrs.push(spearman(&scores[warmup..], &exact_scores[warmup..]).unwrap());
+    }
+    assert!(
+        corrs[2] >= corrs[0] - 0.02,
+        "fidelity should not degrade with ell: {corrs:?}"
+    );
+    assert!(corrs[2] > 0.9, "largest sketch should be faithful: {corrs:?}");
+}
+
+#[test]
+fn detector_sketch_exposes_quality_introspection() {
+    let stream = synth_lowrank(DatasetScale::Small);
+    let cfg = DetectorConfig::new(5, 16).with_warmup(100);
+    let mut det = cfg.build_fd(stream.dim);
+    for (v, _) in stream.iter() {
+        det.process(v);
+    }
+    // The sketch behind the detector is reachable and self-certifying.
+    let certificate = det.sketch().shrink_delta_sum();
+    let a = Matrix::from_rows(&stream.rows()).unwrap();
+    let err = covariance_error(&a, &det.sketch().sketch(), 3);
+    assert!(
+        err.absolute <= certificate * (1.0 + 1e-6) + 1e-9,
+        "certificate {certificate} < measured {}",
+        err.absolute
+    );
+    // The model reports a sensible captured-energy figure.
+    let model = det.model().expect("model built");
+    let energy = model.energy_captured();
+    assert!(energy > 0.5 && energy <= 1.0, "energy {energy}");
+}
