@@ -33,13 +33,8 @@ fn bench_scale_d(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("exact-detector", d), |b| {
             b.iter(|| {
-                let mut det = ExactSvdDetector::new(
-                    d,
-                    10,
-                    ScoreKind::RelativeProjection,
-                    n / 2,
-                    256,
-                );
+                let mut det =
+                    ExactSvdDetector::new(d, 10, ScoreKind::RelativeProjection, n / 2, 256);
                 let mut acc = 0.0;
                 for (v, _) in stream.iter() {
                     acc += det.process(black_box(v));

@@ -22,8 +22,8 @@ use sketchad_eval::{
 use sketchad_linalg::Matrix;
 use sketchad_sketch::bounds::{covariance_error, fd_spectral_error_bound};
 use sketchad_sketch::{
-    CountSketch, FrequentDirections, IsvdTruncation, MatrixSketch, RandomProjection,
-    RowSampling, SparseJl,
+    CountSketch, FrequentDirections, IsvdTruncation, MatrixSketch, RandomProjection, RowSampling,
+    SparseJl,
 };
 use sketchad_streams::{
     drift_datasets, standard_datasets, synth_lowrank, DatasetScale, LowRankStreamConfig,
@@ -188,7 +188,11 @@ fn t2_t3_accuracy_runtime(opts: &Opts) {
     for (di, stream) in datasets.iter().enumerate() {
         let exact_refresh = exact_refresh_for(stream.len(), stream.dim);
         let k = rank_for_dataset(&stream.name);
-        let dataset_cfg = DetectorConfig { k, ell: cfg.ell.max(2 * k), ..cfg };
+        let dataset_cfg = DetectorConfig {
+            k,
+            ell: cfg.ell.max(2 * k),
+            ..cfg
+        };
         eprintln!(
             "[t2/t3] dataset {} (n={}, d={}, k={k})",
             stream.name,
@@ -246,8 +250,7 @@ fn sweep_auc_vs_ell(opts: &Opts) -> ExperimentReport {
     let dim = stream.dim;
     let k = 10.min(dim / 2);
     let warmup = 256;
-    let mut report =
-        ExperimentReport::new("t4", "ROC-AUC vs sketch size ell on synth-powerlaw");
+    let mut report = ExperimentReport::new("t4", "ROC-AUC vs sketch size ell on synth-powerlaw");
 
     // Exact reference.
     let mut exact = ExactSvdDetector::new(
@@ -442,8 +445,10 @@ fn t6_drift(opts: &Opts) {
         "T6: ROC-AUC under concept drift",
         &["method", "synth-drift", "synth-rotate"],
     );
-    let roster_labels: Vec<&'static str> =
-        drift_roster(4, 1000, 1).into_iter().map(|(l, _)| l).collect();
+    let roster_labels: Vec<&'static str> = drift_roster(4, 1000, 1)
+        .into_iter()
+        .map(|(l, _)| l)
+        .collect();
     let mut cells = vec![vec![String::new(); datasets.len()]; roster_labels.len()];
     for (di, stream) in datasets.iter().enumerate() {
         eprintln!("[t6] dataset {}", stream.name);
@@ -563,14 +568,8 @@ fn f3_runtime_vs_d(opts: &Opts) {
                 "RP-Gauss" => Box::new(det_cfg.build_rp(d)),
                 "CountSketch" => Box::new(det_cfg.build_cs(d)),
                 _ => Box::new(
-                    ExactSvdDetector::new(
-                        d,
-                        10.min(d / 2),
-                        ScoreKind::RelativeProjection,
-                        64,
-                        256,
-                    )
-                    .with_eig_iters(10),
+                    ExactSvdDetector::new(d, 10.min(d / 2), ScoreKind::RelativeProjection, 64, 256)
+                        .with_eig_iters(10),
                 ),
             };
             let out = run_boxed(&mut det, &stream);
@@ -727,11 +726,17 @@ fn f6_covariance_error(opts: &Opts) {
         s * s
     };
     let mut bound_series = Series::new("FD-bound");
-    let mut method_series: Vec<Series> =
-        ["FD", "RP-Gauss", "CountSketch", "RowSample", "SparseJL(s=4)", "iSVD-trunc"]
-            .iter()
-            .map(|m| Series::new(*m))
-            .collect();
+    let mut method_series: Vec<Series> = [
+        "FD",
+        "RP-Gauss",
+        "CountSketch",
+        "RowSample",
+        "SparseJL(s=4)",
+        "iSVD-trunc",
+    ]
+    .iter()
+    .map(|m| Series::new(*m))
+    .collect();
     for &ell in &ell_sweep_values(opts.scale) {
         let mut sketches: Vec<(usize, Box<dyn MatrixSketch>)> = vec![
             (0, Box::new(FrequentDirections::new(ell, d))),
@@ -764,8 +769,7 @@ fn f6_covariance_error(opts: &Opts) {
 fn f7_latency_distribution(opts: &Opts) {
     let stream = synth_lowrank(opts.scale);
     let cfg = DetectorConfig::new(10.min(stream.dim / 2), 64).with_warmup(256);
-    let mut report =
-        ExperimentReport::new("f7", "per-point latency distribution and percentiles");
+    let mut report = ExperimentReport::new("f7", "per-point latency distribution and percentiles");
     println!("== F7: per-point latency distribution ({}) ==", stream.name);
     for method in ["FD", "RP-Gauss", "CountSketch"] {
         let (out, stats) = match method {
@@ -854,9 +858,12 @@ fn f8_refresh_policy(opts: &Opts) {
         });
     }
     // Adaptive policy.
-    let cfg = DetectorConfig::new(k, 64)
-        .with_warmup(warmup)
-        .with_refresh(RefreshPolicy::EnergyTriggered { growth: 0.1, max_period: 512 });
+    let cfg = DetectorConfig::new(k, 64).with_warmup(warmup).with_refresh(
+        RefreshPolicy::EnergyTriggered {
+            growth: 0.1,
+            max_period: 512,
+        },
+    );
     let mut det = cfg.build_fd(stream.dim);
     let sw = Stopwatch::start();
     let mut scores = Vec::with_capacity(stream.len());
@@ -927,7 +934,9 @@ fn a1_score_family(opts: &Opts) {
             ..Default::default()
         });
         for (si, (score_name, score)) in scores.iter().enumerate() {
-            let cfg = DetectorConfig::new(10, 64).with_warmup(warmup).with_score(*score);
+            let cfg = DetectorConfig::new(10, 64)
+                .with_warmup(warmup)
+                .with_score(*score);
             let mut det = cfg.build_fd(d);
             let mut out = Vec::with_capacity(stream.len());
             for (v, _) in stream.iter() {
@@ -977,16 +986,15 @@ fn a2_poisoning(opts: &Opts) {
     let starts: Vec<usize> = (0..n_bursts)
         .map(|b| n / 4 + b * (n / 2) / n_bursts.max(1))
         .collect();
-    for i in 0..n {
-        let in_burst = starts.iter().any(|&s| i >= s && i < s + burst_len);
-        if in_burst {
-            // Shared burst direction per burst (first coordinate of which
-            // burst we're in, deterministic).
-            let bi = starts.iter().position(|&s| i >= s && i < s + burst_len).unwrap();
+    for (i, label) in labels.iter_mut().enumerate() {
+        // Shared burst direction per burst (first coordinate of which
+        // burst we're in, deterministic).
+        let burst = starts.iter().position(|&s| i >= s && i < s + burst_len);
+        if let Some(bi) = burst {
             let mut v = vec![0.0; d];
             v[(17 + 7 * bi) % d] = 9.0 + 0.1 * gaussian(&mut rng);
             rows.push(v);
-            labels[i] = true;
+            *label = true;
         } else {
             let coeff: Vec<f64> = (0..8).map(|_| 3.0 * gaussian(&mut rng)).collect();
             let mut v = basis.tr_matvec(&coeff);
@@ -1009,18 +1017,25 @@ fn a2_poisoning(opts: &Opts) {
     // is evicted by the burst direction).
     let mut table = Table::new(
         "A2: sketch-poisoning resistance (FD, long bursts)",
-        &["update policy", "AUC", "burst-tail score", "post-burst normal score", "skipped"],
+        &[
+            "update policy",
+            "AUC",
+            "burst-tail score",
+            "post-burst normal score",
+            "skipped",
+        ],
     );
     let tail_idx: Vec<usize> = starts
         .iter()
         .flat_map(|&s| (s + 3 * burst_len / 4)..(s + burst_len))
         .collect();
-    let normal_after: Vec<usize> = (starts[0] + burst_len..n)
-        .filter(|i| !labels[*i])
-        .collect();
+    let normal_after: Vec<usize> = (starts[0] + burst_len..n).filter(|i| !labels[*i]).collect();
     for (name, policy) in [
         ("Always", UpdatePolicy::Always),
-        ("SkipAnomalous(0.98)", UpdatePolicy::SkipAnomalous { quantile: 0.98 }),
+        (
+            "SkipAnomalous(0.98)",
+            UpdatePolicy::SkipAnomalous { quantile: 0.98 },
+        ),
     ] {
         // Model rank 12 over 8 true directions: the over-provisioned-rank
         // regime (true rank is never known in practice). The free model

@@ -1,0 +1,153 @@
+//! Serving-engine throughput sweep: points/second and latency quantiles
+//! versus shard count, recorded as `results/BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--out FILE]
+//! ```
+//!
+//! Numbers are measured on whatever hardware runs this — the artifact
+//! records `available_parallelism` so readers can judge whether thread
+//! scaling was even possible (on a single-core container the sharded
+//! configurations mostly measure coordination overhead, not speedup).
+
+use serde::Serialize;
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_serve::{ServeConfig, ServeEngine};
+use sketchad_streams::{generate_low_rank_stream, AnomalyKind, LowRankStreamConfig};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ShardRun {
+    shards: usize,
+    seconds: f64,
+    points_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+    queue_high_water_max: usize,
+    speedup_vs_one_shard: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    id: String,
+    description: String,
+    n: usize,
+    d: usize,
+    queue_capacity: usize,
+    available_parallelism: usize,
+    direct_baseline_points_per_sec: f64,
+    runs: Vec<ShardRun>,
+    note: String,
+}
+
+fn build_detector(d: usize) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(4, 32)
+            .with_warmup(200)
+            .with_seed(7)
+            .build_fd(d),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::to_string)
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+
+    let n = if small { 20_000 } else { 100_000 };
+    let d = 48;
+    let queue_capacity = 512;
+    let stream = generate_low_rank_stream(LowRankStreamConfig {
+        n,
+        d,
+        k: 4,
+        anomaly_rate: 0.01,
+        seed: 42,
+        anomaly_kind: AnomalyKind::OffSubspace,
+        ..Default::default()
+    });
+    let points: Vec<Vec<f64>> = stream.points.iter().map(|p| p.values.clone()).collect();
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // Direct (no engine, no threads) baseline.
+    let mut direct = build_detector(d);
+    let started = Instant::now();
+    for p in &points {
+        std::hint::black_box(direct.process(p));
+    }
+    let direct_secs = started.elapsed().as_secs_f64();
+    let direct_rate = n as f64 / direct_secs;
+    println!("direct baseline: {n} points in {direct_secs:.2}s — {direct_rate:.0} points/s");
+
+    let mut runs = Vec::new();
+    let mut one_shard_rate = None;
+    for shards in [1usize, 2, 4, 8] {
+        let config = ServeConfig::new(shards).with_queue_capacity(queue_capacity);
+        let mut engine = ServeEngine::start(config, |_| build_detector(d)).expect("engine start");
+        let started = Instant::now();
+        engine.submit_batch(points.iter().cloned()).expect("submit");
+        let report = engine.finish().expect("drain");
+        let seconds = started.elapsed().as_secs_f64();
+        assert_eq!(report.stats.total_processed as usize, n, "no loss allowed");
+        let rate = n as f64 / seconds;
+        let base = *one_shard_rate.get_or_insert(rate);
+        let run = ShardRun {
+            shards,
+            seconds,
+            points_per_sec: rate,
+            latency_p50_us: report.stats.latency_p50_us,
+            latency_p99_us: report.stats.latency_p99_us,
+            queue_high_water_max: report
+                .stats
+                .shards
+                .iter()
+                .map(|s| s.queue_high_water)
+                .max()
+                .unwrap_or(0),
+            speedup_vs_one_shard: rate / base,
+        };
+        println!(
+            "shards {}: {:.2}s — {:.0} points/s ({:.2}x vs 1 shard), p50 {:.1} µs, p99 {:.1} µs",
+            run.shards,
+            run.seconds,
+            run.points_per_sec,
+            run.speedup_vs_one_shard,
+            run.latency_p50_us,
+            run.latency_p99_us
+        );
+        runs.push(run);
+    }
+
+    let note = if parallelism <= 1 {
+        "measured on a single available core: shard workers time-slice one CPU, so \
+         multi-shard runs measure coordination overhead rather than parallel speedup; \
+         re-run on a multi-core host for scaling numbers"
+            .to_string()
+    } else {
+        format!("measured with {parallelism} cores available")
+    };
+    let report = BenchReport {
+        id: "BENCH_serve".to_string(),
+        description: "serving-engine throughput and latency vs shard count".to_string(),
+        n,
+        d,
+        queue_capacity,
+        available_parallelism: parallelism,
+        direct_baseline_points_per_sec: direct_rate,
+        runs,
+        note,
+    };
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -92,7 +92,10 @@ pub fn evaluate_scores(stream: &LabeledStream, scores: &[f64], skip: usize) -> E
     let labels = stream.labels();
     let s = &scores[skip.min(scores.len())..];
     let l = &labels[skip.min(labels.len())..];
-    EvalOutcome { auc: roc_auc(s, l), ap: average_precision(s, l) }
+    EvalOutcome {
+        auc: roc_auc(s, l),
+        ap: average_precision(s, l),
+    }
 }
 
 /// The method roster of the accuracy/runtime tables (T2/T3): the exact
@@ -124,7 +127,10 @@ pub fn standard_roster(
             "Oja",
             Box::new(OjaDetector::new(dim, cfg.k.min(dim), cfg.warmup, cfg.seed)),
         ),
-        ("MeanDist", Box::new(MeanDistanceDetector::new(dim, cfg.warmup))),
+        (
+            "MeanDist",
+            Box::new(MeanDistanceDetector::new(dim, cfg.warmup)),
+        ),
         ("Random", Box::new(RandomScoreDetector::new(dim, cfg.seed))),
     ]
 }
@@ -183,7 +189,15 @@ mod tests {
         let scores: Vec<f64> = labels
             .iter()
             .enumerate()
-            .map(|(i, &l)| if i < 50 { 1000.0 } else if l { 1.0 } else { 0.0 })
+            .map(|(i, &l)| {
+                if i < 50 {
+                    1000.0
+                } else if l {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let eval = evaluate_scores(&stream, &scores, 50);
         assert_eq!(eval.auc, Some(1.0));

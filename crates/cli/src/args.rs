@@ -39,7 +39,11 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "missing subcommand"),
             ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key}: bad value {value:?} (expected {expected})")
             }
         }
@@ -66,10 +70,9 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 continue;
             }
             match iter.peek() {
-                Some(v)
-                    if !v.starts_with("--") || VALUE_OPTIONS_ALLOW_DASH.contains(&name) =>
-                {
-                    out.options.insert(name.to_string(), iter.next().unwrap().clone());
+                Some(v) if !v.starts_with("--") || VALUE_OPTIONS_ALLOW_DASH.contains(&name) => {
+                    out.options
+                        .insert(name.to_string(), iter.next().unwrap().clone());
                 }
                 _ => return Err(ArgError::MissingValue(name.to_string())),
             }

@@ -29,13 +29,18 @@ use sketchad_core::{
 use sketchad_eval::{fmt_opt, roc_auc};
 use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
 
-const USAGE: &str = "usage: sketchad <generate|score|apply|datasets> [options]
+const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [options]
   generate --dataset NAME --output FILE [--small]
   score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
            [--score rel-proj|proj|leverage|blended] [--warmup N]
            [--decay ALPHA:EVERY] [--fp-rate F] [--output FILE]
            [--save-model FILE] [--normalize] [--quiet]
   apply    --model FILE --input FILE [--output FILE] [--quiet]
+  pipeline (--input FILE | --dataset NAME [--small]) [--shards N]
+           [--queue N] [--policy block|drop] [--partition rr|hash]
+           [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
+           [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
+           [--output FILE] [--stats-json FILE] [--quiet]
   datasets";
 
 /// Persisted artifact of a trained detector: the subspace model plus the
@@ -68,6 +73,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&parsed),
         "score" => cmd_score(&parsed),
         "apply" => cmd_apply(&parsed),
+        "pipeline" => cmd_pipeline(&parsed),
         "datasets" => {
             for name in dataset_names() {
                 println!("{name}");
@@ -109,7 +115,11 @@ fn dataset_by_name(name: &str, scale: DatasetScale) -> Option<LabeledStream> {
 fn cmd_generate(p: &ParsedArgs) -> Result<(), String> {
     let name = p.require("dataset").map_err(|e| e.to_string())?;
     let output = p.require("output").map_err(|e| e.to_string())?;
-    let scale = if p.has_flag("small") { DatasetScale::Small } else { DatasetScale::Full };
+    let scale = if p.has_flag("small") {
+        DatasetScale::Small
+    } else {
+        DatasetScale::Full
+    };
     let stream = dataset_by_name(name, scale)
         .ok_or_else(|| format!("unknown dataset {name:?} (see `sketchad datasets`)"))?;
     stream_io::write_csv(&stream, Path::new(output)).map_err(|e| e.to_string())?;
@@ -149,13 +159,18 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
     let input = p.require("input").map_err(|e| e.to_string())?;
     let stream = stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?;
 
-    let k: usize = p.get_parse_or("k", 10, "positive integer").map_err(|e| e.to_string())?;
-    let ell: usize =
-        p.get_parse_or("ell", 64, "positive integer").map_err(|e| e.to_string())?;
-    let warmup: usize =
-        p.get_parse_or("warmup", 256, "integer").map_err(|e| e.to_string())?;
-    let fp_rate: f64 =
-        p.get_parse_or("fp-rate", 0.01, "fraction in (0,1)").map_err(|e| e.to_string())?;
+    let k: usize = p
+        .get_parse_or("k", 10, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let ell: usize = p
+        .get_parse_or("ell", 64, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let warmup: usize = p
+        .get_parse_or("warmup", 256, "integer")
+        .map_err(|e| e.to_string())?;
+    let fp_rate: f64 = p
+        .get_parse_or("fp-rate", 0.01, "fraction in (0,1)")
+        .map_err(|e| e.to_string())?;
     if !(0.0 < fp_rate && fp_rate < 1.0) {
         return Err("--fp-rate must be in (0, 1)".into());
     }
@@ -179,7 +194,9 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
         other => return Err(format!("unknown sketch {other:?} (fd|rp|cs|rs)")),
     };
     if p.has_flag("normalize") {
-        detector = Box::new(sketchad_core::NormalizedDetector::new(BoxedDetector(detector)));
+        detector = Box::new(sketchad_core::NormalizedDetector::new(BoxedDetector(
+            detector,
+        )));
     }
 
     let mut alerting = BoxedThreshold::new(detector, fp_rate, warmup.max(64));
@@ -209,8 +226,7 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
             println!("ROC-AUC (post-warmup): {}", fmt_opt(auc));
         }
         println!("alerts at fp-rate {fp_rate}: {}", alerts.len());
-        let mut top: Vec<(usize, f64)> =
-            scores.iter().copied().enumerate().skip(warmup).collect();
+        let mut top: Vec<(usize, f64)> = scores.iter().copied().enumerate().skip(warmup).collect();
         top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
         println!("top anomalies (index: score):");
         for (i, s) in top.iter().take(5) {
@@ -223,7 +239,11 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
         let mut f = std::fs::File::create(output).map_err(|e| e.to_string())?;
         writeln!(f, "index,score,alert").map_err(|e| e.to_string())?;
         for (i, s) in scores.iter().enumerate() {
-            let alert = if alerts.binary_search(&i).is_ok() { 1 } else { 0 };
+            let alert = if alerts.binary_search(&i).is_ok() {
+                1
+            } else {
+                0
+            };
             writeln!(f, "{i},{s},{alert}").map_err(|e| e.to_string())?;
         }
         if !p.has_flag("quiet") {
@@ -236,11 +256,18 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
         let model = alerting
             .current_model()
             .ok_or("no model was trained (stream shorter than warmup?)")?;
-        let saved = SavedModel { score, model: model.clone() };
+        let saved = SavedModel {
+            score,
+            model: model.clone(),
+        };
         let json = serde_json::to_string_pretty(&saved).map_err(|e| e.to_string())?;
         std::fs::write(model_path, json).map_err(|e| e.to_string())?;
         if !p.has_flag("quiet") {
-            println!("saved trained model (k={}, d={}) to {model_path}", model.k(), model.dim());
+            println!(
+                "saved trained model (k={}, d={}) to {model_path}",
+                model.k(),
+                model.dim()
+            );
         }
     }
     Ok(())
@@ -292,6 +319,147 @@ fn cmd_apply(p: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Concurrent scoring through the sharded serving engine: partitions the
+/// stream across worker shards, reports throughput and latency quantiles,
+/// and optionally dumps scores and the stats JSON artifact.
+fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
+    use sketchad_serve::{BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine};
+
+    // Input: a CSV file or a named builtin dataset.
+    let stream = match (p.options.get("input"), p.options.get("dataset")) {
+        (Some(input), None) => stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?,
+        (None, Some(name)) => {
+            let scale = if p.has_flag("small") {
+                DatasetScale::Small
+            } else {
+                DatasetScale::Full
+            };
+            dataset_by_name(name, scale)
+                .ok_or_else(|| format!("unknown dataset {name:?} (see `sketchad datasets`)"))?
+        }
+        _ => return Err("pipeline needs exactly one of --input or --dataset".into()),
+    };
+
+    let shards: usize = p
+        .get_parse_or("shards", 4, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let queue: usize = p
+        .get_parse_or("queue", 1024, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let snapshot_every: u64 = p
+        .get_parse_or("snapshot-every", 256, "integer")
+        .map_err(|e| e.to_string())?;
+    let policy = match p.get_or("policy", "block") {
+        "block" => BackpressurePolicy::Block,
+        "drop" => BackpressurePolicy::DropNewest,
+        other => return Err(format!("unknown policy {other:?} (block|drop)")),
+    };
+    let partition = match p.get_or("partition", "rr") {
+        "rr" => PartitionStrategy::RoundRobin,
+        "hash" => {
+            // CSV rows carry no entity key, so keyed routing has nothing to
+            // hash and the engine falls back to round-robin per point.
+            eprintln!(
+                "note: --partition hash routes by per-point keys, which CSV input does not \
+                 carry; unkeyed points are routed round-robin (use the library API's \
+                 submit_keyed for sticky per-entity routing)"
+            );
+            PartitionStrategy::KeyHash
+        }
+        other => return Err(format!("unknown partition {other:?} (rr|hash)")),
+    };
+
+    let k: usize = p
+        .get_parse_or("k", 10, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let ell: usize = p
+        .get_parse_or("ell", 64, "positive integer")
+        .map_err(|e| e.to_string())?;
+    let warmup: usize = p
+        .get_parse_or("warmup", 256, "integer")
+        .map_err(|e| e.to_string())?;
+    let score = parse_score_kind(p.get_or("score", "rel-proj"))?;
+    let sketch_name = p.get_or("sketch", "fd").to_string();
+    let dim = stream.dim;
+    let cfg = DetectorConfig::new(k, ell)
+        .with_warmup(warmup)
+        .with_score(score)
+        .with_refresh(RefreshPolicy::Periodic { period: 64 });
+
+    let serve_config = ServeConfig::new(shards)
+        .with_queue_capacity(queue)
+        .with_backpressure(policy)
+        .with_partition(partition)
+        .with_snapshot_every(snapshot_every);
+    let factory_err = std::cell::RefCell::new(None::<String>);
+    let mut engine = ServeEngine::start(serve_config, |_shard| {
+        match sketch_name.as_str() {
+            "fd" => Box::new(cfg.build_fd(dim)) as Box<dyn StreamingDetector + Send>,
+            "rp" => Box::new(cfg.build_rp(dim)),
+            "cs" => Box::new(cfg.build_cs(dim)),
+            "rs" => Box::new(cfg.build_rs(dim)),
+            other => {
+                *factory_err.borrow_mut() = Some(format!("unknown sketch {other:?} (fd|rp|cs|rs)"));
+                // Placeholder so start() can finish; the error below wins.
+                Box::new(cfg.build_fd(dim))
+            }
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(err) = factory_err.into_inner() {
+        let _ = engine.finish();
+        return Err(err);
+    }
+
+    let started = std::time::Instant::now();
+    let batch = engine
+        .submit_batch(stream.iter().map(|(v, _)| v.to_vec()))
+        .map_err(|e| e.to_string())?;
+    let report = engine.finish().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    let stats = &report.stats;
+
+    if !p.has_flag("quiet") {
+        let rate = stats.total_processed as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "pipeline: {} points (d={}) through {shards} shard(s) in {:.2}s — {:.0} points/s",
+            batch.accepted + batch.dropped,
+            dim,
+            elapsed.as_secs_f64(),
+            rate
+        );
+        println!(
+            "processed {} / dropped {} | latency p50 {:.1} µs, p99 {:.1} µs",
+            stats.total_processed, stats.total_dropped, stats.latency_p50_us, stats.latency_p99_us
+        );
+        for s in &stats.shards {
+            println!(
+                "  shard {}: processed {}, dropped {}, queue high-water {}",
+                s.shard, s.processed, s.dropped, s.queue_high_water
+            );
+        }
+    }
+
+    if let Some(output) = p.options.get("output") {
+        let mut f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        writeln!(f, "index,score").map_err(|e| e.to_string())?;
+        for (seq, s) in &report.scores {
+            writeln!(f, "{seq},{s}").map_err(|e| e.to_string())?;
+        }
+        if !p.has_flag("quiet") {
+            println!("wrote per-point scores to {output}");
+        }
+    }
+    if let Some(stats_path) = p.options.get("stats-json") {
+        let json = serde_json::to_string_pretty(stats).map_err(|e| e.to_string())?;
+        std::fs::write(stats_path, json).map_err(|e| e.to_string())?;
+        if !p.has_flag("quiet") {
+            println!("wrote pipeline stats to {stats_path}");
+        }
+    }
+    Ok(())
+}
+
 /// Threshold wrapper over a boxed detector (ThresholdedDetector is generic
 /// over a concrete detector type; this adapts it to `Box<dyn …>`).
 struct BoxedThreshold {
@@ -316,11 +484,19 @@ impl StreamingDetector for BoxedDetector {
     fn name(&self) -> String {
         self.0.name()
     }
+    fn current_model(&self) -> Option<&sketchad_core::SubspaceModel> {
+        self.0.current_model()
+    }
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        self.0.score_only(y)
+    }
 }
 
 impl BoxedThreshold {
     fn new(det: Box<dyn StreamingDetector>, fp_rate: f64, calibration: usize) -> Self {
-        Self { inner: ThresholdedDetector::new(BoxedDetector(det), fp_rate, calibration) }
+        Self {
+            inner: ThresholdedDetector::new(BoxedDetector(det), fp_rate, calibration),
+        }
     }
 
     fn process(&mut self, y: &[f64]) -> (f64, bool) {
@@ -343,8 +519,14 @@ mod tests {
 
     #[test]
     fn score_kind_parsing() {
-        assert_eq!(parse_score_kind("rel-proj").unwrap(), ScoreKind::RelativeProjection);
-        assert_eq!(parse_score_kind("proj").unwrap(), ScoreKind::ProjectionDistance);
+        assert_eq!(
+            parse_score_kind("rel-proj").unwrap(),
+            ScoreKind::RelativeProjection
+        );
+        assert_eq!(
+            parse_score_kind("proj").unwrap(),
+            ScoreKind::ProjectionDistance
+        );
         assert_eq!(parse_score_kind("leverage").unwrap(), ScoreKind::Leverage);
         assert!(matches!(
             parse_score_kind("blended").unwrap(),
@@ -519,6 +701,50 @@ mod tests {
     fn unknown_subcommand_is_error() {
         let err = run(&["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn end_to_end_pipeline_on_builtin_dataset() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let out = dir.join(format!("sketchad-pipeline-scores-{pid}.csv"));
+        let stats = dir.join(format!("sketchad-pipeline-stats-{pid}.json"));
+        run(&[
+            "pipeline".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--small".into(),
+            "--shards".into(),
+            "2".into(),
+            "--warmup".into(),
+            "100".into(),
+            "--output".into(),
+            out.to_str().unwrap().into(),
+            "--stats-json".into(),
+            stats.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let dumped = std::fs::read_to_string(&out).unwrap();
+        assert!(dumped.starts_with("index,score"));
+        // One line per point plus header.
+        let expected = dataset_by_name("synth-lowrank", DatasetScale::Small)
+            .unwrap()
+            .len();
+        assert_eq!(dumped.lines().count(), expected + 1);
+        let stats_raw = std::fs::read_to_string(&stats).unwrap();
+        let parsed: sketchad_serve::PipelineStats = serde_json::from_str(&stats_raw).unwrap();
+        assert_eq!(parsed.total_processed as usize, expected);
+        assert_eq!(parsed.shards.len(), 2);
+        for p in [&out, &stats] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn pipeline_rejects_ambiguous_input() {
+        let err = run(&["pipeline".to_string()]).unwrap_err();
+        assert!(err.contains("exactly one of"), "{err}");
     }
 
     #[test]

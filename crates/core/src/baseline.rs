@@ -97,9 +97,8 @@ impl StreamingDetector for OjaDetector {
             let eta = self.learning_rate();
             let yn: Vec<f64> = y.iter().map(|v| v / norm).collect();
             let coeffs = self.v.matvec(&yn); // k projections
-            for j in 0..self.k {
-                let step = eta * coeffs[j];
-                vecops::axpy(step, &yn, self.v.row_mut(j));
+            for (j, &c) in coeffs.iter().enumerate().take(self.k) {
+                vecops::axpy(eta * c, &yn, self.v.row_mut(j));
             }
         }
         self.processed += 1;
@@ -134,7 +133,12 @@ pub struct MeanDistanceDetector {
 impl MeanDistanceDetector {
     /// Creates the detector over dimension `dim`.
     pub fn new(dim: usize, warmup: usize) -> Self {
-        Self { mean: vec![0.0; dim], m2: vec![0.0; dim], warmup, processed: 0 }
+        Self {
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            warmup,
+            processed: 0,
+        }
     }
 }
 
@@ -149,9 +153,9 @@ impl StreamingDetector for MeanDistanceDetector {
         let score = if self.is_warmed_up() && n >= 2.0 {
             let d = self.dim() as f64;
             let mut acc = 0.0;
-            for i in 0..self.dim() {
+            for (i, &yi) in y.iter().enumerate() {
                 let var = self.m2[i] / (n - 1.0);
-                let diff = y[i] - self.mean[i];
+                let diff = yi - self.mean[i];
                 acc += diff * diff / (var + 1e-12);
             }
             acc / d
@@ -161,10 +165,10 @@ impl StreamingDetector for MeanDistanceDetector {
 
         // Welford update.
         let n1 = n + 1.0;
-        for i in 0..self.dim() {
-            let delta = y[i] - self.mean[i];
+        for (i, &yi) in y.iter().enumerate() {
+            let delta = yi - self.mean[i];
             self.mean[i] += delta / n1;
-            let delta2 = y[i] - self.mean[i];
+            let delta2 = yi - self.mean[i];
             self.m2[i] += delta * delta2;
         }
         self.processed += 1;
@@ -195,7 +199,11 @@ pub struct RandomScoreDetector {
 impl RandomScoreDetector {
     /// Creates the control detector.
     pub fn new(dim: usize, seed: u64) -> Self {
-        Self { dim, rng: seeded_rng(seed), processed: 0 }
+        Self {
+            dim,
+            rng: seeded_rng(seed),
+            processed: 0,
+        }
     }
 }
 
@@ -284,7 +292,10 @@ mod tests {
         }
         let outlier = vec![10.0; 4];
         let s = det.process(&outlier);
-        assert!(s > 20.0 * last_normal.max(0.5), "outlier {s} vs normal {last_normal}");
+        assert!(
+            s > 20.0 * last_normal.max(0.5),
+            "outlier {s} vs normal {last_normal}"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl DetectorConfig {
     /// Creates a config with the given rank and sketch size and defaults
     /// elsewhere.
     pub fn new(k: usize, ell: usize) -> Self {
-        Self { k, ell, ..Self::default() }
+        Self {
+            k,
+            ell,
+            ..Self::default()
+        }
     }
 
     /// Sets the score family.
@@ -157,7 +161,10 @@ mod tests {
         assert!(c.build_rp(10).name().contains("random-projection"));
         assert!(c.build_cs(10).name().contains("count-sketch"));
         assert!(c.build_rs(10).name().contains("row-sampling"));
-        assert!(c.build_windowed_fd(10, 50, 4).name().contains("block-window"));
+        assert!(c
+            .build_windowed_fd(10, 50, 4)
+            .name()
+            .contains("block-window"));
     }
 
     #[test]
@@ -167,7 +174,10 @@ mod tests {
             .with_decay(0.9, 10)
             .with_seed(99)
             .with_score(ScoreKind::Blended { beta: 0.1 })
-            .with_refresh(RefreshPolicy::EnergyTriggered { growth: 0.5, max_period: 32 });
+            .with_refresh(RefreshPolicy::EnergyTriggered {
+                growth: 0.5,
+                max_period: 32,
+            });
         let mut rng = seeded_rng(50);
         let mut fd = c.build_fd(6);
         let mut rp = c.build_rp(6);

@@ -34,6 +34,19 @@ pub trait StreamingDetector {
         None
     }
 
+    /// Scores a point against the current model **without** folding it into
+    /// the detector state. Returns `None` until the detector is warmed up,
+    /// or for detector kinds with no read-only scoring path.
+    ///
+    /// For a warmed-up detector, `score_only(y)` equals the score that
+    /// `process(y)` would return for the same point — serving layers rely on
+    /// this to scale out reads against an immutable model while a single
+    /// writer owns `process`.
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        let _ = y;
+        None
+    }
+
     /// Convenience: scores an entire slice of rows.
     fn process_all(&mut self, rows: &[Vec<f64>]) -> Vec<f64> {
         rows.iter().map(|r| self.process(r)).collect()

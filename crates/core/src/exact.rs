@@ -44,7 +44,13 @@ impl ExactSvdDetector {
     ///
     /// # Panics
     /// Panics when `k == 0` or `k > dim`.
-    pub fn new(dim: usize, k: usize, score: ScoreKind, refresh_period: usize, warmup: usize) -> Self {
+    pub fn new(
+        dim: usize,
+        k: usize,
+        score: ScoreKind,
+        refresh_period: usize,
+        warmup: usize,
+    ) -> Self {
         assert!(k > 0 && k <= dim, "require 1 <= k <= d (k={k}, d={dim})");
         Self {
             cov: Matrix::zeros(dim, dim),
@@ -146,8 +152,7 @@ impl StreamingDetector for ExactSvdDetector {
 
         let warmup_just_done = self.processed as usize == self.warmup.max(1);
         if (self.model.is_none() && warmup_just_done)
-            || (self.since_refresh >= self.refresh_period
-                && self.processed as usize >= self.warmup)
+            || (self.since_refresh >= self.refresh_period && self.processed as usize >= self.warmup)
         {
             self.rebuild();
         }
@@ -168,6 +173,13 @@ impl StreamingDetector for ExactSvdDetector {
 
     fn current_model(&self) -> Option<&SubspaceModel> {
         self.model.as_ref()
+    }
+
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        if !self.is_warmed_up() {
+            return None;
+        }
+        self.model.as_ref().map(|m| self.score.evaluate(m, y))
     }
 }
 
@@ -253,8 +265,7 @@ impl StreamingDetector for ExactWindowedDetector {
 
         let warmup_just_done = self.processed as usize == self.warmup.max(1);
         if (self.model.is_none() && warmup_just_done)
-            || (self.since_refresh >= self.refresh_period
-                && self.processed as usize >= self.warmup)
+            || (self.since_refresh >= self.refresh_period && self.processed as usize >= self.warmup)
         {
             self.rebuild();
         }
@@ -275,6 +286,13 @@ impl StreamingDetector for ExactWindowedDetector {
 
     fn current_model(&self) -> Option<&SubspaceModel> {
         self.model.as_ref()
+    }
+
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        if !self.is_warmed_up() {
+            return None;
+        }
+        self.model.as_ref().map(|m| self.score.evaluate(m, y))
     }
 }
 
@@ -321,8 +339,7 @@ mod tests {
     #[test]
     fn windowed_detector_forgets_old_regime() {
         let d = 6;
-        let mut det =
-            ExactWindowedDetector::new(d, 1, 50, ScoreKind::RelativeProjection, 10, 20);
+        let mut det = ExactWindowedDetector::new(d, 1, 50, ScoreKind::RelativeProjection, 10, 20);
         let mut e1 = vec![0.0; d];
         e1[0] = 3.0;
         let mut e2 = vec![0.0; d];
@@ -344,8 +361,8 @@ mod tests {
     #[test]
     fn decayed_exact_adapts() {
         let d = 4;
-        let mut det = ExactSvdDetector::new(d, 1, ScoreKind::RelativeProjection, 10, 10)
-            .with_decay(0.5, 10);
+        let mut det =
+            ExactSvdDetector::new(d, 1, ScoreKind::RelativeProjection, 10, 10).with_decay(0.5, 10);
         let e1 = [4.0, 0.0, 0.0, 0.0];
         let e2 = [0.0, 4.0, 0.0, 0.0];
         for _ in 0..100 {

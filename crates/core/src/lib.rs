@@ -46,6 +46,22 @@
 //! * [`threshold`] — P² streaming quantile + alerting wrapper.
 //! * [`normalize`] — online z-scoring wrapper.
 //! * [`config`] — [`DetectorConfig`] builder entry point.
+//! * [`detector`] — the [`StreamingDetector`] trait every detector
+//!   implements: mutating [`process`](StreamingDetector::process) plus the
+//!   pure-read [`score_only`](StreamingDetector::score_only) used by
+//!   concurrent scorers.
+//!
+//! ## Serving layer
+//!
+//! Detectors here are deliberately single-threaded. The `sketchad-serve`
+//! crate layers concurrency on top without touching this crate's logic: it
+//! partitions a stream across shards (one detector per shard, single
+//! writer), publishes each shard's [`SubspaceModel`] as an immutable
+//! snapshot for lock-free readers, and aggregates per-shard throughput and
+//! latency metrics. The split works because [`SubspaceModel`] is an
+//! immutable value once built and
+//! [`score_only`](StreamingDetector::score_only) is contractually
+//! non-mutating.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -19,7 +19,11 @@ pub struct OnlineNormalizer {
 impl OnlineNormalizer {
     /// Creates a normalizer over `dim` dimensions.
     pub fn new(dim: usize) -> Self {
-        Self { mean: vec![0.0; dim], m2: vec![0.0; dim], count: 0 }
+        Self {
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            count: 0,
+        }
     }
 
     /// Dimensionality.
@@ -61,10 +65,10 @@ impl OnlineNormalizer {
         assert_eq!(y.len(), self.dim(), "point dimension mismatch");
         self.count += 1;
         let n = self.count as f64;
-        for i in 0..self.dim() {
-            let delta = y[i] - self.mean[i];
+        for (i, &yi) in y.iter().enumerate() {
+            let delta = yi - self.mean[i];
             self.mean[i] += delta / n;
-            let delta2 = y[i] - self.mean[i];
+            let delta2 = yi - self.mean[i];
             self.m2[i] += delta * delta2;
         }
     }
@@ -102,7 +106,10 @@ impl<D: StreamingDetector> NormalizedDetector<D> {
     /// Wraps `inner` with online z-scoring.
     pub fn new(inner: D) -> Self {
         let dim = inner.dim();
-        Self { normalizer: OnlineNormalizer::new(dim), inner }
+        Self {
+            normalizer: OnlineNormalizer::new(dim),
+            inner,
+        }
     }
 
     /// Access the wrapped detector.
@@ -133,6 +140,10 @@ impl<D: StreamingDetector> StreamingDetector for NormalizedDetector<D> {
         format!("norm+{}", self.inner.name())
     }
 
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        self.inner.score_only(&self.normalizer.transform(y))
+    }
+
     fn current_model(&self) -> Option<&crate::subspace::SubspaceModel> {
         // Note: the model lives in *normalized* space; a saved model must be
         // applied to normalized inputs.
@@ -150,7 +161,12 @@ mod tests {
     fn moments_match_batch_computation() {
         let mut rng = seeded_rng(40);
         let data: Vec<Vec<f64>> = (0..500)
-            .map(|_| vec![3.0 + 2.0 * gaussian(&mut rng), -1.0 + 0.5 * gaussian(&mut rng)])
+            .map(|_| {
+                vec![
+                    3.0 + 2.0 * gaussian(&mut rng),
+                    -1.0 + 0.5 * gaussian(&mut rng),
+                ]
+            })
             .collect();
         let mut norm = OnlineNormalizer::new(2);
         for y in &data {
@@ -159,8 +175,7 @@ mod tests {
         let n = data.len() as f64;
         for dim in 0..2 {
             let mean: f64 = data.iter().map(|y| y[dim]).sum::<f64>() / n;
-            let var: f64 =
-                data.iter().map(|y| (y[dim] - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let var: f64 = data.iter().map(|y| (y[dim] - mean).powi(2)).sum::<f64>() / (n - 1.0);
             assert!((norm.mean()[dim] - mean).abs() < 1e-10);
             assert!((norm.variance()[dim] - var).abs() < 1e-9);
         }

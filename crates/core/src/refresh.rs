@@ -85,21 +85,30 @@ mod tests {
 
     #[test]
     fn adaptive_fires_on_energy_growth() {
-        let p = RefreshPolicy::EnergyTriggered { growth: 0.5, max_period: 1000 };
+        let p = RefreshPolicy::EnergyTriggered {
+            growth: 0.5,
+            max_period: 1000,
+        };
         assert!(!p.should_refresh(5, 1.4, 1.0));
         assert!(p.should_refresh(5, 1.5, 1.0));
     }
 
     #[test]
     fn adaptive_fires_on_max_period() {
-        let p = RefreshPolicy::EnergyTriggered { growth: 10.0, max_period: 8 };
+        let p = RefreshPolicy::EnergyTriggered {
+            growth: 10.0,
+            max_period: 8,
+        };
         assert!(!p.should_refresh(7, 1.0, 1.0));
         assert!(p.should_refresh(8, 1.0, 1.0));
     }
 
     #[test]
     fn adaptive_fires_when_baseline_energy_is_zero() {
-        let p = RefreshPolicy::EnergyTriggered { growth: 0.1, max_period: 100 };
+        let p = RefreshPolicy::EnergyTriggered {
+            growth: 0.1,
+            max_period: 100,
+        };
         assert!(p.should_refresh(1, 5.0, 0.0));
     }
 
@@ -107,7 +116,10 @@ mod tests {
     fn never_fires_immediately_after_refresh() {
         for p in [
             RefreshPolicy::Periodic { period: 1 },
-            RefreshPolicy::EnergyTriggered { growth: 0.0, max_period: 1 },
+            RefreshPolicy::EnergyTriggered {
+                growth: 0.0,
+                max_period: 1,
+            },
         ] {
             assert!(!p.should_refresh(0, 100.0, 1.0), "{p:?}");
         }
@@ -116,8 +128,11 @@ mod tests {
     #[test]
     fn labels_mention_parameters() {
         assert_eq!(RefreshPolicy::Periodic { period: 7 }.label(), "periodic(7)");
-        assert!(RefreshPolicy::EnergyTriggered { growth: 0.2, max_period: 50 }
-            .label()
-            .contains("0.2"));
+        assert!(RefreshPolicy::EnergyTriggered {
+            growth: 0.2,
+            max_period: 50
+        }
+        .label()
+        .contains("0.2"));
     }
 }

@@ -3,13 +3,14 @@
 use crate::subspace::SubspaceModel;
 
 /// Which anomaly score a detector emits.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ScoreKind {
     /// Squared residual after projection onto the normal subspace
     /// (absolute scale — sensitive to point magnitude).
     ProjectionDistance,
     /// Residual energy fraction `proj²/‖y‖²` in `[0, 1]`
     /// (scale-free; the paper's headline score and our default).
+    #[default]
     RelativeProjection,
     /// Rank-k leverage score (catches extremes *inside* the subspace).
     Leverage,
@@ -20,12 +21,6 @@ pub enum ScoreKind {
         /// Weight on the standardized-leverage term.
         beta: f64,
     },
-}
-
-impl Default for ScoreKind {
-    fn default() -> Self {
-        ScoreKind::RelativeProjection
-    }
 }
 
 impl ScoreKind {
@@ -41,11 +36,7 @@ impl ScoreKind {
 
     /// Evaluates this score for a sparse point (`O(k·nnz)` for the
     /// projection/leverage families).
-    pub fn evaluate_sparse(
-        &self,
-        model: &SubspaceModel,
-        y: &sketchad_linalg::SparseVec,
-    ) -> f64 {
+    pub fn evaluate_sparse(&self, model: &SubspaceModel, y: &sketchad_linalg::SparseVec) -> f64 {
         match *self {
             ScoreKind::ProjectionDistance => model.projection_distance_sq_sparse(y),
             ScoreKind::RelativeProjection => model.relative_projection_distance_sparse(y),

@@ -24,9 +24,10 @@ use crate::threshold::QuantileEstimator;
 /// policy skips sketch updates for points whose score exceeds a running
 /// quantile of past scores, keeping the normal model clean (ablated in
 /// experiment A2).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum UpdatePolicy {
     /// Fold every point into the sketch.
+    #[default]
     Always,
     /// Skip points scoring above the running `quantile` of past scores.
     SkipAnomalous {
@@ -34,12 +35,6 @@ pub enum UpdatePolicy {
         /// folded into the sketch.
         quantile: f64,
     },
-}
-
-impl Default for UpdatePolicy {
-    fn default() -> Self {
-        UpdatePolicy::Always
-    }
 }
 
 /// Exponential forgetting configuration: every `every` points the sketch
@@ -58,7 +53,10 @@ impl DecayConfig {
     /// # Panics
     /// Panics when `alpha ∉ (0,1)` or `every == 0`.
     pub fn new(alpha: f64, every: usize) -> Self {
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
         assert!(every > 0, "decay interval must be positive");
         Self { alpha, every }
     }
@@ -308,11 +306,20 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
     }
 
     fn name(&self) -> String {
-        format!("{}[k={},{}]", self.sketch.name(), self.k, self.score.label())
+        format!(
+            "{}[k={},{}]",
+            self.sketch.name(),
+            self.k,
+            self.score.label()
+        )
     }
 
     fn current_model(&self) -> Option<&SubspaceModel> {
         self.model.as_ref()
+    }
+
+    fn score_only(&self, y: &[f64]) -> Option<f64> {
+        SketchDetector::score_only(self, y)
     }
 }
 
@@ -508,11 +515,11 @@ mod tests {
             det.process(&e2);
         }
         let after_adapt = det.score_only(&e2).unwrap();
-        assert!(at_switch > 0.9, "e2 should be anomalous at switch: {at_switch}");
         assert!(
-            after_adapt < 0.1,
-            "detector failed to adapt: {after_adapt}"
+            at_switch > 0.9,
+            "e2 should be anomalous at switch: {at_switch}"
         );
+        assert!(after_adapt < 0.1, "detector failed to adapt: {after_adapt}");
     }
 
     #[test]
@@ -555,13 +562,7 @@ mod tests {
     #[test]
     fn score_only_none_before_model() {
         let sketch = FrequentDirections::new(4, 3);
-        let det = SketchDetector::new(
-            sketch,
-            2,
-            ScoreKind::default(),
-            RefreshPolicy::default(),
-            5,
-        );
+        let det = SketchDetector::new(sketch, 2, ScoreKind::default(), RefreshPolicy::default(), 5);
         assert!(det.score_only(&[1.0, 0.0, 0.0]).is_none());
         assert!(det.explain(&[1.0, 0.0, 0.0]).is_none());
     }
@@ -585,10 +586,7 @@ mod tests {
         for r in &rows {
             let s1 = dense_det.process(r);
             let s2 = sparse_det.process_sparse(&SparseVec::from_dense(r));
-            assert!(
-                (s1 - s2).abs() < 1e-12,
-                "dense {s1} vs sparse {s2}"
-            );
+            assert!((s1 - s2).abs() < 1e-12, "dense {s1} vs sparse {s2}");
         }
         assert_eq!(dense_det.processed(), sparse_det.processed());
     }

@@ -46,7 +46,9 @@ impl SubspaceModel {
     /// Propagates SVD failures; `k = 0` or an empty `b` is invalid.
     pub fn from_matrix(b: &Matrix, k: usize, rows_represented: u64) -> Result<Self, LinAlgError> {
         if b.rows() == 0 {
-            return Err(LinAlgError::EmptyInput { op: "SubspaceModel::from_matrix" });
+            return Err(LinAlgError::EmptyInput {
+                op: "SubspaceModel::from_matrix",
+            });
         }
         let k_eff = k.min(b.rows()).min(b.cols());
         if k_eff == 0 {
@@ -310,8 +312,7 @@ mod tests {
         let m = axis_model();
         let y = [0.0, 2.0, 2.0, 0.0]; // half in-subspace (lev 4), half out
         let blended = m.blended_score(&y, 0.5);
-        let expect =
-            m.relative_projection_distance(&y) + 0.5 * m.standardized_leverage(&y);
+        let expect = m.relative_projection_distance(&y) + 0.5 * m.standardized_leverage(&y);
         assert!((blended - expect).abs() < 1e-12);
     }
 
@@ -392,7 +393,10 @@ mod tests {
         assert_eq!(back.rows_represented(), 42);
         for p in 0..5 {
             let y: Vec<f64> = (0..9).map(|i| ((i * p + 1) as f64).sin()).collect();
-            assert_eq!(back.projection_distance_sq(&y), model.projection_distance_sq(&y));
+            assert_eq!(
+                back.projection_distance_sq(&y),
+                model.projection_distance_sq(&y)
+            );
             assert_eq!(back.leverage_score(&y), model.leverage_score(&y));
             assert_eq!(back.blended_score(&y, 0.1), model.blended_score(&y, 0.1));
         }

@@ -112,8 +112,7 @@ impl QuantileEstimator {
                                 / (-pp));
                 // Fall back to linear when the parabolic prediction leaves
                 // the bracketing interval.
-                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
                     parabolic
                 } else if sign > 0.0 {
                     self.heights[i] + (self.heights[i + 1] - self.heights[i]) / np
@@ -196,7 +195,11 @@ impl<D: StreamingDetector> ThresholdedDetector<D> {
         if self.inner.is_warmed_up() {
             self.quantile.update(score);
         }
-        Alert { score, threshold, is_anomaly }
+        Alert {
+            score,
+            threshold,
+            is_anomaly,
+        }
     }
 
     /// Number of points flagged so far.

@@ -121,6 +121,48 @@ proptest! {
             "estimate {} outside [{}, {}]", e, lo, hi);
     }
 
+    /// `score_only` is a pure read: interleaving any number of score-only
+    /// calls into a stream changes neither the scores `process` emits nor
+    /// the processed count, compared to processing the stream alone.
+    #[test]
+    fn score_only_never_mutates_detector_state(
+        rows in prop::collection::vec(point(4), 20..60),
+        probe in point(4),
+        warmup in 1usize..15,
+    ) {
+        let cfg = DetectorConfig::new(2, 8).with_warmup(warmup).with_seed(99);
+        let mut plain = cfg.build_fd(4);
+        let mut probed = cfg.build_fd(4);
+        for r in &rows {
+            // Hammer the read path before (and after) every update…
+            let before = probed.score_only(&probe);
+            let s_plain = plain.process(r);
+            let s_probed = probed.process(r);
+            let after = probed.score_only(&probe);
+            // …and the write path must not notice.
+            prop_assert_eq!(s_plain.to_bits(), s_probed.to_bits());
+            // score_only between two processes of other points is stable:
+            // only `process` may move the model.
+            if let (Some(b), Some(a)) = (before, after) {
+                // The model may have been rebuilt by `process`; what must
+                // hold is that repeated score_only calls agree with each
+                // other when no process happened in between.
+                prop_assert_eq!(
+                    probed.score_only(&probe).map(f64::to_bits),
+                    Some(a.to_bits())
+                );
+                let _ = b;
+            }
+        }
+        prop_assert_eq!(plain.processed(), probed.processed());
+        prop_assert_eq!(plain.processed(), rows.len() as u64);
+        // Final models agree bitwise: score any point identically.
+        prop_assert_eq!(
+            plain.score_only(&probe).map(f64::to_bits),
+            probed.score_only(&probe).map(f64::to_bits)
+        );
+    }
+
     /// Quantile monotonicity: a higher q never yields a smaller estimate on
     /// the same data (checked on fresh estimators).
     #[test]

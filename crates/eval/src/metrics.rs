@@ -135,18 +135,17 @@ pub fn best_f1(scores: &[f64], labels: &[bool]) -> Option<f64> {
 ///
 /// # Panics
 /// Panics when `chunk == 0` or the slices differ in length.
-pub fn prequential_auc(
-    scores: &[f64],
-    labels: &[bool],
-    chunk: usize,
-) -> Vec<(usize, Option<f64>)> {
+pub fn prequential_auc(scores: &[f64], labels: &[bool], chunk: usize) -> Vec<(usize, Option<f64>)> {
     assert!(chunk > 0, "chunk must be positive");
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let mut out = Vec::new();
     let mut start = 0;
     while start + chunk <= scores.len() {
         let end = start + chunk;
-        out.push(((start + end) / 2, roc_auc(&scores[start..end], &labels[start..end])));
+        out.push((
+            (start + end) / 2,
+            roc_auc(&scores[start..end], &labels[start..end]),
+        ));
         start = end;
     }
     out
@@ -169,7 +168,12 @@ impl Confusion {
     /// Builds the confusion counts for a threshold.
     pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
         assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-        let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
         for (&s, &l) in scores.iter().zip(labels.iter()) {
             match (s > threshold, l) {
                 (true, true) => c.tp += 1,
@@ -280,7 +284,15 @@ mod tests {
         let scores = [0.9, 0.2, 0.8, 0.1];
         let labels = [true, true, false, false];
         let c = Confusion::at_threshold(&scores, &labels, 0.5);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.fpr() - 0.5).abs() < 1e-12);
         assert!((c.recall() - 0.5).abs() < 1e-12);
     }

@@ -38,7 +38,11 @@ pub struct Series {
 impl Series {
     /// Creates an empty named series.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), x: Vec::new(), y: Vec::new() }
+        Self {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Appends a point.

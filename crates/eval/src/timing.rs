@@ -12,7 +12,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing now.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.
@@ -41,7 +43,9 @@ impl Default for LatencyStats {
 impl LatencyStats {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        Self { samples_ns: Vec::new() }
+        Self {
+            samples_ns: Vec::new(),
+        }
     }
 
     /// Records one latency sample.

@@ -47,10 +47,15 @@ pub fn jacobi_eigen_sym(s: &Matrix) -> Result<SymEigen> {
         });
     }
     if !s.all_finite() {
-        return Err(LinAlgError::NotFinite { op: "jacobi_eigen_sym" });
+        return Err(LinAlgError::NotFinite {
+            op: "jacobi_eigen_sym",
+        });
     }
     if n == 0 {
-        return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
     }
 
     let mut a = s.clone();
@@ -113,14 +118,21 @@ pub fn jacobi_eigen_sym(s: &Matrix) -> Result<SymEigen> {
         }
     }
 
-    Err(LinAlgError::NoConvergence { op: "jacobi_eigen_sym", iterations: MAX_JACOBI_SWEEPS })
+    Err(LinAlgError::NoConvergence {
+        op: "jacobi_eigen_sym",
+        iterations: MAX_JACOBI_SWEEPS,
+    })
 }
 
 /// Sorts eigenpairs in descending eigenvalue order.
 fn finish_jacobi(a: Matrix, v: Matrix) -> SymEigen {
     let n = a.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        a[(j, j)]
+            .partial_cmp(&a[(i, i)])
+            .expect("finite eigenvalues")
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
@@ -170,10 +182,15 @@ pub fn tridiag_eigen_sym(s: &Matrix) -> Result<SymEigen> {
         });
     }
     if !s.all_finite() {
-        return Err(LinAlgError::NotFinite { op: "tridiag_eigen_sym" });
+        return Err(LinAlgError::NotFinite {
+            op: "tridiag_eigen_sym",
+        });
     }
     if n == 0 {
-        return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
     }
 
     // ---- tred2: Householder reduction to tridiagonal form. ----
@@ -349,12 +366,7 @@ pub fn tridiag_eigen_sym(s: &Matrix) -> Result<SymEigen> {
 /// # Errors
 /// * [`LinAlgError::ShapeMismatch`] for non-square input.
 /// * [`LinAlgError::InvalidParameter`] when `k` is zero or exceeds `n`.
-pub fn subspace_iteration(
-    s: &Matrix,
-    k: usize,
-    iterations: usize,
-    seed: u64,
-) -> Result<SymEigen> {
+pub fn subspace_iteration(s: &Matrix, k: usize, iterations: usize, seed: u64) -> Result<SymEigen> {
     let n = s.rows();
     if s.rows() != s.cols() {
         return Err(LinAlgError::ShapeMismatch {
@@ -486,7 +498,12 @@ mod tests {
         }
         // Reconstruction from the QL decomposition.
         let d = Matrix::from_diag(&t.values);
-        let rec = t.vectors.matmul(&d).unwrap().matmul(&t.vectors.transpose()).unwrap();
+        let rec = t
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&t.vectors.transpose())
+            .unwrap();
         assert!(rec.sub(&s).unwrap().max_abs() < 1e-9);
         // Orthonormal vectors.
         let g = t.vectors.tr_matmul(&t.vectors).unwrap();
@@ -504,7 +521,12 @@ mod tests {
             assert!((got - want).abs() < 1e-7, "eig {got} vs {want}");
         }
         let d = Matrix::from_diag(&e.values);
-        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
         assert!(rec.sub(&s).unwrap().max_abs() < 1e-7);
     }
 

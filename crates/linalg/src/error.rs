@@ -69,15 +69,28 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = LinAlgError::ShapeMismatch { expected: (2, 3), got: (4, 5), op: "matmul" };
-        assert_eq!(e.to_string(), "matmul: shape mismatch (expected 2x3, got 4x5)");
-        let e = LinAlgError::NoConvergence { op: "jacobi", iterations: 30 };
+        let e = LinAlgError::ShapeMismatch {
+            expected: (2, 3),
+            got: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "matmul: shape mismatch (expected 2x3, got 4x5)"
+        );
+        let e = LinAlgError::NoConvergence {
+            op: "jacobi",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("did not converge after 30"));
         let e = LinAlgError::EmptyInput { op: "svd" };
         assert!(e.to_string().contains("empty input"));
         let e = LinAlgError::NotFinite { op: "qr" };
         assert!(e.to_string().contains("NaN/inf"));
-        let e = LinAlgError::InvalidParameter { op: "svd", message: "k must be > 0" };
+        let e = LinAlgError::InvalidParameter {
+            op: "svd",
+            message: "k must be > 0",
+        };
         assert!(e.to_string().contains("k must be > 0"));
     }
 

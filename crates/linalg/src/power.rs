@@ -44,7 +44,11 @@ pub fn spectral_norm_op(
 
 /// Spectral norm of a symmetric matrix via power iteration.
 pub fn spectral_norm_sym(s: &Matrix, iterations: usize, seed: u64) -> f64 {
-    debug_assert_eq!(s.rows(), s.cols(), "spectral_norm_sym requires square input");
+    debug_assert_eq!(
+        s.rows(),
+        s.cols(),
+        "spectral_norm_sym requires square input"
+    );
     spectral_norm_op(s.rows(), |x| s.matvec(x), iterations, seed)
 }
 
@@ -70,7 +74,11 @@ pub fn spectral_norm(a: &Matrix, iterations: usize, seed: u64) -> f64 {
 /// # Panics
 /// Panics when column counts differ.
 pub fn gram_diff_spectral_norm(a: &Matrix, b: &Matrix, iterations: usize, seed: u64) -> f64 {
-    assert_eq!(a.cols(), b.cols(), "gram_diff requires matching column counts");
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "gram_diff requires matching column counts"
+    );
     let d = a.cols();
     // The operator x ↦ Aᵀ(Ax) − Bᵀ(Bx) is symmetric but may be indefinite;
     // power iteration still converges to the largest-|λ| eigenvalue.
@@ -110,7 +118,11 @@ mod tests {
         let a = gaussian_matrix(&mut rng, 20, 12, 1.0);
         let svd = svd_thin(&a).unwrap();
         let est = spectral_norm(&a, 300, 2);
-        assert!((est - svd.s[0]).abs() / svd.s[0] < 1e-6, "est {est} vs {}", svd.s[0]);
+        assert!(
+            (est - svd.s[0]).abs() / svd.s[0] < 1e-6,
+            "est {est} vs {}",
+            svd.s[0]
+        );
     }
 
     #[test]
@@ -129,7 +141,10 @@ mod tests {
         let dense = a.gram().sub(&b.gram()).unwrap();
         let want = spectral_norm_sym(&dense, 400, 4);
         let got = gram_diff_spectral_norm(&a, &b, 400, 4);
-        assert!((got - want).abs() / want.max(1e-12) < 1e-5, "{got} vs {want}");
+        assert!(
+            (got - want).abs() / want.max(1e-12) < 1e-5,
+            "{got} vs {want}"
+        );
     }
 
     #[test]

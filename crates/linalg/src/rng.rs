@@ -140,7 +140,11 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((g[(i, j)] - expect).abs() < 1e-10, "G[{i}][{j}] = {}", g[(i, j)]);
+                assert!(
+                    (g[(i, j)] - expect).abs() < 1e-10,
+                    "G[{i}][{j}] = {}",
+                    g[(i, j)]
+                );
             }
         }
     }

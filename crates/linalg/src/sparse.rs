@@ -53,7 +53,11 @@ impl SparseVec {
                 out_v.push(v);
             }
         }
-        Self { dim, indices: out_i, values: out_v }
+        Self {
+            dim,
+            indices: out_i,
+            values: out_v,
+        }
     }
 
     /// Builds a sparse view of a dense slice (drops zeros).

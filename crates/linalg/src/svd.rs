@@ -58,7 +58,11 @@ impl Svd {
                 u[(i, j)] = self.u[(i, j)];
             }
         }
-        Svd { u, s: self.s[..k].to_vec(), vt: self.vt.top_rows(k) }
+        Svd {
+            u,
+            s: self.s[..k].to_vec(),
+            vt: self.vt.top_rows(k),
+        }
     }
 }
 
@@ -87,15 +91,15 @@ pub fn svd_thin(a: &Matrix) -> Result<Svd> {
         let eig = crate::eigen::eigen_sym(&g)?;
         let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let u = eig.vectors; // m×m, columns are left singular vectors
-        // Recover Vᵀ rows: vᵢ = Aᵀ uᵢ / σᵢ.
+                             // Recover Vᵀ rows: vᵢ = Aᵀ uᵢ / σᵢ.
         let ut = u.transpose(); // m×m; row i = uᵢ
         let mut vt = ut.matmul(a)?; // m×n; row i = uᵢᵀ A = σᵢ vᵢᵀ
         let sigma_max = s.first().copied().unwrap_or(0.0);
         let tol = SIGMA_REL_TOL * sigma_max.max(f64::MIN_POSITIVE);
         let mut degenerate = Vec::new();
-        for i in 0..m {
-            if s[i] > tol {
-                vecops::scale(1.0 / s[i], vt.row_mut(i));
+        for (i, &si) in s.iter().enumerate().take(m) {
+            if si > tol {
+                vecops::scale(1.0 / si, vt.row_mut(i));
             } else {
                 degenerate.push(i);
             }
@@ -108,7 +112,7 @@ pub fn svd_thin(a: &Matrix) -> Result<Svd> {
         let eig = crate::eigen::eigen_sym(&g)?;
         let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let v = eig.vectors; // n×n, columns are right singular vectors
-        // Recover U columns: uᵢ = A vᵢ / σᵢ.
+                             // Recover U columns: uᵢ = A vᵢ / σᵢ.
         let mut u = a.matmul(&v)?; // m×n; column i = A vᵢ = σᵢ uᵢ
         let sigma_max = s.first().copied().unwrap_or(0.0);
         let tol = SIGMA_REL_TOL * sigma_max.max(f64::MIN_POSITIVE);
@@ -124,7 +128,11 @@ pub fn svd_thin(a: &Matrix) -> Result<Svd> {
             }
         }
         complete_cols(&mut u, &degenerate, 0x5eed_57d1);
-        Ok(Svd { u, s, vt: v.transpose() })
+        Ok(Svd {
+            u,
+            s,
+            vt: v.transpose(),
+        })
     }
 }
 
@@ -161,7 +169,11 @@ pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
     if m < n {
         // Work on the transpose and swap the factors.
         let svd = svd_jacobi(&a.transpose())?;
-        return Ok(Svd { u: svd.vt.transpose(), s: svd.s, vt: svd.u.transpose() });
+        return Ok(Svd {
+            u: svd.vt.transpose(),
+            s: svd.s,
+            vt: svd.u.transpose(),
+        });
     }
 
     let mut b = a.clone(); // m×n, columns will be rotated to orthogonality

@@ -10,7 +10,13 @@
 /// Panics when the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     // Four-lane manual unroll: keeps independent accumulator chains so the
     // compiler can vectorize without needing -ffast-math reassociation.
     let mut acc = [0.0f64; 4];
@@ -91,7 +97,10 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// Elementwise subtraction into a new vector.

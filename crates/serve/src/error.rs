@@ -1,0 +1,54 @@
+//! Error type for the serving engine.
+
+use std::fmt;
+
+/// Failures surfaced by [`crate::ServeEngine`].
+///
+/// The engine never hangs on a dead shard: a worker panic is converted into
+/// [`ServeError::WorkerPanicked`] at the next submit or at `finish()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Engine was configured with zero shards or a zero-capacity queue.
+    InvalidConfig(String),
+    /// A submitted point's dimensionality does not match the engine's.
+    DimensionMismatch {
+        /// Expected dimensionality (the engine's `dim`).
+        expected: usize,
+        /// The submitted point's length.
+        got: usize,
+    },
+    /// A shard's worker thread panicked; the panic payload is preserved.
+    WorkerPanicked {
+        /// Index of the dead shard.
+        shard: usize,
+        /// Stringified panic payload (`"<non-string panic>"` if opaque).
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::DimensionMismatch { expected, got } => {
+                write!(f, "point has dimension {got}, engine expects {expected}")
+            }
+            ServeError::WorkerPanicked { shard, message } => {
+                write!(f, "worker for shard {shard} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Extracts a readable message from a `JoinHandle` panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}

@@ -1,0 +1,55 @@
+//! # sketchad-serve
+//!
+//! Sharded concurrent serving engine for streaming anomaly detection —
+//! std-only (threads + bounded channels), no external runtime.
+//!
+//! ## Write-shard / read-snapshot split
+//!
+//! A [`StreamingDetector`](sketchad_core::StreamingDetector) is inherently
+//! a single-writer structure: `process` mutates the sketch. This crate
+//! scales it two ways at once:
+//!
+//! * **Writes shard.** [`ServeEngine`] partitions arriving points across
+//!   `N` worker shards (round-robin, or stable key-hash so a key's points
+//!   always meet the same model). Each shard owns one detector behind a
+//!   bounded queue with configurable backpressure — [`Block`] never loses a
+//!   point, [`DropNewest`] never blocks the producer and counts what it
+//!   sheds.
+//! * **Reads snapshot.** Each shard periodically publishes its model as an
+//!   immutable `Arc<SubspaceModel>` into a [`SnapshotCell`]; any number of
+//!   [`SnapshotScorer`] handles score against the latest generation without
+//!   ever touching (or waiting on) the live detector.
+//!
+//! Lifecycle is explicit: [`ServeEngine::finish`] closes the queues, lets
+//! every worker drain, and returns scores plus [`PipelineStats`] (per-shard
+//! counters and an end-to-end latency histogram with p50/p99). A worker
+//! panic surfaces as [`ServeError::WorkerPanicked`] at the next submit or
+//! at `finish` — never as a hang.
+//!
+//! ## Module map
+//!
+//! * [`config`] — [`ServeConfig`], backpressure and partitioning policies.
+//! * [`engine`] — [`ServeEngine`], submission, shutdown, report assembly.
+//! * [`shard`] *(private)* — the worker loop owning each detector.
+//! * [`snapshot`] — [`SnapshotCell`] / [`SnapshotScorer`] read path.
+//! * [`stats`] — [`PipelineStats`], [`LatencyHistogram`], serializable.
+//! * [`error`] — [`ServeError`].
+//!
+//! [`Block`]: BackpressurePolicy::Block
+//! [`DropNewest`]: BackpressurePolicy::DropNewest
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+mod shard;
+pub mod snapshot;
+pub mod stats;
+
+pub use config::{BackpressurePolicy, PartitionStrategy, ServeConfig};
+pub use engine::{BatchOutcome, PipelineReport, ServeEngine, SubmitOutcome};
+pub use error::ServeError;
+pub use snapshot::{SnapshotCell, SnapshotScorer};
+pub use stats::{LatencyHistogram, PipelineStats, ShardStats};

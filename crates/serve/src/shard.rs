@@ -1,0 +1,95 @@
+//! The worker side of a shard: a thread owning one detector, draining one
+//! bounded queue.
+
+use crate::snapshot::SnapshotCell;
+use crate::stats::LatencyHistogram;
+use sketchad_core::StreamingDetector;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One unit of work: a point plus its global submission sequence number.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub point: Vec<f64>,
+    pub enqueued: Instant,
+}
+
+/// State shared between the submitting side and a shard's worker thread.
+/// All counters are monotone and read with relaxed ordering — they are
+/// metrics, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct ShardShared {
+    /// Approximate current queue depth (enqueued − processed).
+    pub depth: AtomicUsize,
+    /// Highest depth ever observed at enqueue time.
+    pub high_water: AtomicUsize,
+    /// Points rejected at a full queue under `DropNewest`.
+    pub dropped: AtomicU64,
+    /// Points the worker has scored.
+    pub processed: AtomicU64,
+    /// Latest published model snapshot.
+    pub snapshot: Arc<SnapshotCell>,
+}
+
+impl ShardShared {
+    /// Reserves a queue slot in the depth accounting. Called **before** the
+    /// actual enqueue — the worker may drain the job (and decrement) at any
+    /// moment after the send, so incrementing afterwards could underflow.
+    pub(crate) fn reserve_slot(&self) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Rolls back a reservation whose enqueue did not happen (full queue or
+    /// dead worker).
+    pub(crate) fn release_slot(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What a worker thread returns when its queue closes.
+pub(crate) struct ShardOutput {
+    pub scores: Vec<(u64, f64)>,
+    pub latency: LatencyHistogram,
+}
+
+/// Worker loop: drain jobs until every sender is gone, then publish a final
+/// snapshot and hand back the scores.
+///
+/// The detector is owned exclusively by this thread — `process` needs
+/// `&mut`, and single ownership is what makes per-shard score sequences
+/// deterministic. Concurrent readers are served through the snapshot cell
+/// instead.
+pub(crate) fn run_worker(
+    rx: Receiver<Job>,
+    mut detector: Box<dyn StreamingDetector + Send>,
+    shared: Arc<ShardShared>,
+    snapshot_every: u64,
+) -> ShardOutput {
+    let mut scores = Vec::new();
+    let mut latency = LatencyHistogram::new();
+
+    while let Ok(job) = rx.recv() {
+        let score = detector.process(&job.point);
+        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
+        latency.record(job.enqueued.elapsed());
+        scores.push((job.seq, score));
+        if snapshot_every > 0 && processed % snapshot_every == 0 {
+            publish_snapshot(detector.as_ref(), &shared.snapshot);
+        }
+    }
+
+    // Queue closed: graceful shutdown. Publish whatever the detector ended
+    // up with so post-drain readers see the freshest model.
+    publish_snapshot(detector.as_ref(), &shared.snapshot);
+    ShardOutput { scores, latency }
+}
+
+fn publish_snapshot(detector: &dyn StreamingDetector, cell: &SnapshotCell) {
+    if let Some(model) = detector.current_model() {
+        cell.publish(Arc::new(model.clone()));
+    }
+}

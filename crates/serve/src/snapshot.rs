@@ -1,0 +1,140 @@
+//! Snapshot-swapped read path.
+//!
+//! Each updating shard periodically publishes an immutable
+//! `Arc<SubspaceModel>` into its [`SnapshotCell`]. Reader threads clone the
+//! `Arc` out and score against it with no coordination beyond a briefly held
+//! read lock — the model itself is never locked, never mutated, and stays
+//! alive for as long as any reader holds the `Arc`, even if the shard
+//! publishes ten newer generations meanwhile.
+
+use sketchad_core::{ScoreKind, SubspaceModel};
+use std::sync::{Arc, RwLock};
+
+/// A slot holding the latest published model for one shard.
+///
+/// `std` has no atomic `Arc` swap, so the slot is an `RwLock` around the
+/// `Arc` — writers hold it only for the pointer swap and readers only for a
+/// pointer clone, so contention is limited to those few instructions, not
+/// to scoring or model rebuilds.
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    slot: RwLock<Option<Arc<SubspaceModel>>>,
+    /// Publication count, for staleness monitoring.
+    generation: std::sync::atomic::AtomicU64,
+}
+
+impl SnapshotCell {
+    /// An empty cell (no model published yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new model generation, replacing the previous one.
+    /// In-flight readers keep scoring against the generation they already
+    /// cloned.
+    pub fn publish(&self, model: Arc<SubspaceModel>) {
+        let mut guard = self.slot.write().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(model);
+        drop(guard);
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Clones out the latest published model, if any.
+    pub fn load(&self) -> Option<Arc<SubspaceModel>> {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// How many times a model has been published into this cell.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// A cheap, cloneable handle for scoring points against one shard's latest
+/// snapshot — the concurrent analogue of
+/// [`StreamingDetector::score_only`](sketchad_core::StreamingDetector::score_only).
+///
+/// Safe to use from any number of threads while the shard keeps updating:
+/// reads never block writes beyond the pointer swap in [`SnapshotCell`].
+#[derive(Debug, Clone)]
+pub struct SnapshotScorer {
+    cell: Arc<SnapshotCell>,
+    score: ScoreKind,
+}
+
+impl SnapshotScorer {
+    pub(crate) fn new(cell: Arc<SnapshotCell>, score: ScoreKind) -> Self {
+        Self { cell, score }
+    }
+
+    /// Scores `y` against the latest snapshot; `None` until the shard has
+    /// published a model.
+    pub fn score(&self, y: &[f64]) -> Option<f64> {
+        self.cell.load().map(|m| self.score.evaluate(&m, y))
+    }
+
+    /// The latest snapshot itself.
+    pub fn model(&self) -> Option<Arc<SubspaceModel>> {
+        self.cell.load()
+    }
+
+    /// Generation counter of the underlying cell.
+    pub fn generation(&self) -> u64 {
+        self.cell.generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchad_core::DetectorConfig;
+    use sketchad_core::StreamingDetector;
+
+    fn trained_model() -> SubspaceModel {
+        let mut det = DetectorConfig::new(2, 8).with_warmup(16).build_fd(6);
+        for i in 0..64 {
+            let t = i as f64 * 0.37;
+            det.process(&[t.sin(), t.cos(), 0.5 * t.sin(), 0.1, 0.0, 0.0]);
+        }
+        det.current_model().expect("model after warmup").clone()
+    }
+
+    #[test]
+    fn publish_then_load_round_trips() {
+        let cell = SnapshotCell::new();
+        assert!(cell.load().is_none());
+        assert_eq!(cell.generation(), 0);
+        let m = Arc::new(trained_model());
+        cell.publish(Arc::clone(&m));
+        assert_eq!(cell.generation(), 1);
+        let loaded = cell.load().unwrap();
+        assert!(Arc::ptr_eq(&loaded, &m));
+    }
+
+    #[test]
+    fn old_readers_survive_republication() {
+        let cell = SnapshotCell::new();
+        let first = Arc::new(trained_model());
+        cell.publish(Arc::clone(&first));
+        let held = cell.load().unwrap();
+        cell.publish(Arc::new(trained_model()));
+        // The held generation is still fully usable.
+        assert!(Arc::ptr_eq(&held, &first));
+        assert!(held.projection_distance_sq(&[1.0; 6]).is_finite());
+        assert_eq!(cell.generation(), 2);
+    }
+
+    #[test]
+    fn scorer_matches_direct_evaluation() {
+        let cell = Arc::new(SnapshotCell::new());
+        let scorer = SnapshotScorer::new(Arc::clone(&cell), ScoreKind::ProjectionDistance);
+        assert!(scorer.score(&[1.0; 6]).is_none());
+        let m = Arc::new(trained_model());
+        cell.publish(Arc::clone(&m));
+        let y = [0.3, -1.2, 0.7, 0.0, 2.0, -0.5];
+        let got = scorer.score(&y).unwrap();
+        let want = ScoreKind::ProjectionDistance.evaluate(&m, &y);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}

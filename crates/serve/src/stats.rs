@@ -1,0 +1,235 @@
+//! Pipeline observability: per-shard counters and a fixed-bucket latency
+//! histogram, all serializable for dashboards and benchmark artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets. Bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` nanoseconds; 42 buckets reach ~73 minutes, far beyond
+/// any sane per-point latency, so the last bucket is an overflow catch-all.
+pub const LATENCY_BUCKET_COUNT: usize = 42;
+
+/// Fixed-bucket (power-of-two, nanosecond) latency histogram.
+///
+/// Recording is O(1) with no allocation; merging is element-wise addition,
+/// so each worker keeps a private histogram and the engine folds them
+/// together at shutdown without cross-thread contention. Quantiles are
+/// bucket upper bounds — at most 2× off, which is plenty for p50/p99
+/// monitoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `counts[i]` = observations in `[2^i, 2^(i+1))` ns.
+    counts: Vec<u64>,
+    /// Total observations.
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; LATENCY_BUCKET_COUNT],
+            total: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u128) -> usize {
+        let n = nanos.max(1) as u64;
+        let idx = 63 - n.leading_zeros() as usize; // floor(log2(n))
+        idx.min(LATENCY_BUCKET_COUNT - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.counts[Self::bucket_index(latency.as_nanos())] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper_ns = 1u128 << (i + 1);
+                return Some(Duration::from_nanos(upper_ns.min(u64::MAX as u128) as u64));
+            }
+        }
+        unreachable!("total is the sum of counts");
+    }
+
+    /// The raw bucket counts (index `i` covers `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Final counters for one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Points scored by this shard's detector.
+    pub processed: u64,
+    /// Points dropped at this shard's full queue (`DropNewest` only).
+    pub dropped: u64,
+    /// Highest queue depth observed (approximate; sampled at enqueue).
+    pub queue_high_water: usize,
+}
+
+/// Whole-pipeline statistics, serializable as a benchmark / monitoring
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Per-shard final counters.
+    pub shards: Vec<ShardStats>,
+    /// Sum of per-shard `processed`.
+    pub total_processed: u64,
+    /// Sum of per-shard `dropped`.
+    pub total_dropped: u64,
+    /// End-to-end (enqueue → scored) latency over all shards.
+    pub latency: LatencyHistogram,
+    /// Median end-to-end latency in microseconds (bucket upper bound;
+    /// 0 when nothing was processed).
+    pub latency_p50_us: f64,
+    /// 99th-percentile end-to-end latency in microseconds (bucket upper
+    /// bound; 0 when nothing was processed).
+    pub latency_p99_us: f64,
+}
+
+impl PipelineStats {
+    /// Assembles pipeline stats from per-shard results, computing the
+    /// summary quantiles.
+    pub fn from_shards(shards: Vec<ShardStats>, latency: LatencyHistogram) -> Self {
+        let total_processed = shards.iter().map(|s| s.processed).sum();
+        let total_dropped = shards.iter().map(|s| s.dropped).sum();
+        let us = |q: f64| {
+            latency
+                .quantile(q)
+                .map(|d| d.as_secs_f64() * 1e6)
+                .unwrap_or(0.0)
+        };
+        let (latency_p50_us, latency_p99_us) = (us(0.50), us(0.99));
+        Self {
+            shards,
+            total_processed,
+            total_dropped,
+            latency,
+            latency_p50_us,
+            latency_p99_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        // Overflow clamps to the last bucket.
+        assert_eq!(
+            LatencyHistogram::bucket_index(u128::MAX),
+            LATENCY_BUCKET_COUNT - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // bucket 16: [65536, 131072)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(128)));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_nanos(128)));
+        // The single slow observation is exactly the max.
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(131_072)));
+        assert_eq!(LatencyHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(10));
+        b.record(Duration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn pipeline_stats_aggregates_shards() {
+        let shards = vec![
+            ShardStats {
+                shard: 0,
+                processed: 10,
+                dropped: 1,
+                queue_high_water: 4,
+            },
+            ShardStats {
+                shard: 1,
+                processed: 20,
+                dropped: 0,
+                queue_high_water: 7,
+            },
+        ];
+        let mut lat = LatencyHistogram::new();
+        for _ in 0..30 {
+            lat.record(Duration::from_micros(3));
+        }
+        let stats = PipelineStats::from_shards(shards, lat);
+        assert_eq!(stats.total_processed, 30);
+        assert_eq!(stats.total_dropped, 1);
+        assert!(stats.latency_p50_us > 0.0);
+        assert!(stats.latency_p99_us >= stats.latency_p50_us);
+    }
+
+    #[test]
+    fn stats_serialize_roundtrip() {
+        let shards = vec![ShardStats {
+            shard: 0,
+            processed: 5,
+            dropped: 0,
+            queue_high_water: 2,
+        }];
+        let mut lat = LatencyHistogram::new();
+        lat.record(Duration::from_micros(1));
+        let stats = PipelineStats::from_shards(shards, lat);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: PipelineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

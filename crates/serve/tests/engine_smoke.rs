@@ -1,0 +1,244 @@
+//! Concurrency smoke tests for the sharded serving engine: high-volume
+//! zero-loss drain, concurrent snapshot readers, and panic containment.
+
+use sketchad_core::{DetectorConfig, ScoreKind, StreamingDetector, SubspaceModel};
+use sketchad_serve::{BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 16;
+
+fn fd_factory(_shard: usize) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(3, 16)
+            .with_warmup(64)
+            .with_seed(11)
+            .build_fd(DIM),
+    )
+}
+
+fn wave(i: u64) -> Vec<f64> {
+    let t = i as f64 * 0.017;
+    (0..DIM)
+        .map(|j| (t + j as f64 * 0.4).sin() * (1.0 + 0.1 * (j as f64)))
+        .collect()
+}
+
+/// 100k points across 4 shards under blocking backpressure: every point is
+/// scored exactly once, nothing is dropped, and shutdown drains cleanly.
+#[test]
+fn hundred_k_points_four_shards_zero_loss() {
+    const N: u64 = 100_000;
+    let config = ServeConfig::new(4)
+        .with_queue_capacity(256)
+        .with_backpressure(BackpressurePolicy::Block)
+        .with_snapshot_every(1024);
+    let mut engine = ServeEngine::start(config, fd_factory).expect("start");
+    let outcome = engine.submit_batch((0..N).map(wave)).expect("submit");
+    assert_eq!(outcome.accepted, N);
+    assert_eq!(outcome.dropped, 0);
+
+    let report = engine.finish().expect("drain");
+    assert_eq!(report.stats.total_processed, N, "no point may be lost");
+    assert_eq!(report.stats.total_dropped, 0);
+    assert_eq!(report.scores.len() as u64, N);
+    // Every sequence number exactly once, in order.
+    for (expect, &(seq, score)) in report.scores.iter().enumerate() {
+        assert_eq!(seq, expect as u64);
+        assert!(score.is_finite());
+    }
+    // Work was actually spread: each of the 4 shards processed N/4.
+    assert_eq!(report.stats.shards.len(), 4);
+    for s in &report.stats.shards {
+        assert_eq!(s.processed, N / 4);
+        assert!(s.queue_high_water >= 1);
+    }
+    // Latency accounting saw every point.
+    assert_eq!(report.stats.latency.count(), N);
+    assert!(report.stats.latency_p99_us >= report.stats.latency_p50_us);
+}
+
+/// Snapshot readers run concurrently with the writers and always observe
+/// either "no model yet" or a coherent published model — never a torn one —
+/// and the generation counter only moves forward.
+#[test]
+fn concurrent_snapshot_readers_see_coherent_models() {
+    let config = ServeConfig::new(2)
+        .with_queue_capacity(128)
+        .with_snapshot_every(64);
+    let mut engine = ServeEngine::start(config, fd_factory).expect("start");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let scorer = engine.scorer(r % 2, ScoreKind::ProjectionDistance);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let probe = wave(999_983);
+                let mut last_generation = 0u64;
+                let mut scored = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let generation = scorer.generation();
+                    assert!(generation >= last_generation, "generation went backwards");
+                    last_generation = generation;
+                    if let Some(model) = scorer.model() {
+                        assert_eq!(model.dim(), DIM, "torn snapshot");
+                        let s = scorer.score(&probe).expect("model present");
+                        assert!(s.is_finite());
+                        scored += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                scored
+            })
+        })
+        .collect();
+
+    engine.submit_batch((0..20_000).map(wave)).expect("submit");
+    let report = engine.finish().expect("drain");
+    stop.store(true, Ordering::Relaxed);
+    for handle in readers {
+        handle.join().expect("reader must not panic");
+    }
+    assert_eq!(report.stats.total_processed, 20_000);
+}
+
+/// A detector that panics after a fixed number of points — the failure
+/// injection for panic-containment tests.
+struct FlakyDetector {
+    inner: Box<dyn StreamingDetector + Send>,
+    fail_after: u64,
+}
+
+impl StreamingDetector for FlakyDetector {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn process(&mut self, y: &[f64]) -> f64 {
+        if self.inner.processed() >= self.fail_after {
+            panic!("injected detector failure at point {}", self.fail_after);
+        }
+        self.inner.process(y)
+    }
+    fn processed(&self) -> u64 {
+        self.inner.processed()
+    }
+    fn is_warmed_up(&self) -> bool {
+        self.inner.is_warmed_up()
+    }
+    fn name(&self) -> String {
+        format!("flaky({})", self.inner.name())
+    }
+    fn current_model(&self) -> Option<&SubspaceModel> {
+        self.inner.current_model()
+    }
+}
+
+/// A worker panic mid-stream surfaces as `WorkerPanicked` — from submit or
+/// from finish, never as a hang or a silent success.
+#[test]
+fn worker_panic_is_an_error_not_a_hang() {
+    let config = ServeConfig::new(2).with_queue_capacity(8);
+    let mut engine = ServeEngine::start(config, |shard| {
+        let inner = fd_factory(shard);
+        if shard == 1 {
+            Box::new(FlakyDetector {
+                inner,
+                fail_after: 50,
+            })
+        } else {
+            inner
+        }
+    })
+    .expect("start");
+
+    // Submit enough that shard 1 is guaranteed to hit its failure point;
+    // under blocking backpressure the dead shard must turn into an error
+    // rather than an eternal block on its full queue.
+    let mut saw_submit_error = None;
+    for i in 0..10_000u64 {
+        match engine.submit(wave(i)) {
+            Ok(_) => {}
+            Err(e) => {
+                saw_submit_error = Some(e);
+                break;
+            }
+        }
+    }
+    let result = engine.finish();
+    let err = match saw_submit_error {
+        Some(e) => e,
+        None => result.expect_err("panic must fail the pipeline"),
+    };
+    match err {
+        ServeError::WorkerPanicked { shard, message } => {
+            assert_eq!(shard, 1);
+            assert!(
+                message.contains("injected detector failure"),
+                "panic payload must be preserved, got: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+/// Same panic containment under `DropNewest`: the producer never blocks and
+/// still learns about the dead shard.
+#[test]
+fn worker_panic_surfaces_under_drop_policy() {
+    let config = ServeConfig::new(1)
+        .with_queue_capacity(4)
+        .with_backpressure(BackpressurePolicy::DropNewest);
+    let mut engine = ServeEngine::start(config, |shard| {
+        Box::new(FlakyDetector {
+            inner: fd_factory(shard),
+            fail_after: 10,
+        }) as Box<dyn StreamingDetector + Send>
+    })
+    .expect("start");
+
+    let mut submit_err = None;
+    for i in 0..100_000u64 {
+        match engine.submit(wave(i)) {
+            Ok(_) => {}
+            Err(e) => {
+                submit_err = Some(e);
+                break;
+            }
+        }
+    }
+    let err = match submit_err {
+        Some(e) => e,
+        None => engine.finish().expect_err("dead shard must fail finish"),
+    };
+    assert!(matches!(err, ServeError::WorkerPanicked { shard: 0, .. }));
+}
+
+/// Key-hash partitioning keeps a key's points on one shard even at volume,
+/// so per-key score sequences stay deterministic.
+#[test]
+fn key_hash_volume_run_is_sticky_and_lossless() {
+    const N: u64 = 64_000;
+    const KEYS: u64 = 64;
+    let config = ServeConfig::new(4)
+        .with_queue_capacity(256)
+        .with_partition(PartitionStrategy::KeyHash);
+    let mut engine = ServeEngine::start(config, fd_factory).expect("start");
+    for i in 0..N {
+        engine.submit_keyed(i % KEYS, wave(i)).expect("submit");
+    }
+    let report = engine.finish().expect("drain");
+    assert_eq!(report.stats.total_processed, N);
+    // Each key contributes exactly N/KEYS points to exactly one shard, so
+    // every shard's total is a multiple of N/KEYS.
+    let per_key = N / KEYS;
+    for s in &report.stats.shards {
+        assert_eq!(
+            s.processed % per_key,
+            0,
+            "shard {} processed {} (not a multiple of {per_key})",
+            s.shard,
+            s.processed
+        );
+    }
+}

@@ -62,7 +62,10 @@ pub fn covariance_error(a: &Matrix, b: &Matrix, seed: u64) -> CovarianceError {
     let absolute = gram_diff_spectral_norm(a, b, DEFAULT_POWER_ITERS, seed);
     let top = spectral_norm(a, DEFAULT_POWER_ITERS, seed ^ 0xabcd);
     let denom = (top * top).max(f64::MIN_POSITIVE);
-    CovarianceError { absolute, relative: absolute / denom }
+    CovarianceError {
+        absolute,
+        relative: absolute / denom,
+    }
 }
 
 #[cfg(test)]

@@ -124,7 +124,11 @@ impl MatrixSketch for CountSketch {
     }
 
     fn update_sparse(&mut self, row: &sketchad_linalg::SparseVec) {
-        assert_eq!(row.dim(), self.dim, "CountSketch::update_sparse dimension mismatch");
+        assert_eq!(
+            row.dim(),
+            self.dim,
+            "CountSketch::update_sparse dimension mismatch"
+        );
         let (bucket, sign) = self.bucket_sign(self.stream_pos);
         row.axpy_into(sign, self.b.row_mut(bucket)); // O(nnz)
         self.rows_seen += 1;
@@ -178,7 +182,7 @@ mod tests {
     #[test]
     fn mixer_spreads_buckets_evenly() {
         let cs = CountSketch::new(16, 1, 123);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         let mut plus = 0usize;
         let n = 32_000u64;
         for t in 0..n {

@@ -103,7 +103,11 @@ impl FrequentDirections {
         let svd = svd_thin(&occupied).expect("SVD of a finite FD buffer");
         let r = svd.s.len();
         // δ = σ²_{ℓ+1} (0-indexed s[ell]); zero when fewer values exist.
-        let delta = if r > self.ell { svd.s[self.ell] * svd.s[self.ell] } else { 0.0 };
+        let delta = if r > self.ell {
+            svd.s[self.ell] * svd.s[self.ell]
+        } else {
+            0.0
+        };
         self.total_shrink_delta += delta;
 
         let keep = self.ell.min(r);
@@ -302,7 +306,11 @@ mod tests {
         let mut fd = FrequentDirections::new(8, 20);
         let mut rows = Vec::new();
         for i in 0..200 {
-            let c = [(i as f64).sin(), (i as f64).cos(), ((i * i) as f64 % 7.0) - 3.0];
+            let c = [
+                (i as f64).sin(),
+                (i as f64).cos(),
+                ((i * i) as f64 % 7.0) - 3.0,
+            ];
             let mut row = vec![0.0; 20];
             for (j, &cj) in c.iter().enumerate() {
                 for (rv, bv) in row.iter_mut().zip(basis.row(j)) {
@@ -348,7 +356,10 @@ mod tests {
         }
         let err = gram_diff_spectral_norm(&all, &fd1.sketch(), 300, 11);
         let bound = all.squared_frobenius_norm() / ell as f64;
-        assert!(err <= bound * (1.0 + 1e-9), "merged err {err} > bound {bound}");
+        assert!(
+            err <= bound * (1.0 + 1e-9),
+            "merged err {err} > bound {bound}"
+        );
     }
 
     #[test]

@@ -255,10 +255,7 @@ mod tests {
             feed(&mut rp, &a);
             errs.push(gram_diff_spectral_norm(&a, &rp.sketch(), 200, 8));
         }
-        assert!(
-            errs[2] < errs[0],
-            "error should shrink with ℓ: {errs:?}"
-        );
+        assert!(errs[2] < errs[0], "error should shrink with ℓ: {errs:?}");
     }
 
     #[test]

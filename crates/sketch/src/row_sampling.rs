@@ -105,10 +105,18 @@ impl MatrixSketch for RowSampling {
         let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let key = u.ln() / w;
         if self.reservoir.len() < self.ell {
-            self.reservoir.push(Entry { key, weight: w, row: row.to_vec() });
+            self.reservoir.push(Entry {
+                key,
+                weight: w,
+                row: row.to_vec(),
+            });
         } else if let Some(idx) = self.min_key_index() {
             if key > self.reservoir[idx].key {
-                self.reservoir[idx] = Entry { key, weight: w, row: row.to_vec() };
+                self.reservoir[idx] = Entry {
+                    key,
+                    weight: w,
+                    row: row.to_vec(),
+                };
             }
         }
     }

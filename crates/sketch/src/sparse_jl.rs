@@ -136,7 +136,11 @@ impl MatrixSketch for SparseJl {
     }
 
     fn update_sparse(&mut self, row: &sketchad_linalg::SparseVec) {
-        assert_eq!(row.dim(), self.dim, "SparseJl::update_sparse dimension mismatch");
+        assert_eq!(
+            row.dim(),
+            self.dim,
+            "SparseJl::update_sparse dimension mismatch"
+        );
         for (bucket, weight) in self.targets(self.stream_pos) {
             row.axpy_into(weight, self.b.row_mut(bucket));
         }

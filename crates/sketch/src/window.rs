@@ -193,7 +193,11 @@ mod tests {
         }
         assert_eq!(w.rows_seen(), 55);
         assert!(w.rows_in_window() <= 30);
-        assert!(w.rows_in_window() >= 20, "window holds {}", w.rows_in_window());
+        assert!(
+            w.rows_in_window() >= 20,
+            "window holds {}",
+            w.rows_in_window()
+        );
     }
 
     #[test]

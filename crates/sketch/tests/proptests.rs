@@ -4,15 +4,11 @@ use proptest::prelude::*;
 use sketchad_linalg::power::gram_diff_spectral_norm;
 use sketchad_linalg::Matrix;
 use sketchad_sketch::{
-    BlockWindowSketch, CountSketch, FrequentDirections, MatrixSketch, RandomProjection,
-    RowSampling,
+    BlockWindowSketch, CountSketch, FrequentDirections, MatrixSketch, RandomProjection, RowSampling,
 };
 
 /// Strategy: a stream of rows with bounded entries.
-fn stream_strategy(
-    max_rows: usize,
-    dim: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn stream_strategy(max_rows: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(
         prop::collection::vec(-20.0f64..20.0, dim..=dim),
         1..=max_rows,

@@ -108,7 +108,12 @@ pub fn synth_rotate(scale: DatasetScale) -> LabeledStream {
         anomaly_kind: AnomalyKind::OffSubspace,
         seed: 0xa004,
     };
-    let mut s = generate_drift_stream(cfg, DriftKind::Rotating { radians_per_point: 0.002 });
+    let mut s = generate_drift_stream(
+        cfg,
+        DriftKind::Rotating {
+            radians_per_point: 0.002,
+        },
+    );
     s.name = "synth-rotate".into();
     s
 }
@@ -141,8 +146,7 @@ pub fn p53_like(scale: DatasetScale) -> LabeledStream {
             }
             v
         } else {
-            let coeff: Vec<f64> =
-                sigmas.iter().map(|&s| s * gaussian(&mut rng)).collect();
+            let coeff: Vec<f64> = sigmas.iter().map(|&s| s * gaussian(&mut rng)).collect();
             let mut v = basis.tr_matvec(&coeff);
             for x in v.iter_mut() {
                 *x += 0.02 * gaussian(&mut rng);
@@ -160,7 +164,7 @@ pub fn p53_like(scale: DatasetScale) -> LabeledStream {
 pub fn dorothea_like(scale: DatasetScale) -> LabeledStream {
     let n = scale.shrink(6_000);
     let d = scale.shrink_dim(1_200);
-    let n_protos = 24;
+    let n_protos = 24usize;
     // 0.5% density at full scale; floor of 4 keeps the normal/anomaly
     // density contrast meaningful at test scale.
     let active_per_proto = ((d as f64 * 0.005).ceil() as usize).max(4);
@@ -170,11 +174,7 @@ pub fn dorothea_like(scale: DatasetScale) -> LabeledStream {
     let mut rng = seeded_rng(seed);
     // Sparse prototypes: disjoint-ish active index sets.
     let protos: Vec<Vec<usize>> = (0..n_protos)
-        .map(|_| {
-            (0..active_per_proto)
-                .map(|_| rng.gen_range(0..d))
-                .collect()
-        })
+        .map(|_| (0..active_per_proto).map(|_| rng.gen_range(0..d)).collect())
         .collect();
     let guard = n / 10;
 
@@ -198,7 +198,10 @@ pub fn dorothea_like(scale: DatasetScale) -> LabeledStream {
                 v[rng.gen_range(0..d)] = 1.0;
             }
         }
-        points.push(LabeledPoint { values: v, is_anomaly });
+        points.push(LabeledPoint {
+            values: v,
+            is_anomaly,
+        });
     }
     LabeledStream::new("dorothea-like", d, points)
 }
@@ -210,8 +213,8 @@ pub fn dorothea_like(scale: DatasetScale) -> LabeledStream {
 pub fn rcv1_like(scale: DatasetScale) -> LabeledStream {
     let n = scale.shrink(10_000);
     let d = scale.shrink_dim(800);
-    let n_topics = 30;
-    let n_anom_topics = 5;
+    let n_topics = 30usize;
+    let n_anom_topics = 5usize;
     let words_per_topic = 20.min(d / 4);
     let anomaly_rate = 0.02;
     let seed = 0xa007;
@@ -241,7 +244,7 @@ pub fn rcv1_like(scale: DatasetScale) -> LabeledStream {
             vec![&anom_topics[rng.gen_range(0..n_anom_topics)]]
         } else {
             // Drift: topic popularity window slides across [0, n_topics).
-            let window = 8;
+            let window = 8usize;
             let base = (progress * (n_topics - window) as f64) as usize;
             let m = 1 + (rng.gen::<u64>() % 3) as usize;
             (0..m)
@@ -258,7 +261,10 @@ pub fn rcv1_like(scale: DatasetScale) -> LabeledStream {
         for _ in 0..3 {
             v[rng.gen_range(0..d)] += 0.1 * rng.gen::<f64>();
         }
-        points.push(LabeledPoint { values: v, is_anomaly });
+        points.push(LabeledPoint {
+            values: v,
+            is_anomaly,
+        });
     }
     LabeledStream::new("rcv1-like", d, points)
 }
@@ -292,8 +298,10 @@ pub fn synth_powerlaw(scale: DatasetScale) -> LabeledStream {
                 let j = rng.gen_range(0..d);
                 v[j] += 1.5 * gaussian(&mut rng);
             }
-            let coeff: Vec<f64> =
-                sigmas.iter().map(|&s| 0.5 * s * gaussian(&mut rng)).collect();
+            let coeff: Vec<f64> = sigmas
+                .iter()
+                .map(|&s| 0.5 * s * gaussian(&mut rng))
+                .collect();
             let b = basis.tr_matvec(&coeff);
             v.iter().zip(b.iter()).map(|(a, c)| a + c).collect()
         } else {
@@ -420,7 +428,12 @@ mod tests {
         let a = sketchad_linalg::Matrix::from_rows(&normals).unwrap();
         let svd = sketchad_linalg::svd::svd_thin(&a).unwrap();
         // Strong decay: top singular value dwarfs the 20th.
-        assert!(svd.s[0] > 4.0 * svd.s[19], "σ1 {} vs σ20 {}", svd.s[0], svd.s[19]);
+        assert!(
+            svd.s[0] > 4.0 * svd.s[19],
+            "σ1 {} vs σ20 {}",
+            svd.s[0],
+            svd.s[19]
+        );
     }
 
     #[test]

@@ -118,10 +118,7 @@ fn rotate_basis(generator: &mut LowRankGenerator, angle: f64) {
 /// Measures the principal-angle distance between the planted basis at the
 /// start and end of a drift run (used by tests and diagnostics):
 /// `1 − σ_min(B_start B_endᵀ)`, 0 when identical, → 1 when orthogonal.
-pub fn subspace_distance(
-    a: &sketchad_linalg::Matrix,
-    b: &sketchad_linalg::Matrix,
-) -> f64 {
+pub fn subspace_distance(a: &sketchad_linalg::Matrix, b: &sketchad_linalg::Matrix) -> f64 {
     let m = a.matmul(&b.transpose()).expect("basis dims must agree");
     let svd = sketchad_linalg::svd::svd_thin(&m).expect("SVD of a small matrix");
     let sigma_min = svd.s.last().copied().unwrap_or(0.0);
@@ -147,7 +144,9 @@ mod tests {
     fn rotating_stream_has_shape_and_labels() {
         let s = generate_drift_stream(
             base_cfg(),
-            DriftKind::Rotating { radians_per_point: 0.01 },
+            DriftKind::Rotating {
+                radians_per_point: 0.01,
+            },
         );
         assert_eq!(s.len(), 1000);
         let rate = s.anomaly_rate();
@@ -218,7 +217,11 @@ mod tests {
 
     #[test]
     fn post_switch_normals_differ_from_pre_switch_subspace() {
-        let cfg = LowRankStreamConfig { n: 400, anomaly_rate: 0.0, ..base_cfg() };
+        let cfg = LowRankStreamConfig {
+            n: 400,
+            anomaly_rate: 0.0,
+            ..base_cfg()
+        };
         let s = generate_drift_stream(cfg, DriftKind::AbruptSwitch { at_fraction: 0.5 });
         // Build the pre-switch basis estimate from the first 100 points.
         let pre: Vec<Vec<f64>> = s.points[..100].iter().map(|p| p.values.clone()).collect();

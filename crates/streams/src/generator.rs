@@ -125,14 +125,14 @@ impl LowRankGenerator {
                 // orthogonal to a k ≪ d subspace.
                 let sigma = scale * self.cfg.signal_scale * (self.cfg.k as f64).sqrt()
                     / (self.cfg.d as f64).sqrt();
-                (0..self.cfg.d).map(|_| sigma * gaussian(&mut self.rng)).collect()
+                (0..self.cfg.d)
+                    .map(|_| sigma * gaussian(&mut self.rng))
+                    .collect()
             }
             AnomalyKind::InSubspaceExtreme => {
                 // 6σ–10σ coefficient along a random planted direction.
                 let j = self.rng.gen_range(0..self.cfg.k);
-                let magnitude = self.cfg.signal_scale
-                    * scale
-                    * (6.0 + 4.0 * self.rng.gen::<f64>());
+                let magnitude = self.cfg.signal_scale * scale * (6.0 + 4.0 * self.rng.gen::<f64>());
                 let sign = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
                 let mut coeff = vec![0.0; self.cfg.k];
                 coeff[j] = sign * magnitude;
@@ -198,11 +198,11 @@ pub fn generate_low_rank_stream(cfg: LowRankStreamConfig) -> LabeledStream {
             while placed < target_anomalies {
                 let burst_len = 5 + (generator.rng().gen::<u64>() % 11) as usize;
                 let burst_len = burst_len.min(target_anomalies - placed);
-                let start =
-                    guard + (generator.rng().gen::<u64>() as usize) % (n - guard).max(1);
-                for i in start..(start + burst_len).min(n) {
-                    if !is_anomaly[i] {
-                        is_anomaly[i] = true;
+                let start = guard + (generator.rng().gen::<u64>() as usize) % (n - guard).max(1);
+                let end = (start + burst_len).min(n);
+                for flag in is_anomaly[start..end].iter_mut() {
+                    if !*flag {
+                        *flag = true;
                         placed += 1;
                     }
                 }
@@ -237,7 +237,10 @@ pub fn generate_low_rank_stream(cfg: LowRankStreamConfig) -> LabeledStream {
         } else {
             generator.sample_normal()
         };
-        points.push(LabeledPoint { values, is_anomaly: anom });
+        points.push(LabeledPoint {
+            values,
+            is_anomaly: anom,
+        });
     }
 
     LabeledStream::new(
@@ -254,7 +257,12 @@ mod tests {
 
     #[test]
     fn stream_has_requested_shape_and_rate() {
-        let cfg = LowRankStreamConfig { n: 2000, d: 30, k: 5, ..Default::default() };
+        let cfg = LowRankStreamConfig {
+            n: 2000,
+            d: 30,
+            k: 5,
+            ..Default::default()
+        };
         let s = generate_low_rank_stream(cfg);
         assert_eq!(s.len(), 2000);
         assert_eq!(s.dim, 30);
@@ -264,14 +272,22 @@ mod tests {
 
     #[test]
     fn early_stream_has_no_anomalies() {
-        let cfg = LowRankStreamConfig { n: 1000, ..Default::default() };
+        let cfg = LowRankStreamConfig {
+            n: 1000,
+            ..Default::default()
+        };
         let s = generate_low_rank_stream(cfg);
         assert!(s.points[..100].iter().all(|p| !p.is_anomaly));
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = LowRankStreamConfig { n: 300, d: 20, k: 3, ..Default::default() };
+        let cfg = LowRankStreamConfig {
+            n: 300,
+            d: 20,
+            k: 3,
+            ..Default::default()
+        };
         let a = generate_low_rank_stream(cfg);
         let b = generate_low_rank_stream(cfg);
         assert_eq!(a, b);
@@ -300,13 +316,20 @@ mod tests {
 
     #[test]
     fn off_subspace_anomalies_have_large_residual() {
-        let cfg = LowRankStreamConfig { d: 50, k: 5, ..Default::default() };
+        let cfg = LowRankStreamConfig {
+            d: 50,
+            k: 5,
+            ..Default::default()
+        };
         let mut generator = LowRankGenerator::new(cfg);
         let y = generator.sample_anomaly(None);
         let coeffs = generator.basis().matvec(&y);
         let rec = generator.basis().tr_matvec(&coeffs);
         let resid_frac = vecops::dist_sq(&y, &rec) / vecops::norm2_sq(&y);
-        assert!(resid_frac > 0.6, "off-subspace residual fraction {resid_frac}");
+        assert!(
+            resid_frac > 0.6,
+            "off-subspace residual fraction {resid_frac}"
+        );
     }
 
     #[test]
@@ -322,7 +345,10 @@ mod tests {
         let coeffs = generator.basis().matvec(&y);
         let rec = generator.basis().tr_matvec(&coeffs);
         let resid_frac = vecops::dist_sq(&y, &rec) / vecops::norm2_sq(&y);
-        assert!(resid_frac < 0.05, "in-subspace residual fraction {resid_frac}");
+        assert!(
+            resid_frac < 0.05,
+            "in-subspace residual fraction {resid_frac}"
+        );
         // Norm far beyond the typical normal point (≈ signal·√k).
         let norm = vecops::norm2(&y);
         assert!(norm > 3.0 * 6.0, "norm {norm}");
@@ -358,7 +384,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "1 <= k <= d")]
     fn invalid_rank_rejected() {
-        let cfg = LowRankStreamConfig { d: 5, k: 6, ..Default::default() };
+        let cfg = LowRankStreamConfig {
+            d: 5,
+            k: 6,
+            ..Default::default()
+        };
         let _ = LowRankGenerator::new(cfg);
     }
 }

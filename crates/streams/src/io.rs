@@ -79,12 +79,18 @@ pub fn read_csv(path: &Path) -> Result<LabeledStream, IoError> {
     let header = match lines.next() {
         Some(h) => h?,
         None => {
-            return Err(IoError::Parse { line: 1, message: "empty file".into() });
+            return Err(IoError::Parse {
+                line: 1,
+                message: "empty file".into(),
+            });
         }
     };
     let dim = header.split(',').count().saturating_sub(1);
     if dim == 0 {
-        return Err(IoError::Parse { line: 1, message: "header has no feature columns".into() });
+        return Err(IoError::Parse {
+            line: 1,
+            message: "header has no feature columns".into(),
+        });
     }
 
     let mut points = Vec::new();
@@ -146,8 +152,14 @@ mod tests {
             "roundtrip",
             3,
             vec![
-                LabeledPoint { values: vec![1.0, -2.5, 0.0], is_anomaly: false },
-                LabeledPoint { values: vec![0.125, 3.0, 9.75], is_anomaly: true },
+                LabeledPoint {
+                    values: vec![1.0, -2.5, 0.0],
+                    is_anomaly: false,
+                },
+                LabeledPoint {
+                    values: vec![0.125, 3.0, 9.75],
+                    is_anomaly: true,
+                },
             ],
         );
         let path = tmp_path("roundtrip.csv");

@@ -26,7 +26,5 @@ pub use datasets::{
     synth_drift, synth_lowrank, synth_powerlaw, synth_rotate, DatasetScale,
 };
 pub use drift::{generate_drift_stream, subspace_distance, DriftKind};
-pub use generator::{
-    generate_low_rank_stream, AnomalyKind, LowRankGenerator, LowRankStreamConfig,
-};
+pub use generator::{generate_low_rank_stream, AnomalyKind, LowRankGenerator, LowRankStreamConfig};
 pub use point::{LabeledPoint, LabeledStream};

@@ -75,7 +75,9 @@ impl LabeledStream {
 
     /// Iterator over `(values, is_anomaly)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> {
-        self.points.iter().map(|p| (p.values.as_slice(), p.is_anomaly))
+        self.points
+            .iter()
+            .map(|p| (p.values.as_slice(), p.is_anomaly))
     }
 
     /// Average non-zero fraction per row (sparsity diagnostic).
@@ -110,9 +112,18 @@ mod tests {
             "t",
             2,
             vec![
-                LabeledPoint { values: vec![1.0, 0.0], is_anomaly: false },
-                LabeledPoint { values: vec![0.0, 0.0], is_anomaly: true },
-                LabeledPoint { values: vec![2.0, 3.0], is_anomaly: false },
+                LabeledPoint {
+                    values: vec![1.0, 0.0],
+                    is_anomaly: false,
+                },
+                LabeledPoint {
+                    values: vec![0.0, 0.0],
+                    is_anomaly: true,
+                },
+                LabeledPoint {
+                    values: vec![2.0, 3.0],
+                    is_anomaly: false,
+                },
             ],
         )
     }
@@ -138,7 +149,7 @@ mod tests {
     fn truncation_preserves_prefix() {
         let s = sample().truncated(2);
         assert_eq!(s.len(), 2);
-        assert_eq!(s.points[1].is_anomaly, true);
+        assert!(s.points[1].is_anomaly);
         // Truncating beyond length is a no-op.
         assert_eq!(sample().truncated(99).len(), 3);
     }
@@ -149,7 +160,10 @@ mod tests {
         LabeledStream::new(
             "bad",
             2,
-            vec![LabeledPoint { values: vec![1.0], is_anomaly: false }],
+            vec![LabeledPoint {
+                values: vec![1.0],
+                is_anomaly: false,
+            }],
         );
     }
 

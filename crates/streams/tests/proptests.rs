@@ -2,32 +2,33 @@
 
 use proptest::prelude::*;
 use sketchad_streams::{
-    generate_drift_stream, generate_low_rank_stream, AnomalyKind, DriftKind,
-    LowRankStreamConfig,
+    generate_drift_stream, generate_low_rank_stream, AnomalyKind, DriftKind, LowRankStreamConfig,
 };
 
 fn config_strategy() -> impl Strategy<Value = LowRankStreamConfig> {
     (
-        200usize..800,         // n
-        6usize..40,            // d
-        1usize..5,             // k
-        0.0f64..0.08,          // anomaly_rate
-        0u64..1000,            // seed
+        200usize..800, // n
+        6usize..40,    // d
+        1usize..5,     // k
+        0.0f64..0.08,  // anomaly_rate
+        0u64..1000,    // seed
         prop::sample::select(vec![
             AnomalyKind::OffSubspace,
             AnomalyKind::InSubspaceExtreme,
             AnomalyKind::CorrelatedBurst,
         ]),
     )
-        .prop_map(|(n, d, k, anomaly_rate, seed, anomaly_kind)| LowRankStreamConfig {
-            n,
-            d,
-            k: k.min(d),
-            anomaly_rate,
-            seed,
-            anomaly_kind,
-            ..Default::default()
-        })
+        .prop_map(
+            |(n, d, k, anomaly_rate, seed, anomaly_kind)| LowRankStreamConfig {
+                n,
+                d,
+                k: k.min(d),
+                anomaly_rate,
+                seed,
+                anomaly_kind,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

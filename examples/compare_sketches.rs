@@ -5,9 +5,7 @@
 //! cargo run --release -p sketchad-core --example compare_sketches
 //! ```
 
-use sketchad_core::{
-    DetectorConfig, ExactSvdDetector, ScoreKind, StreamingDetector,
-};
+use sketchad_core::{DetectorConfig, ExactSvdDetector, ScoreKind, StreamingDetector};
 use sketchad_eval::{roc_auc, Stopwatch};
 use sketchad_streams::{generate_low_rank_stream, LowRankStreamConfig};
 
@@ -78,12 +76,25 @@ fn main() {
 
     let mut cs = cfg.build_cs(d);
     let (auc, secs) = run(&mut cs, &stream);
-    println!("{:<24} {auc:>8.4} {:>9.3}s {:>16}", "CountSketch", secs, ell * d);
+    println!(
+        "{:<24} {auc:>8.4} {:>9.3}s {:>16}",
+        "CountSketch",
+        secs,
+        ell * d
+    );
 
     let mut rs = cfg.build_rs(d);
     let (auc, secs) = run(&mut rs, &stream);
-    println!("{:<24} {auc:>8.4} {:>9.3}s {:>16}", "RowSampling", secs, ell * d);
+    println!(
+        "{:<24} {auc:>8.4} {:>9.3}s {:>16}",
+        "RowSampling",
+        secs,
+        ell * d
+    );
 
-    println!("\nThe sketches hold ~{}x less state than the exact baseline", d / (2 * ell));
+    println!(
+        "\nThe sketches hold ~{}x less state than the exact baseline",
+        d / (2 * ell)
+    );
     println!("while matching its AUC — the paper's headline trade-off.");
 }

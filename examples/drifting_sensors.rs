@@ -8,9 +8,7 @@
 
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_eval::roc_auc;
-use sketchad_streams::{
-    generate_drift_stream, DriftKind, LowRankStreamConfig,
-};
+use sketchad_streams::{generate_drift_stream, DriftKind, LowRankStreamConfig};
 
 fn main() {
     // 64 sensors whose readings live on a rank-6 manifold that is abruptly
@@ -29,7 +27,10 @@ fn main() {
 
     let base = DetectorConfig::new(6, 48).with_warmup(warmup);
     let variants: Vec<(&str, Box<dyn StreamingDetector>)> = vec![
-        ("global (no forgetting)", Box::new(base.build_fd(stream.dim))),
+        (
+            "global (no forgetting)",
+            Box::new(base.build_fd(stream.dim)),
+        ),
         (
             "exponential decay (alpha=0.9 / 50 pts)",
             Box::new(base.with_decay(0.9, 50).build_fd(stream.dim)),
@@ -40,8 +41,15 @@ fn main() {
         ),
     ];
 
-    println!("sensor stream: n={}, d={}, drift at t=4000\n", stream.len(), stream.dim);
-    println!("{:<42} {:>10} {:>12} {:>12}", "detector", "AUC(all)", "AUC(pre)", "AUC(post)");
+    println!(
+        "sensor stream: n={}, d={}, drift at t=4000\n",
+        stream.len(),
+        stream.dim
+    );
+    println!(
+        "{:<42} {:>10} {:>12} {:>12}",
+        "detector", "AUC(all)", "AUC(pre)", "AUC(post)"
+    );
     for (name, mut det) in variants {
         let mut scores = Vec::with_capacity(stream.len());
         for (v, _) in stream.iter() {

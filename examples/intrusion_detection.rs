@@ -29,7 +29,9 @@ fn profiles(rng: &mut rand::rngs::StdRng) -> Vec<Vec<f64>> {
 
 fn normal_flow(rng: &mut rand::rngs::StdRng, profiles: &[Vec<f64>]) -> Vec<f64> {
     let p = &profiles[rng.gen_range(0..profiles.len())];
-    p.iter().map(|&v| v * (1.0 + 0.08 * gaussian(rng))).collect()
+    p.iter()
+        .map(|&v| v * (1.0 + 0.08 * gaussian(rng)))
+        .collect()
 }
 
 /// The DoS burst: tiny duration, huge packet rate, one hashed port bucket
@@ -88,8 +90,11 @@ fn main() {
     // Explainability: which feature dimensions drive the anomaly?
     let burst_flow = &stream[3050].0;
     let residual = det.explain(burst_flow).expect("model is built");
-    let mut ranked: Vec<(usize, f64)> =
-        residual.iter().enumerate().map(|(i, &v)| (i, v.abs())).collect();
+    let mut ranked: Vec<(usize, f64)> = residual
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i, v.abs()))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top residual dimensions for a burst flow (feature, |residual|):");
     for (dim, mag) in ranked.iter().take(4) {

@@ -46,7 +46,11 @@ fn main() {
     }
 
     let total_anomalies = stream.anomaly_count();
-    println!("stream: n={}, d={}, planted anomalies={total_anomalies}", stream.len(), stream.dim);
+    println!(
+        "stream: n={}, d={}, planted anomalies={total_anomalies}",
+        stream.len(),
+        stream.dim
+    );
     println!(
         "alerts: {} raised — {true_pos} true positives, {false_pos} false positives",
         flagged.len()

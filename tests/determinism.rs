@@ -4,7 +4,10 @@
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_streams::{standard_datasets, synth_drift, DatasetScale};
 
-fn scores_of(det: &mut dyn StreamingDetector, stream: &sketchad_streams::LabeledStream) -> Vec<f64> {
+fn scores_of(
+    det: &mut dyn StreamingDetector,
+    stream: &sketchad_streams::LabeledStream,
+) -> Vec<f64> {
     let mut scores = Vec::with_capacity(stream.len());
     for (v, _) in stream.iter() {
         scores.push(det.process(v));
@@ -19,7 +22,10 @@ fn datasets_regenerate_identically() {
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x, y, "{} differs between generations", x.name);
     }
-    assert_eq!(synth_drift(DatasetScale::Small), synth_drift(DatasetScale::Small));
+    assert_eq!(
+        synth_drift(DatasetScale::Small),
+        synth_drift(DatasetScale::Small)
+    );
 }
 
 #[test]
@@ -72,7 +78,9 @@ fn windowed_detector_is_reproducible() {
 
 #[test]
 fn csv_roundtrip_preserves_detector_output() {
-    let stream = standard_datasets(DatasetScale::Small).remove(0).truncated(500);
+    let stream = standard_datasets(DatasetScale::Small)
+        .remove(0)
+        .truncated(500);
     let mut path = std::env::temp_dir();
     path.push(format!("sketchad-determinism-{}.csv", std::process::id()));
     sketchad_streams::io::write_csv(&stream, &path).unwrap();

@@ -3,9 +3,7 @@
 
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_eval::roc_auc;
-use sketchad_streams::{
-    generate_drift_stream, DriftKind, LabeledStream, LowRankStreamConfig,
-};
+use sketchad_streams::{generate_drift_stream, DriftKind, LabeledStream, LowRankStreamConfig};
 
 const WARMUP: usize = 150;
 
@@ -33,8 +31,7 @@ fn post_drift_aucs(det: &mut dyn StreamingDetector, stream: &LabeledStream) -> (
     }
     let labels = stream.labels();
     let mid = stream.len() / 2;
-    let trans =
-        roc_auc(&scores[mid..mid + 400], &labels[mid..mid + 400]).expect("both classes");
+    let trans = roc_auc(&scores[mid..mid + 400], &labels[mid..mid + 400]).expect("both classes");
     let steady = roc_auc(&scores[mid + 400..], &labels[mid + 400..]).expect("both classes");
     (trans, steady)
 }
@@ -48,18 +45,32 @@ fn global_detector_degrades_after_switch() {
     // The stale global subspace misranks post-switch normals vs anomalies
     // during the transition, and never fully recovers (the old regime's
     // energy keeps polluting the global model).
-    assert!(trans < 0.8, "global transition AUC unexpectedly high ({trans})");
-    assert!(steady < 0.97, "global steady-state AUC unexpectedly high ({steady})");
+    assert!(
+        trans < 0.8,
+        "global transition AUC unexpectedly high ({trans})"
+    );
+    assert!(
+        steady < 0.97,
+        "global steady-state AUC unexpectedly high ({steady})"
+    );
 }
 
 #[test]
 fn decay_detector_recovers_after_switch() {
     let stream = drift_stream();
-    let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP).with_decay(0.9, 25);
+    let cfg = DetectorConfig::new(4, 32)
+        .with_warmup(WARMUP)
+        .with_decay(0.9, 25);
     let mut det = cfg.build_fd(stream.dim);
     let (trans, steady) = post_drift_aucs(&mut det, &stream);
-    assert!(steady > 0.97, "decay detector failed to recover (AUC {steady})");
-    assert!(trans > 0.8, "decay detector too slow in transition ({trans})");
+    assert!(
+        steady > 0.97,
+        "decay detector failed to recover (AUC {steady})"
+    );
+    assert!(
+        trans > 0.8,
+        "decay detector too slow in transition ({trans})"
+    );
 }
 
 #[test]
@@ -68,8 +79,14 @@ fn windowed_detector_recovers_after_switch() {
     let cfg = DetectorConfig::new(4, 32).with_warmup(WARMUP);
     let mut det = cfg.build_windowed_fd(stream.dim, 100, 4);
     let (trans, steady) = post_drift_aucs(&mut det, &stream);
-    assert!(steady > 0.97, "windowed detector failed to recover (AUC {steady})");
-    assert!(trans > 0.8, "windowed detector too slow in transition ({trans})");
+    assert!(
+        steady > 0.97,
+        "windowed detector failed to recover (AUC {steady})"
+    );
+    assert!(
+        trans > 0.8,
+        "windowed detector too slow in transition ({trans})"
+    );
 }
 
 #[test]
@@ -82,10 +99,22 @@ fn forgetting_detectors_beat_global_after_drift() {
     let (d_trans, d_steady) = post_drift_aucs(&mut decay, &stream);
     let mut window = cfg.build_windowed_fd(stream.dim, 100, 4);
     let (w_trans, w_steady) = post_drift_aucs(&mut window, &stream);
-    assert!(d_trans > g_trans + 0.1, "decay trans ({d_trans}) vs global ({g_trans})");
-    assert!(w_trans > g_trans + 0.1, "window trans ({w_trans}) vs global ({g_trans})");
-    assert!(d_steady > g_steady + 0.03, "decay steady ({d_steady}) vs global ({g_steady})");
-    assert!(w_steady > g_steady + 0.03, "window steady ({w_steady}) vs global ({g_steady})");
+    assert!(
+        d_trans > g_trans + 0.1,
+        "decay trans ({d_trans}) vs global ({g_trans})"
+    );
+    assert!(
+        w_trans > g_trans + 0.1,
+        "window trans ({w_trans}) vs global ({g_trans})"
+    );
+    assert!(
+        d_steady > g_steady + 0.03,
+        "decay steady ({d_steady}) vs global ({g_steady})"
+    );
+    assert!(
+        w_steady > g_steady + 0.03,
+        "window steady ({w_steady}) vs global ({g_steady})"
+    );
 }
 
 #[test]

@@ -43,11 +43,7 @@ fn fd_detector_beats_random_on_every_standard_dataset() {
         let auc = auc_of(&mut fd, &stream);
         let mut rng_det = RandomScoreDetector::new(stream.dim, 1);
         let random_auc = auc_of(&mut rng_det, &stream);
-        assert!(
-            auc > 0.85,
-            "{}: FD AUC {auc} too low",
-            stream.name
-        );
+        assert!(auc > 0.85, "{}: FD AUC {auc} too low", stream.name);
         assert!(
             auc > random_auc + 0.2,
             "{}: FD ({auc}) does not beat random ({random_auc})",
@@ -81,7 +77,9 @@ fn all_sketch_arms_detect_on_synth_lowrank() {
 #[test]
 fn alerting_pipeline_flags_planted_anomalies() {
     let stream = synth_lowrank(DatasetScale::Small);
-    let det = DetectorConfig::new(10, 32).with_warmup(WARMUP).build_fd(stream.dim);
+    let det = DetectorConfig::new(10, 32)
+        .with_warmup(WARMUP)
+        .build_fd(stream.dim);
     let mut alerting = ThresholdedDetector::new(det, 0.02, 200);
     let mut tp = 0usize;
     let mut fp = 0usize;

@@ -38,13 +38,7 @@ fn sketched_scores_track_exact_scores() {
     let warmup = 150;
     let k = 5;
 
-    let mut exact = ExactSvdDetector::new(
-        stream.dim,
-        k,
-        ScoreKind::RelativeProjection,
-        64,
-        warmup,
-    );
+    let mut exact = ExactSvdDetector::new(stream.dim, k, ScoreKind::RelativeProjection, 64, warmup);
     let mut exact_scores = Vec::new();
     for (v, _) in stream.iter() {
         exact_scores.push(exact.process(v));
@@ -66,13 +60,7 @@ fn larger_sketches_are_more_faithful() {
     let stream = synth_lowrank(DatasetScale::Small);
     let warmup = 150;
     let k = 5;
-    let mut exact = ExactSvdDetector::new(
-        stream.dim,
-        k,
-        ScoreKind::RelativeProjection,
-        64,
-        warmup,
-    );
+    let mut exact = ExactSvdDetector::new(stream.dim, k, ScoreKind::RelativeProjection, 64, warmup);
     let mut exact_scores = Vec::new();
     for (v, _) in stream.iter() {
         exact_scores.push(exact.process(v));
@@ -92,7 +80,10 @@ fn larger_sketches_are_more_faithful() {
         corrs[2] >= corrs[0] - 0.02,
         "fidelity should not degrade with ell: {corrs:?}"
     );
-    assert!(corrs[2] > 0.9, "largest sketch should be faithful: {corrs:?}");
+    assert!(
+        corrs[2] > 0.9,
+        "largest sketch should be faithful: {corrs:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,229 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container cannot fetch crates, so this crate reimplements the
+//! property-testing surface the workspace's `tests/proptests.rs` files use:
+//! the `proptest!` macro, `prop_assert*` / `prop_assume!`, range and
+//! collection strategies, `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, `prop::sample::select` and `proptest::bool::ANY`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: case inputs derive from a stable hash of the test's
+//!   module path and name plus the case index — every run, every machine,
+//!   the same inputs. Tier-1 CI stays reproducible with no `proptest-regressions`
+//!   files.
+//! * **No shrinking**: a failing case reports its case index and assertion
+//!   message; inputs are reproducible from the index alone, so shrinking is
+//!   a nicety rather than a necessity here.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    pub use crate::strategy::collection_vec as vec;
+    pub use crate::strategy::SizeRange;
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    pub use crate::strategy::select;
+    pub use crate::strategy::Select;
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface used by every proptest file:
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring the real crate's `prop::` paths
+    /// (`prop::collection::vec`, `prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` that runs the body over deterministically generated
+/// cases. An optional leading `#![proptest_config(expr)]` sets the case
+/// count for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @config($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                let mut passed: u32 = 0;
+                let mut case: u64 = 0;
+                let reject_cap = (config.cases as u64) * 20 + 1000;
+                while passed < config.cases {
+                    if case >= reject_cap {
+                        panic!(
+                            "{test_id}: gave up after {case} generated cases \
+                             ({passed}/{} passed; too many prop_assume rejections)",
+                            config.cases
+                        );
+                    }
+                    let mut rng =
+                        $crate::test_runner::TestRng::deterministic(test_id, case);
+                    case += 1;
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (move || ->
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "{test_id}: case #{} failed: {msg}\n\
+                                 (inputs are deterministic: re-running reproduces \
+                                 this case)",
+                                case - 1
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (with formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    ::std::format!(
+                        "{} ({}:{})",
+                        ::std::format!($($fmt)*),
+                        file!(),
+                        line!()
+                    ),
+                ),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property tests (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            a,
+            b,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for property tests (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` != `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            a,
+            b,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    stringify!($cond).to_string(),
+                ),
+            );
+        }
+    };
+}

@@ -1,0 +1,355 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, with no `syn`/`quote` dependency
+//! (the container cannot fetch crates, so the parser is hand-rolled over
+//! `proc_macro::TokenStream`):
+//!
+//! * structs with named fields,
+//! * enums with unit variants and struct (named-field) variants,
+//! * the `#[serde(try_from = "Type")]` container attribute on `Deserialize`.
+//!
+//! Anything else (tuple structs, generics, other serde attributes) is
+//! rejected with a `compile_error!` naming the unsupported feature, so a
+//! future PR extending usage gets a clear signal instead of silent
+//! misbehavior.
+//!
+//! Generated impls target the value-tree model of the sibling `serde`
+//! stand-in (`Serialize::to_value` / `Deserialize::from_value`), which is
+//! exactly what the vendored `serde_json` consumes and produces.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: type name plus shape.
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(try_from = "Type")]`, when present.
+    try_from: Option<String>,
+}
+
+enum Shape {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Enum variants: `(name, fields)` where unit variants have no fields.
+    Enum(Vec<(String, Vec<String>)>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// Extracts `try_from = "Type"` from the tokens inside a `#[serde(...)]`
+/// attribute group; errors on any other serde attribute.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Result<Option<String>, String> {
+    // Expected: `try_from = "Type"`.
+    match tokens {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "try_from" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let inner = raw.trim_matches('"');
+            Ok(Some(inner.to_string()))
+        }
+        _ => {
+            let rendered: String = tokens.iter().map(|t| t.to_string()).collect();
+            Err(format!("unsupported #[serde({rendered})] attribute (stand-in derive supports only try_from)"))
+        }
+    }
+}
+
+/// Consumes leading attributes from `iter`, returning any `try_from` target
+/// found in a `#[serde(...)]` attribute.
+fn skip_attributes(
+    trees: &[TokenTree],
+    mut pos: usize,
+) -> Result<(usize, Option<String>), String> {
+    let mut try_from = None;
+    loop {
+        match (trees.get(pos), trees.get(pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if name.to_string() == "serde" {
+                        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                        if let Some(t) = parse_serde_attr(&args)? {
+                            try_from = Some(t);
+                        }
+                    }
+                }
+                pos += 2;
+            }
+            _ => return Ok((pos, try_from)),
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(...)`) if present.
+fn skip_visibility(trees: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = trees.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Parses the named fields inside a brace group, returning field names.
+/// Skips per-field attributes, visibility and types (types are never needed:
+/// generated code relies on inference through the struct constructor).
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < trees.len() {
+        let (next, attr) = skip_attributes(&trees, pos)?;
+        if attr.is_some() {
+            return Err("field-level #[serde(...)] attributes are unsupported".into());
+        }
+        pos = skip_visibility(&trees, next);
+        let name = match trees.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        pos += 1;
+        match trees.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}` (tuple structs unsupported)")),
+        }
+        // Skip the type: consume until a top-level comma, tracking angle
+        // bracket depth (parens/brackets/braces arrive as whole groups).
+        let mut angle: i32 = 0;
+        while let Some(tok) = trees.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants from a brace group.
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<(String, Vec<String>)>, String> {
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < trees.len() {
+        let (next, _) = skip_attributes(&trees, pos)?;
+        pos = next;
+        let name = match trees.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        pos += 1;
+        let fields = match trees.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g)?;
+                pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is unsupported by the stand-in derive"));
+            }
+            _ => Vec::new(),
+        };
+        match trees.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("discriminant on variant `{name}` is unsupported"));
+            }
+            _ => {}
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, try_from) = skip_attributes(&trees, 0)?;
+    let mut pos = skip_visibility(&trees, pos);
+    let kind = match trees.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match trees.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = trees.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is unsupported by the stand-in derive"));
+        }
+    }
+    let body = match trees.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("tuple struct `{name}` is unsupported by the stand-in derive"));
+        }
+        _ => return Err(format!("expected a braced body for `{name}`")),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("unsupported item kind `{other}`")),
+    };
+    Ok(Input { name, shape, try_from })
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for the supported subset.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut entries = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(entries)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
+                    } else {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner = ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(::std::vec![({v:?}.to_string(), ::serde::Value::Object(inner))])\n}},\n"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the supported subset.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    if let Some(via) = &parsed.try_from {
+        let out = format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let raw: {via} = ::serde::Deserialize::from_value(value)?;\n\
+                     <{name} as ::std::convert::TryFrom<{via}>>::try_from(raw)\n\
+                         .map_err(|e| ::serde::DeError::custom(::std::format!(\"{{}}\", e)))\n\
+                 }}\n\
+             }}"
+        );
+        return out.parse().expect("generated try_from Deserialize impl parses");
+    }
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(entries, {f:?}, {name:?})?,\n"))
+                .collect();
+            format!(
+                "let entries = value.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(::std::format!(\"expected object for struct {name}\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_empty())
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, f)| !f.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(entries, {f:?}, {name:?})?,\n"))
+                        .collect();
+                    format!(
+                        "{v:?} => {{\n\
+                         let entries = inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(::std::format!(\"expected object payload for variant {name}::{v}\")))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant {{other:?}} of enum {name}\"))),\n}},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant {{other:?}} of enum {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected string or single-key object for enum {name}\"))),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
