@@ -1,8 +1,12 @@
 //! Serving-engine throughput sweep: points/second and latency quantiles
-//! versus shard count, recorded as `results/BENCH_serve.json`.
+//! versus shard count, recorded as `results/BENCH_serve.json`. A final
+//! instrumented pass re-runs the 4-shard configuration with per-shard
+//! `MetricsRecorder`s and exports the merged per-stage span timings and
+//! refresh/snapshot events as `results/OBS_serve.json`.
 //!
 //! ```text
 //! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--out FILE]
+//!     [--metrics-out FILE]
 //! ```
 //!
 //! Numbers are measured on whatever hardware runs this — the artifact
@@ -12,6 +16,7 @@
 
 use serde::Serialize;
 use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_obs::{ObsArtifact, RecorderHandle};
 use sketchad_serve::{ServeConfig, ServeEngine};
 use sketchad_streams::{generate_low_rank_stream, AnomalyKind, LowRankStreamConfig};
 use std::time::Instant;
@@ -49,6 +54,16 @@ fn build_detector(d: usize) -> Box<dyn StreamingDetector + Send> {
     )
 }
 
+fn build_instrumented(d: usize, recorder: RecorderHandle) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(4, 32)
+            .with_warmup(200)
+            .with_seed(7)
+            .build_fd(d)
+            .with_recorder(recorder),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
@@ -58,6 +73,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::to_string)
         .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::to_string)
+        .unwrap_or_else(|| "results/OBS_serve.json".to_string());
 
     let n = if small { 20_000 } else { 100_000 };
     let d = 48;
@@ -150,4 +171,35 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json).expect("write report");
     println!("wrote {out_path}");
+
+    // Instrumented pass: the 4-shard configuration again, this time with
+    // per-shard recorders, exported as a versioned OBS artifact. Run last so
+    // the throughput sweep above stays free of observation overhead.
+    let obs_shards = 4usize;
+    let config = ServeConfig::new(obs_shards)
+        .with_queue_capacity(queue_capacity)
+        .with_snapshot_every(512);
+    let mut engine =
+        ServeEngine::start_instrumented(config, |_shard, recorder| build_instrumented(d, recorder))
+            .expect("engine start");
+    engine.submit_batch(points.iter().cloned()).expect("submit");
+    let report = engine.finish().expect("drain");
+    let obs = report
+        .stats
+        .obs
+        .clone()
+        .expect("instrumented stats carry an obs report");
+    println!("{}", obs.render_table());
+    let artifact = ObsArtifact::new("serve_bench", obs)
+        .with_context("n", n.to_string())
+        .with_context("d", d.to_string())
+        .with_context("shards", obs_shards.to_string())
+        .with_context("queue_capacity", queue_capacity.to_string())
+        .with_context("snapshot_every", "512")
+        .with_context("sketch", "fd")
+        .with_context("available_parallelism", parallelism.to_string());
+    artifact
+        .write(std::path::Path::new(&metrics_path))
+        .expect("write metrics artifact");
+    println!("wrote {metrics_path}");
 }

@@ -21,12 +21,14 @@ mod args;
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{parse, ParsedArgs};
 use sketchad_core::{
     DetectorConfig, RefreshPolicy, ScoreKind, StreamingDetector, ThresholdedDetector,
 };
 use sketchad_eval::{fmt_opt, roc_auc};
+use sketchad_obs::{MetricsRecorder, ObsArtifact, Recorder, RecorderHandle};
 use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
 
 const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [options]
@@ -34,13 +36,13 @@ const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [o
   score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
            [--score rel-proj|proj|leverage|blended] [--warmup N]
            [--decay ALPHA:EVERY] [--fp-rate F] [--output FILE]
-           [--save-model FILE] [--normalize] [--quiet]
+           [--save-model FILE] [--metrics-out FILE] [--normalize] [--quiet]
   apply    --model FILE --input FILE [--output FILE] [--quiet]
   pipeline (--input FILE | --dataset NAME [--small]) [--shards N]
            [--queue N] [--policy block|drop] [--partition rr|hash]
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
-           [--output FILE] [--stats-json FILE] [--quiet]
+           [--output FILE] [--stats-json FILE] [--metrics-out FILE] [--quiet]
   datasets";
 
 /// Persisted artifact of a trained detector: the subspace model plus the
@@ -185,12 +187,31 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
         cfg = cfg.with_decay(alpha, every);
     }
 
+    // With --metrics-out, hand the detector a live recorder so per-stage
+    // spans and refresh events land in an exported artifact.
+    let metrics = p
+        .options
+        .get("metrics-out")
+        .map(|path| (path.clone(), Arc::new(MetricsRecorder::new())));
+    let recorder = metrics
+        .as_ref()
+        .map(|(_, r)| RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>));
+
     let sketch_name = p.get_or("sketch", "fd");
+    macro_rules! build_detector {
+        ($builder:ident) => {{
+            let det = cfg.$builder(stream.dim);
+            match recorder.clone() {
+                Some(h) => Box::new(det.with_recorder(h)) as Box<dyn StreamingDetector>,
+                None => Box::new(det) as Box<dyn StreamingDetector>,
+            }
+        }};
+    }
     let mut detector: Box<dyn StreamingDetector> = match sketch_name {
-        "fd" => Box::new(cfg.build_fd(stream.dim)),
-        "rp" => Box::new(cfg.build_rp(stream.dim)),
-        "cs" => Box::new(cfg.build_cs(stream.dim)),
-        "rs" => Box::new(cfg.build_rs(stream.dim)),
+        "fd" => build_detector!(build_fd),
+        "rp" => build_detector!(build_rp),
+        "cs" => build_detector!(build_cs),
+        "rs" => build_detector!(build_rs),
         other => return Err(format!("unknown sketch {other:?} (fd|rp|cs|rs)")),
     };
     if p.has_flag("normalize") {
@@ -268,6 +289,22 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
                 model.k(),
                 model.dim()
             );
+        }
+    }
+
+    // Optional observability artifact.
+    if let Some((path, rec)) = &metrics {
+        let artifact = ObsArtifact::new("score", rec.snapshot())
+            .with_context("input", input)
+            .with_context("sketch", sketch_name)
+            .with_context("k", k.to_string())
+            .with_context("ell", ell.to_string())
+            .with_context("warmup", warmup.to_string())
+            .with_context("score", format!("{score:?}"));
+        artifact.write(Path::new(path)).map_err(|e| e.to_string())?;
+        if !p.has_flag("quiet") {
+            print!("{}", artifact.report.render_table());
+            println!("wrote metrics to {path}");
         }
     }
     Ok(())
@@ -391,20 +428,38 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .with_backpressure(policy)
         .with_partition(partition)
         .with_snapshot_every(snapshot_every);
+    let metrics_out = p.options.get("metrics-out").cloned();
     let factory_err = std::cell::RefCell::new(None::<String>);
-    let mut engine = ServeEngine::start(serve_config, |_shard| {
+    // One factory serves both the plain and the instrumented engine: the
+    // recorder (per-shard, provided by `start_instrumented`) is installed on
+    // the detector when present.
+    let build = |recorder: Option<RecorderHandle>| -> Box<dyn StreamingDetector + Send> {
+        macro_rules! build_detector {
+            ($builder:ident) => {{
+                let det = cfg.$builder(dim);
+                match recorder {
+                    Some(h) => Box::new(det.with_recorder(h)) as Box<dyn StreamingDetector + Send>,
+                    None => Box::new(det) as Box<dyn StreamingDetector + Send>,
+                }
+            }};
+        }
         match sketch_name.as_str() {
-            "fd" => Box::new(cfg.build_fd(dim)) as Box<dyn StreamingDetector + Send>,
-            "rp" => Box::new(cfg.build_rp(dim)),
-            "cs" => Box::new(cfg.build_cs(dim)),
-            "rs" => Box::new(cfg.build_rs(dim)),
+            "fd" => build_detector!(build_fd),
+            "rp" => build_detector!(build_rp),
+            "cs" => build_detector!(build_cs),
+            "rs" => build_detector!(build_rs),
             other => {
                 *factory_err.borrow_mut() = Some(format!("unknown sketch {other:?} (fd|rp|cs|rs)"));
                 // Placeholder so start() can finish; the error below wins.
-                Box::new(cfg.build_fd(dim))
+                build_detector!(build_fd)
             }
         }
-    })
+    };
+    let mut engine = if metrics_out.is_some() {
+        ServeEngine::start_instrumented(serve_config, |_shard, recorder| build(Some(recorder)))
+    } else {
+        ServeEngine::start(serve_config, |_shard| build(None))
+    }
     .map_err(|e| e.to_string())?;
     if let Some(err) = factory_err.into_inner() {
         let _ = engine.finish();
@@ -455,6 +510,24 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         std::fs::write(stats_path, json).map_err(|e| e.to_string())?;
         if !p.has_flag("quiet") {
             println!("wrote pipeline stats to {stats_path}");
+        }
+    }
+    if let Some(path) = &metrics_out {
+        let obs = stats.obs.clone().unwrap_or_default();
+        let artifact = ObsArtifact::new("pipeline", obs)
+            .with_context("source", stream.name.as_str())
+            .with_context("points", stream.len().to_string())
+            .with_context("dim", dim.to_string())
+            .with_context("shards", shards.to_string())
+            .with_context("sketch", sketch_name.as_str())
+            .with_context("k", k.to_string())
+            .with_context("ell", ell.to_string())
+            .with_context("warmup", warmup.to_string())
+            .with_context("snapshot_every", snapshot_every.to_string());
+        artifact.write(Path::new(path)).map_err(|e| e.to_string())?;
+        if !p.has_flag("quiet") {
+            print!("{}", artifact.report.render_table());
+            println!("wrote metrics to {path}");
         }
     }
     Ok(())
@@ -739,6 +812,92 @@ mod tests {
         for p in [&out, &stats] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn pipeline_metrics_out_emits_obs_artifact() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let metrics = dir.join(format!("sketchad-pipeline-obs-{pid}.json"));
+        run(&[
+            "pipeline".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--small".into(),
+            "--shards".into(),
+            "2".into(),
+            "--warmup".into(),
+            "100".into(),
+            "--snapshot-every".into(),
+            "64".into(),
+            "--metrics-out".into(),
+            metrics.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        std::fs::remove_file(&metrics).ok();
+        let artifact: ObsArtifact = serde_json::from_str(&raw).unwrap();
+        assert_eq!(artifact.schema, sketchad_obs::OBS_SCHEMA);
+        assert_eq!(artifact.command, "pipeline");
+        assert_eq!(
+            artifact.context.get("shards").map(String::as_str),
+            Some("2")
+        );
+        let expected = dataset_by_name("synth-lowrank", DatasetScale::Small)
+            .unwrap()
+            .len() as u64;
+        let report = &artifact.report;
+        // Every point is folded into a sketch; scores and refreshes happen
+        // once models exist.
+        assert_eq!(report.span("sketch_update").unwrap().count, expected);
+        assert!(report.span("score").unwrap().count > 0);
+        assert!(report.span("model_refresh").unwrap().count > 0);
+        assert!(report.event_count("refresh_fired") > 0);
+        assert!(report.event_count("snapshot_published") > 0);
+        assert_eq!(
+            report.counter("snapshots_published"),
+            report.event_count("snapshot_published") as u64
+        );
+        assert_eq!(report.gauge("queue_depth").unwrap().samples, expected);
+    }
+
+    #[test]
+    fn score_metrics_out_emits_obs_artifact() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("sketchad-score-obs-{pid}.csv"));
+        let metrics = dir.join(format!("sketchad-score-obs-{pid}.json"));
+        run(&[
+            "generate".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--output".into(),
+            csv.to_str().unwrap().into(),
+            "--small".into(),
+        ])
+        .unwrap();
+        run(&[
+            "score".into(),
+            "--input".into(),
+            csv.to_str().unwrap().into(),
+            "--warmup".into(),
+            "100".into(),
+            "--metrics-out".into(),
+            metrics.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        for p in [&csv, &metrics] {
+            std::fs::remove_file(p).ok();
+        }
+        let artifact: ObsArtifact = serde_json::from_str(&raw).unwrap();
+        assert_eq!(artifact.schema, sketchad_obs::OBS_SCHEMA);
+        assert_eq!(artifact.command, "score");
+        assert!(artifact.report.span("sketch_update").unwrap().count > 0);
+        assert!(artifact.report.span("model_refresh").unwrap().count > 0);
+        assert!(artifact.report.event_count("refresh_fired") > 0);
     }
 
     #[test]

@@ -77,6 +77,12 @@ pub mod sketched;
 pub mod subspace;
 pub mod threshold;
 
+/// Re-export of the observability layer (`sketchad-obs`) so downstream
+/// crates can instrument detectors without a separate dependency:
+/// build a [`obs::MetricsRecorder`], wrap it in a [`obs::RecorderHandle`],
+/// and pass it to [`SketchDetector::with_recorder`].
+pub use sketchad_obs as obs;
+
 pub use baseline::{MeanDistanceDetector, OjaDetector, RandomScoreDetector};
 pub use config::DetectorConfig;
 pub use detector::StreamingDetector;

@@ -1,4 +1,32 @@
 //! Score-family selection.
+//!
+//! [`ScoreKind`] names the anomaly scores of the paper and dispatches to
+//! the [`SubspaceModel`] methods that compute them:
+//!
+//! * `proj_k(y) = ‖y‖² − Σ_{j≤k}(v_j·y)²` — [`ScoreKind::ProjectionDistance`]
+//! * `proj_k(y)/‖y‖²` — [`ScoreKind::RelativeProjection`] (the default)
+//! * `lev_k(y) = Σ_{j≤k}(v_j·y)²/σ_j²` — [`ScoreKind::Leverage`]
+//! * both combined — [`ScoreKind::Blended`]
+//!
+//! ```
+//! use sketchad_core::{ScoreKind, SubspaceModel};
+//! use sketchad_linalg::Matrix;
+//!
+//! // Model spanning the first two axes of R⁴ with σ = (2, 1).
+//! let mut b = Matrix::zeros(2, 4);
+//! b[(0, 0)] = 2.0;
+//! b[(1, 1)] = 1.0;
+//! let model = SubspaceModel::from_matrix(&b, 2, 10).unwrap();
+//!
+//! // y = (0, 1, 2, 0): ‖y‖² = 5, captured (v_2·y)² = 1.
+//! let y = [0.0, 1.0, 2.0, 0.0];
+//! // proj_k(y) = 5 − 1 = 4
+//! assert!((ScoreKind::ProjectionDistance.evaluate(&model, &y) - 4.0).abs() < 1e-12);
+//! // proj_k(y)/‖y‖² = 4/5
+//! assert!((ScoreKind::RelativeProjection.evaluate(&model, &y) - 0.8).abs() < 1e-12);
+//! // lev_k(y) = 0²/2² + 1²/1² = 1
+//! assert!((ScoreKind::Leverage.evaluate(&model, &y) - 1.0).abs() < 1e-12);
+//! ```
 
 use crate::subspace::SubspaceModel;
 

@@ -7,7 +7,9 @@
 //! `O(ℓ²·d / period)` share of the model rebuild — constant per point and
 //! independent of the stream length.
 
+use sketchad_obs::{Counter, Event, Gauge, RecorderHandle, Stage};
 use sketchad_sketch::MatrixSketch;
+use std::time::Instant;
 
 use crate::detector::StreamingDetector;
 use crate::refresh::RefreshPolicy;
@@ -79,6 +81,9 @@ pub struct SketchDetector<S: MatrixSketch> {
     energy_at_refresh: f64,
     processed: u64,
     refresh_count: u64,
+    /// Observability sink; the default no-op handle keeps `process` free of
+    /// clock reads and event allocation.
+    recorder: RecorderHandle,
 }
 
 impl<S: MatrixSketch> SketchDetector<S> {
@@ -115,12 +120,28 @@ impl<S: MatrixSketch> SketchDetector<S> {
             energy_at_refresh: 0.0,
             processed: 0,
             refresh_count: 0,
+            recorder: RecorderHandle::default(),
         }
     }
 
     /// Enables exponential forgetting.
     pub fn with_decay(mut self, decay: DecayConfig) -> Self {
         self.decay = Some(decay);
+        self
+    }
+
+    /// Installs an observability recorder on the detector *and* its sketch.
+    ///
+    /// The detector records [`Stage::Score`], [`Stage::SketchUpdate`], and
+    /// [`Stage::ModelRefresh`] spans, refresh decisions as
+    /// [`Event::RefreshFired`], skipped updates as a counter, and sketch /
+    /// model energy gauges; the sketch additionally times its internal
+    /// shrinks (see `MatrixSketch::set_recorder`). With the default no-op
+    /// handle none of this touches the clock, and scores are bit-identical
+    /// (property-tested in this crate).
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.sketch.set_recorder(recorder.clone());
+        self.recorder = recorder;
         self
     }
 
@@ -166,6 +187,7 @@ impl<S: MatrixSketch> SketchDetector<S> {
                 q.update(score);
                 if !decision {
                     self.skipped_updates += 1;
+                    self.recorder.incr(Counter::UpdatesSkipped, 1);
                 }
                 decision
             }
@@ -215,17 +237,40 @@ impl<S: MatrixSketch> SketchDetector<S> {
     pub fn process_sparse(&mut self, y: &sketchad_linalg::SparseVec) -> f64 {
         let score = if self.is_warmed_up() {
             match &self.model {
-                Some(m) => self.score.evaluate_sparse(m, y),
+                Some(m) => self
+                    .recorder
+                    .time(Stage::Score, || self.score.evaluate_sparse(m, y)),
                 None => 0.0,
             }
         } else {
             0.0
         };
         if self.should_update(score) {
+            let started = self.span_start();
             self.sketch.update_sparse(y);
+            self.span_end(Stage::SketchUpdate, started);
         }
         self.after_update();
         score
+    }
+
+    /// Starts a manual span: `Some(now)` only when the recorder is enabled.
+    /// Used where the timed body needs `&mut self`, which rules out the
+    /// closure-based `RecorderHandle::time`.
+    fn span_start(&self) -> Option<Instant> {
+        if self.recorder.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a manual span opened by [`Self::span_start`].
+    fn span_end(&self, stage: Stage, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.recorder
+                .record_span(stage, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Post-update bookkeeping shared by the dense and sparse paths: decay
@@ -257,14 +302,34 @@ impl<S: MatrixSketch> SketchDetector<S> {
         if b.rows() == 0 {
             return;
         }
+        let started = self.span_start();
         match SubspaceModel::from_matrix(&b, self.k, self.sketch.rows_seen()) {
             Ok(m) => {
+                self.span_end(Stage::ModelRefresh, started);
+                if self.recorder.enabled() {
+                    // First build fires at warmup end; later ones are policy
+                    // decisions — the reason string names which.
+                    let reason = if self.refresh_count == 0 {
+                        "warmup".to_string()
+                    } else {
+                        self.refresh.label()
+                    };
+                    self.recorder.event(Event::RefreshFired {
+                        processed: self.processed,
+                        reason,
+                    });
+                    self.recorder
+                        .gauge(Gauge::SketchEnergy, self.sketch.stream_frobenius_sq());
+                    self.recorder
+                        .gauge(Gauge::ModelEnergyCaptured, m.energy_captured());
+                }
                 self.model = Some(m);
                 self.since_refresh = 0;
                 self.energy_at_refresh = self.sketch.stream_frobenius_sq();
                 self.refresh_count += 1;
             }
             Err(_) => {
+                self.span_end(Stage::ModelRefresh, started);
                 // A degenerate sketch (e.g. all-zero rows) yields no model;
                 // keep the previous one and retry at the next trigger.
             }
@@ -281,7 +346,9 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
         // 1. Score against the model built from *past* data only.
         let score = if self.is_warmed_up() {
             match &self.model {
-                Some(m) => self.score.evaluate(m, y),
+                Some(m) => self
+                    .recorder
+                    .time(Stage::Score, || self.score.evaluate(m, y)),
                 None => 0.0,
             }
         } else {
@@ -291,7 +358,9 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
         // 2. Fold the point into the sketch (subject to the update policy),
         //    then run decay + refresh maintenance.
         if self.should_update(score) {
+            let started = self.span_start();
             self.sketch.update(y);
+            self.span_end(Stage::SketchUpdate, started);
         }
         self.after_update();
         score
@@ -680,6 +749,87 @@ mod tests {
         check_separation("filtered", filtered.clone(), &rows, &labels);
         let scores: Vec<f64> = rows.iter().map(|r| filtered.process(r)).collect();
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn recorder_sees_spans_events_and_gauges() {
+        use sketchad_obs::{MetricsRecorder, Recorder};
+        use std::sync::Arc;
+
+        let d = 12;
+        let (rows, _) = planted_stream(150, 10, d, 2, 21);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut det = SketchDetector::new(
+            FrequentDirections::new(8, d),
+            2,
+            ScoreKind::RelativeProjection,
+            RefreshPolicy::Periodic { period: 16 },
+            32,
+        )
+        .with_recorder(RecorderHandle::from(
+            Arc::clone(&recorder) as Arc<dyn Recorder>
+        ));
+        for r in &rows {
+            det.process(r);
+        }
+
+        let report = recorder.snapshot();
+        // Spans from all three detector stages plus the sketch's own shrinks.
+        let updates = report.span(Stage::SketchUpdate.label()).unwrap();
+        assert_eq!(updates.count, 160);
+        let scores = report.span(Stage::Score.label()).unwrap();
+        assert_eq!(scores.count, 160 - 32); // warmup points score 0 untimed
+        let refreshes = report.span(Stage::ModelRefresh.label()).unwrap();
+        assert_eq!(refreshes.count, det.refresh_count());
+        assert!(report.span(Stage::SketchShrink.label()).unwrap().count > 0);
+
+        // One RefreshFired per rebuild; the first is the warmup build.
+        let fired: Vec<_> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                sketchad_obs::Event::RefreshFired { reason, .. } => Some(reason.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fired.len(), det.refresh_count() as usize);
+        assert_eq!(fired[0], "warmup");
+        assert!(fired[1..].iter().all(|r| r == "periodic(16)"), "{fired:?}");
+
+        // Energy gauges were published at every rebuild.
+        let energy = report.gauge(Gauge::SketchEnergy.label()).unwrap();
+        assert_eq!(energy.samples, det.refresh_count());
+        let captured = report.gauge(Gauge::ModelEnergyCaptured.label()).unwrap();
+        assert!(captured.last > 0.0 && captured.last <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn instrumented_scores_are_bit_identical() {
+        use sketchad_obs::MetricsRecorder;
+
+        let d = 10;
+        let (rows, _) = planted_stream(200, 20, d, 3, 22);
+        let make = || {
+            SketchDetector::new(
+                FrequentDirections::new(8, d),
+                3,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 16 },
+                32,
+            )
+            .with_update_policy(UpdatePolicy::SkipAnomalous { quantile: 0.95 })
+        };
+        let mut plain = make();
+        let mut noop = make().with_recorder(RecorderHandle::default());
+        let mut metered = make().with_recorder(RecorderHandle::new(MetricsRecorder::new()));
+        for r in &rows {
+            let s0 = plain.process(r);
+            let s1 = noop.process(r);
+            let s2 = metered.process(r);
+            assert!(s0 == s1 && s0 == s2, "scores diverged: {s0} {s1} {s2}");
+        }
+        assert_eq!(plain.skipped_updates(), metered.skipped_updates());
+        assert_eq!(plain.refresh_count(), metered.refresh_count());
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! singular vectors of the (sketched) history matrix. Given the model
 //! `(V_k, σ_1..σ_k)`:
 //!
-//! * **projection distance** `‖y‖² − Σ_j (v_j·y)²` — the squared residual
-//!   after projecting onto the normal subspace; large for points outside it;
-//! * **leverage score** `Σ_j (v_j·y)²/σ_j²` — the statistical influence of
-//!   the point along the dominant directions; large for points that are
-//!   extreme *within* the subspace.
+//! * **projection distance** `proj_k(y) = ‖y‖² − Σ_{j≤k}(v_j·y)²` — the
+//!   squared residual after projecting onto the normal subspace; large for
+//!   points outside it;
+//! * **leverage score** `lev_k(y) = Σ_{j≤k}(v_j·y)²/σ_j²` — the statistical
+//!   influence of the point along the dominant directions; large for points
+//!   that are extreme *within* the subspace.
 //!
 //! The blended score combines both, which catches anomalies of either kind.
 
@@ -123,7 +124,30 @@ impl SubspaceModel {
         (top / self.total_energy).min(1.0)
     }
 
-    /// Squared projection distance `‖y‖² − Σ_j (v_j·y)²` (clamped at 0).
+    /// Squared projection distance
+    /// `proj_k(y) = ‖y‖² − Σ_{j≤k}(v_j·y)²` (clamped at 0).
+    ///
+    /// # Examples
+    /// A model spanning the first two axes of `R⁴` with `σ = (2, 1)`: for
+    /// `y = (1, 0, 2, 0)` the captured energy is `(v_1·y)² = 1`, so
+    /// `proj_k(y) = ‖y‖² − 1 = 5 − 1 = 4`. This is exactly what
+    /// [`ScoreKind::ProjectionDistance`](crate::ScoreKind) evaluates.
+    ///
+    /// ```
+    /// use sketchad_core::{ScoreKind, SubspaceModel};
+    /// use sketchad_linalg::Matrix;
+    ///
+    /// let mut b = Matrix::zeros(2, 4);
+    /// b[(0, 0)] = 2.0;
+    /// b[(1, 1)] = 1.0;
+    /// let model = SubspaceModel::from_matrix(&b, 2, 10).unwrap();
+    /// let y = [1.0, 0.0, 2.0, 0.0];
+    /// assert!((model.projection_distance_sq(&y) - 4.0).abs() < 1e-12);
+    /// assert_eq!(
+    ///     ScoreKind::ProjectionDistance.evaluate(&model, &y),
+    ///     model.projection_distance_sq(&y),
+    /// );
+    /// ```
     ///
     /// # Panics
     /// Panics when `y.len() != dim()`.
@@ -147,8 +171,29 @@ impl SubspaceModel {
         (self.projection_distance_sq(y) / norm_sq).clamp(0.0, 1.0)
     }
 
-    /// Rank-k leverage score `Σ_j (v_j·y)² / σ_j²`, skipping numerically
-    /// vanished directions.
+    /// Rank-k leverage score `lev_k(y) = Σ_{j≤k}(v_j·y)²/σ_j²`, skipping
+    /// numerically vanished directions.
+    ///
+    /// # Examples
+    /// With the axes model `σ = (2, 1)`, the point `y = (1, 1, 0, 0)` has
+    /// `lev_k(y) = 1²/2² + 1²/1² = 1.25` — the same quantity
+    /// [`ScoreKind::Leverage`](crate::ScoreKind) evaluates.
+    ///
+    /// ```
+    /// use sketchad_core::{ScoreKind, SubspaceModel};
+    /// use sketchad_linalg::Matrix;
+    ///
+    /// let mut b = Matrix::zeros(2, 4);
+    /// b[(0, 0)] = 2.0;
+    /// b[(1, 1)] = 1.0;
+    /// let model = SubspaceModel::from_matrix(&b, 2, 10).unwrap();
+    /// let y = [1.0, 1.0, 0.0, 0.0];
+    /// assert!((model.leverage_score(&y) - 1.25).abs() < 1e-12);
+    /// assert_eq!(
+    ///     ScoreKind::Leverage.evaluate(&model, &y),
+    ///     model.leverage_score(&y),
+    /// );
+    /// ```
     ///
     /// # Panics
     /// Panics when `y.len() != dim()`.

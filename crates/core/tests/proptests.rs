@@ -163,6 +163,32 @@ proptest! {
         );
     }
 
+    /// Observability is free: a detector carrying the default no-op
+    /// recorder (and one carrying a live MetricsRecorder) emits scores
+    /// bit-identical to an uninstrumented detector on the same stream.
+    #[test]
+    fn recorders_leave_scores_bit_identical(
+        rows in prop::collection::vec(point(8), 40..120),
+        seed in 0u64..1000,
+    ) {
+        use sketchad_core::obs::{MetricsRecorder, RecorderHandle};
+
+        let config = DetectorConfig::new(2, 8).with_warmup(16).with_seed(seed);
+        let mut plain = config.build_fd(8);
+        let mut noop = config.build_fd(8).with_recorder(RecorderHandle::default());
+        let mut metered = config
+            .build_fd(8)
+            .with_recorder(RecorderHandle::new(MetricsRecorder::new()));
+        for y in &rows {
+            let s0 = plain.process(y);
+            let s1 = noop.process(y);
+            let s2 = metered.process(y);
+            prop_assert_eq!(s0.to_bits(), s1.to_bits());
+            prop_assert_eq!(s0.to_bits(), s2.to_bits());
+        }
+        prop_assert_eq!(plain.refresh_count(), metered.refresh_count());
+    }
+
     /// Quantile monotonicity: a higher q never yields a smaller estimate on
     /// the same data (checked on fresh estimators).
     #[test]

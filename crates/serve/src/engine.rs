@@ -6,6 +6,7 @@ use crate::shard::{run_worker, Job, ShardShared};
 use crate::snapshot::SnapshotScorer;
 use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
 use sketchad_core::{ScoreKind, StreamingDetector, SubspaceModel};
+use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,6 +52,11 @@ struct ShardHandle {
     tx: Option<SyncSender<Job>>,
     join: Option<JoinHandle<crate::shard::ShardOutput>>,
     shared: Arc<ShardShared>,
+    /// This shard's metrics recorder; `None` on uninstrumented engines.
+    /// The engine snapshots and merges these at [`ServeEngine::finish`].
+    recorder: Option<Arc<MetricsRecorder>>,
+    /// Handle over `recorder` for the submit path (no-op when `None`).
+    obs: RecorderHandle,
 }
 
 /// Sharded concurrent serving engine.
@@ -100,11 +106,68 @@ impl ServeEngine {
     where
         F: FnMut(usize) -> Box<dyn StreamingDetector + Send>,
     {
+        Self::start_inner(config, move |idx| (factory(idx), None))
+    }
+
+    /// Like [`start`](Self::start), but gives every shard its own
+    /// [`MetricsRecorder`], merged into [`PipelineStats::obs`] at
+    /// [`finish`](Self::finish).
+    ///
+    /// The factory receives the shard's [`RecorderHandle`] and should
+    /// install it on the detector it builds (e.g.
+    /// `SketchDetector::with_recorder`) so detector-level spans land in the
+    /// same per-shard report as the engine's queue events. The engine itself
+    /// records queue-depth gauges, snapshot publications, and
+    /// blocked/dropped submissions on that handle either way.
+    ///
+    /// ```
+    /// use sketchad_core::DetectorConfig;
+    /// use sketchad_serve::{ServeConfig, ServeEngine};
+    ///
+    /// let mut engine = ServeEngine::start_instrumented(
+    ///     ServeConfig::new(2).with_snapshot_every(16),
+    ///     |_shard, recorder| {
+    ///         let det = DetectorConfig::new(2, 8)
+    ///             .with_warmup(16)
+    ///             .build_fd(4)
+    ///             .with_recorder(recorder);
+    ///         Box::new(det)
+    ///     },
+    /// )
+    /// .unwrap();
+    /// for i in 0..100u32 {
+    ///     let t = i as f64 * 0.1;
+    ///     engine.submit(vec![t.sin(), t.cos(), 0.0, 0.0]).unwrap();
+    /// }
+    /// let report = engine.finish().unwrap();
+    /// let obs = report.stats.obs.expect("instrumented engine attaches obs");
+    /// assert_eq!(obs.span("sketch_update").unwrap().count, 100);
+    /// ```
+    pub fn start_instrumented<F>(config: ServeConfig, mut factory: F) -> Result<Self, ServeError>
+    where
+        F: FnMut(usize, RecorderHandle) -> Box<dyn StreamingDetector + Send>,
+    {
+        Self::start_inner(config, move |idx| {
+            let recorder = Arc::new(MetricsRecorder::new());
+            let handle = RecorderHandle::from(Arc::clone(&recorder) as Arc<dyn Recorder>);
+            (factory(idx, handle), Some(recorder))
+        })
+    }
+
+    fn start_inner<F>(config: ServeConfig, mut make: F) -> Result<Self, ServeError>
+    where
+        F: FnMut(
+            usize,
+        ) -> (
+            Box<dyn StreamingDetector + Send>,
+            Option<Arc<MetricsRecorder>>,
+        ),
+    {
         config.validate()?;
         let mut shards = Vec::with_capacity(config.shards);
         let mut dim = None;
         for idx in 0..config.shards {
-            let detector = factory(idx);
+            let (detector, recorder) = make(idx);
             let d = detector.dim();
             match dim {
                 None => dim = Some(d),
@@ -119,14 +182,23 @@ impl ServeEngine {
             let shared = Arc::new(ShardShared::default());
             let worker_shared = Arc::clone(&shared);
             let snapshot_every = config.snapshot_every;
+            let obs = match &recorder {
+                Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
+                None => RecorderHandle::default(),
+            };
+            let worker_obs = obs.clone();
             let join = std::thread::Builder::new()
                 .name(format!("sketchad-shard-{idx}"))
-                .spawn(move || run_worker(rx, detector, worker_shared, snapshot_every))
+                .spawn(move || {
+                    run_worker(idx, rx, detector, worker_shared, snapshot_every, worker_obs)
+                })
                 .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
             shards.push(ShardHandle {
                 tx: Some(tx),
                 join: Some(join),
                 shared,
+                recorder,
+                obs,
             });
         }
         Ok(Self {
@@ -196,11 +268,31 @@ impl ServeEngine {
         self.shards[shard].shared.reserve_slot();
         let outcome = match self.backpressure {
             BackpressurePolicy::Block => {
-                let tx = self.shards[shard].tx.as_ref().expect("engine not finished");
-                match tx.send(job) {
+                let handle = &self.shards[shard];
+                let tx = handle.tx.as_ref().expect("engine not finished");
+                // When observing, probe with try_send first so a full queue
+                // is recorded as a QueueBlocked event before the (identical)
+                // blocking send; when not observing this is a plain send.
+                let send_result = if handle.obs.enabled() {
+                    match tx.try_send(job) {
+                        Ok(()) => Ok(()),
+                        Err(TrySendError::Full(job)) => {
+                            handle.obs.incr(Counter::QueueBlocked, 1);
+                            handle.obs.event(Event::QueueBlocked {
+                                shard,
+                                seq: job.seq,
+                            });
+                            tx.send(job).map_err(|_| ())
+                        }
+                        Err(TrySendError::Disconnected(_)) => Err(()),
+                    }
+                } else {
+                    tx.send(job).map_err(|_| ())
+                };
+                match send_result {
                     Ok(()) => SubmitOutcome::Accepted,
                     // The worker dropped its receiver: it panicked.
-                    Err(_) => {
+                    Err(()) => {
                         self.shards[shard].shared.release_slot();
                         return Err(self.harvest_dead_shard(shard));
                     }
@@ -210,12 +302,20 @@ impl ServeEngine {
                 let tx = self.shards[shard].tx.as_ref().expect("engine not finished");
                 match tx.try_send(job) {
                     Ok(()) => SubmitOutcome::Accepted,
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(job)) => {
                         self.shards[shard].shared.release_slot();
                         self.shards[shard]
                             .shared
                             .dropped
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let obs = &self.shards[shard].obs;
+                        if obs.enabled() {
+                            obs.incr(Counter::QueueDropped, 1);
+                            obs.event(Event::QueueDropped {
+                                shard,
+                                seq: job.seq,
+                            });
+                        }
                         SubmitOutcome::Dropped
                     }
                     Err(TrySendError::Disconnected(_)) => {
@@ -351,10 +451,20 @@ impl ServeEngine {
             return Err(err);
         }
         scores.sort_unstable_by_key(|&(seq, _)| seq);
-        Ok(PipelineReport {
-            scores,
-            stats: PipelineStats::from_shards(shard_stats, latency),
-        })
+        // Roll per-shard recorders up into one pipeline-wide report (only
+        // present on instrumented engines).
+        let mut obs: Option<ObsReport> = None;
+        for shard in &self.shards {
+            if let Some(recorder) = &shard.recorder {
+                obs.get_or_insert_with(ObsReport::default)
+                    .merge(&recorder.snapshot());
+            }
+        }
+        let mut stats = PipelineStats::from_shards(shard_stats, latency);
+        if let Some(report) = obs {
+            stats = stats.with_obs(report);
+        }
+        Ok(PipelineReport { scores, stats })
     }
 }
 
@@ -461,6 +571,104 @@ mod tests {
         assert_eq!(report.stats.total_processed, 0);
         assert!(report.scores.is_empty());
         assert_eq!(report.stats.latency_p50_us, 0.0);
+    }
+
+    #[test]
+    fn instrumented_pipeline_reports_refresh_and_snapshot_events() {
+        let config = ServeConfig::new(2).with_snapshot_every(16);
+        let mut engine = ServeEngine::start_instrumented(config, |_shard, recorder| {
+            Box::new(
+                DetectorConfig::new(2, 8)
+                    .with_warmup(16)
+                    .with_seed(7)
+                    .build_fd(4)
+                    .with_recorder(recorder),
+            )
+        })
+        .unwrap();
+        engine.submit_batch((0..200).map(wave)).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, 200);
+
+        let obs = report.stats.obs.expect("instrumented engine attaches obs");
+        // Detector spans from both shards, merged.
+        assert_eq!(obs.span("sketch_update").unwrap().count, 200);
+        assert!(obs.span("score").unwrap().count > 0);
+        assert!(obs.span("model_refresh").unwrap().count > 0);
+        // Refresh events from the detectors, snapshot events from the shards
+        // (one per snapshot_every batch plus the final drain publish).
+        assert!(obs.event_count("refresh_fired") > 0, "no refresh events");
+        let snapshots = obs.event_count("snapshot_published");
+        assert!(snapshots >= 2, "snapshot events: {snapshots}");
+        assert_eq!(obs.counter("snapshots_published") as usize, snapshots);
+        assert_eq!(
+            obs.span("snapshot_publish").unwrap().count as usize,
+            snapshots
+        );
+        // Queue depth was sampled for every drained job.
+        assert_eq!(obs.gauge("queue_depth").unwrap().samples, 200);
+    }
+
+    #[test]
+    fn uninstrumented_engine_attaches_no_obs() {
+        let mut engine = ServeEngine::start(ServeConfig::new(2), fd_factory).unwrap();
+        engine.submit_batch((0..20).map(wave)).unwrap();
+        let report = engine.finish().unwrap();
+        assert!(report.stats.obs.is_none());
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_scores() {
+        let run = |instrumented: bool| -> Vec<u64> {
+            let config = ServeConfig::new(2).with_snapshot_every(8);
+            let mut engine = if instrumented {
+                ServeEngine::start_instrumented(config, |_shard, recorder| {
+                    Box::new(
+                        DetectorConfig::new(2, 8)
+                            .with_warmup(16)
+                            .with_seed(7)
+                            .build_fd(4)
+                            .with_recorder(recorder),
+                    )
+                })
+                .unwrap()
+            } else {
+                ServeEngine::start(config, fd_factory).unwrap()
+            };
+            engine.submit_batch((0..120).map(wave)).unwrap();
+            let report = engine.finish().unwrap();
+            report
+                .scores_in_order()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        };
+        assert_eq!(run(false), run(true), "instrumented scores diverged");
+    }
+
+    #[test]
+    fn drop_newest_losses_show_up_as_obs_events() {
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(1)
+            .with_backpressure(BackpressurePolicy::DropNewest);
+        let mut engine = ServeEngine::start_instrumented(config, |_shard, recorder| {
+            Box::new(
+                DetectorConfig::new(2, 8)
+                    .with_warmup(16)
+                    .with_seed(7)
+                    .build_fd(4)
+                    .with_recorder(recorder),
+            )
+        })
+        .unwrap();
+        let outcome = engine.submit_batch((0..5_000).map(wave)).unwrap();
+        let report = engine.finish().unwrap();
+        let obs = report.stats.obs.unwrap();
+        assert_eq!(obs.counter("queue_dropped"), outcome.dropped);
+        // The bounded event log kept (a suffix of) the drop events.
+        if outcome.dropped > 0 {
+            assert!(obs.event_count("queue_dropped") > 0);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!
 //! * [`config`] — [`ServeConfig`], backpressure and partitioning policies.
 //! * [`engine`] — [`ServeEngine`], submission, shutdown, report assembly.
-//! * [`shard`] *(private)* — the worker loop owning each detector.
+//! * `shard` *(private)* — the worker loop owning each detector.
 //! * [`snapshot`] — [`SnapshotCell`] / [`SnapshotScorer`] read path.
 //! * [`stats`] — [`PipelineStats`], [`LatencyHistogram`], serializable.
 //! * [`error`] — [`ServeError`].

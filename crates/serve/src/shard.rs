@@ -4,6 +4,7 @@
 use crate::snapshot::SnapshotCell;
 use crate::stats::LatencyHistogram;
 use sketchad_core::StreamingDetector;
+use sketchad_obs::{Counter, Event, Gauge, RecorderHandle, Stage};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -63,33 +64,58 @@ pub(crate) struct ShardOutput {
 /// deterministic. Concurrent readers are served through the snapshot cell
 /// instead.
 pub(crate) fn run_worker(
+    shard: usize,
     rx: Receiver<Job>,
     mut detector: Box<dyn StreamingDetector + Send>,
     shared: Arc<ShardShared>,
     snapshot_every: u64,
+    recorder: RecorderHandle,
 ) -> ShardOutput {
     let mut scores = Vec::new();
     let mut latency = LatencyHistogram::new();
+    let observing = recorder.enabled();
 
     while let Ok(job) = rx.recv() {
         let score = detector.process(&job.point);
-        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        let depth_after = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
         let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
         latency.record(job.enqueued.elapsed());
         scores.push((job.seq, score));
+        if observing {
+            recorder.gauge(Gauge::QueueDepth, depth_after as f64);
+        }
         if snapshot_every > 0 && processed % snapshot_every == 0 {
-            publish_snapshot(detector.as_ref(), &shared.snapshot);
+            publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
         }
     }
 
     // Queue closed: graceful shutdown. Publish whatever the detector ended
     // up with so post-drain readers see the freshest model.
-    publish_snapshot(detector.as_ref(), &shared.snapshot);
+    publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
     ShardOutput { scores, latency }
 }
 
-fn publish_snapshot(detector: &dyn StreamingDetector, cell: &SnapshotCell) {
-    if let Some(model) = detector.current_model() {
+fn publish_snapshot(
+    shard: usize,
+    detector: &dyn StreamingDetector,
+    shared: &ShardShared,
+    recorder: &RecorderHandle,
+) {
+    let cell = &shared.snapshot;
+    let Some(model) = detector.current_model() else {
+        return;
+    };
+    if recorder.enabled() {
+        let started = Instant::now();
+        cell.publish(Arc::new(model.clone()));
+        recorder.record_span(Stage::SnapshotPublish, started.elapsed().as_nanos() as u64);
+        recorder.incr(Counter::SnapshotsPublished, 1);
+        recorder.event(Event::SnapshotPublished {
+            shard,
+            generation: cell.generation(),
+            processed: shared.processed.load(Ordering::Relaxed),
+        });
+    } else {
         cell.publish(Arc::new(model.clone()));
     }
 }

@@ -2,6 +2,7 @@
 //! histogram, all serializable for dashboards and benchmark artifacts.
 
 use serde::{Deserialize, Serialize};
+use sketchad_obs::ObsReport;
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets. Bucket `i` counts latencies in
@@ -121,6 +122,11 @@ pub struct PipelineStats {
     /// 99th-percentile end-to-end latency in microseconds (bucket upper
     /// bound; 0 when nothing was processed).
     pub latency_p99_us: f64,
+    /// Merged per-shard observability report (spans, counters, gauges,
+    /// events). `None` for engines started without instrumentation
+    /// (`ServeEngine::start`); populated by
+    /// `ServeEngine::start_instrumented`.
+    pub obs: Option<ObsReport>,
 }
 
 impl PipelineStats {
@@ -143,7 +149,15 @@ impl PipelineStats {
             latency,
             latency_p50_us,
             latency_p99_us,
+            obs: None,
         }
+    }
+
+    /// Attaches a merged observability report (builder style).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsReport) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -231,5 +245,19 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         let back: PipelineStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn obs_report_rides_along_in_stats_json() {
+        use sketchad_obs::{MetricsRecorder, Recorder, Stage};
+
+        let rec = MetricsRecorder::new();
+        rec.record_span(Stage::Score, 1_000);
+        let stats = PipelineStats::from_shards(Vec::new(), LatencyHistogram::new())
+            .with_obs(rec.snapshot());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: PipelineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.obs.unwrap().span("score").unwrap().count, 1);
     }
 }

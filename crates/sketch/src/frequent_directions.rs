@@ -17,6 +17,8 @@
 
 use sketchad_linalg::svd::svd_thin;
 use sketchad_linalg::Matrix;
+use sketchad_obs::{Event, Gauge, RecorderHandle, Stage};
+use std::time::Instant;
 
 use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
 
@@ -36,6 +38,8 @@ pub struct FrequentDirections {
     /// Σ of the shrink offsets δ — an exact upper bound on
     /// `‖AᵀA − BᵀB‖₂` maintained online.
     total_shrink_delta: f64,
+    /// Observability sink; the default no-op handle keeps shrinks clock-free.
+    recorder: RecorderHandle,
 }
 
 impl FrequentDirections {
@@ -54,6 +58,7 @@ impl FrequentDirections {
             rows_seen: 0,
             frobenius_sq: 0.0,
             total_shrink_delta: 0.0,
+            recorder: RecorderHandle::default(),
         }
     }
 
@@ -99,6 +104,13 @@ impl FrequentDirections {
 
     /// SVD shrink: compress the occupied buffer down to at most ℓ rows.
     fn shrink(&mut self) {
+        // Manual span (not `RecorderHandle::time`) because the body needs
+        // `&mut self`; the disabled path still skips both clock reads.
+        let started = if self.recorder.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let occupied = self.buffer.top_rows(self.occupied);
         let svd = svd_thin(&occupied).expect("SVD of a finite FD buffer");
         let r = svd.s.len();
@@ -139,6 +151,16 @@ impl FrequentDirections {
         }
         let _ = dropped_mass; // retained for debugging clarity
         self.occupied = new_occupied;
+        if let Some(t0) = started {
+            self.recorder
+                .record_span(Stage::SketchShrink, t0.elapsed().as_nanos() as u64);
+            self.recorder
+                .gauge(Gauge::FdErrorBound, self.total_shrink_delta);
+            self.recorder.event(Event::SketchShrink {
+                rows_seen: self.rows_seen,
+                error_bound: self.total_shrink_delta,
+            });
+        }
     }
 }
 
@@ -210,6 +232,10 @@ impl MatrixSketch for FrequentDirections {
         self.rows_seen = 0;
         self.frobenius_sq = 0.0;
         self.total_shrink_delta = 0.0;
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     fn name(&self) -> &'static str {
@@ -389,6 +415,49 @@ mod tests {
         assert_eq!(fd.sketch().rows(), 0);
         assert_eq!(fd.stream_frobenius_sq(), 0.0);
         assert_eq!(fd.shrink_delta_sum(), 0.0);
+    }
+
+    #[test]
+    fn recorder_observes_shrinks_and_error_bound() {
+        use sketchad_obs::MetricsRecorder;
+        use std::sync::Arc;
+
+        let mut rng = seeded_rng(8);
+        let a = gaussian_matrix(&mut rng, 60, 10, 1.0);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut fd = FrequentDirections::new(4, 10);
+        fd.set_recorder(RecorderHandle::from(
+            Arc::clone(&recorder) as Arc<dyn sketchad_obs::Recorder>
+        ));
+        feed(&mut fd, &a);
+
+        let report = recorder.snapshot();
+        let shrinks = report.span(Stage::SketchShrink.label()).unwrap();
+        // 60 rows through a 2ℓ=8-row buffer must shrink several times.
+        assert!(shrinks.count >= 7, "only {} shrinks", shrinks.count);
+        assert_eq!(report.event_count("sketch_shrink"), shrinks.count as usize);
+        let bound = report.gauge(Gauge::FdErrorBound.label()).unwrap();
+        assert_eq!(bound.last, fd.shrink_delta_sum());
+        assert!(bound.last > 0.0);
+    }
+
+    #[test]
+    fn recorder_does_not_change_sketch_contents() {
+        use sketchad_obs::MetricsRecorder;
+
+        let mut rng = seeded_rng(9);
+        let a = gaussian_matrix(&mut rng, 40, 8, 1.0);
+        let mut plain = FrequentDirections::new(3, 8);
+        let mut instrumented = FrequentDirections::new(3, 8);
+        instrumented.set_recorder(RecorderHandle::new(MetricsRecorder::new()));
+        feed(&mut plain, &a);
+        feed(&mut instrumented, &a);
+        let (b1, b2) = (plain.sketch(), instrumented.sketch());
+        assert_eq!(b1.rows(), b2.rows());
+        for (r1, r2) in b1.iter_rows().zip(b2.iter_rows()) {
+            assert_eq!(r1, r2, "instrumented sketch diverged");
+        }
+        assert_eq!(plain.shrink_delta_sum(), instrumented.shrink_delta_sum());
     }
 
     #[test]

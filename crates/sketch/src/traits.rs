@@ -1,6 +1,7 @@
 //! The [`MatrixSketch`] abstraction shared by every sketching algorithm.
 
 use sketchad_linalg::{Matrix, SparseVec};
+use sketchad_obs::RecorderHandle;
 
 /// A streaming sketch of a tall row matrix `A` (one row per stream point).
 ///
@@ -70,6 +71,19 @@ pub trait MatrixSketch {
     fn reseed(&mut self, seed: u64) {
         let _ = seed;
         self.reset();
+    }
+
+    /// Installs an observability recorder on the sketch.
+    ///
+    /// The default discards the handle: most sketches have nothing internal
+    /// worth timing beyond what the detector already wraps around
+    /// [`update`](MatrixSketch::update). [`FrequentDirections`] overrides
+    /// this to time its amortized SVD shrinks and publish its `Σδ` error
+    /// certificate as a gauge.
+    ///
+    /// [`FrequentDirections`]: crate::FrequentDirections
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        let _ = recorder;
     }
 
     /// Short human-readable algorithm name (for tables and logs).
