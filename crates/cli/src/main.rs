@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use args::{parse, ParsedArgs};
 use sketchad_core::{
-    DetectorConfig, RefreshPolicy, ScoreKind, StreamingDetector, ThresholdedDetector,
+    Alert, DetectorConfig, RefreshPolicy, ScoreKind, ScoreScratch, StreamingDetector,
+    ThresholdedDetector,
 };
 use sketchad_eval::{fmt_opt, roc_auc};
 use sketchad_obs::{MetricsRecorder, ObsArtifact, Recorder, RecorderHandle};
@@ -42,8 +43,13 @@ const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [o
            [--queue N] [--policy block|drop] [--partition rr|hash]
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
-           [--output FILE] [--stats-json FILE] [--metrics-out FILE] [--quiet]
+           [--max-batch N] [--output FILE] [--stats-json FILE]
+           [--metrics-out FILE] [--quiet]
   datasets";
+
+/// Points scored per batched call in `score`/`apply` — large enough to
+/// amortize the blocked `V_kᵀY` kernel, small enough to stay cache-warm.
+const CLI_BATCH: usize = 512;
 
 /// Persisted artifact of a trained detector: the subspace model plus the
 /// score family it was trained to emit.
@@ -223,12 +229,21 @@ fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
     let mut alerting = BoxedThreshold::new(detector, fp_rate, warmup.max(64));
     let mut scores = Vec::with_capacity(stream.len());
     let mut alerts: Vec<usize> = Vec::new();
-    for (i, (values, _)) in stream.iter().enumerate() {
-        let (s, flagged) = alerting.process(values);
-        scores.push(s);
-        if flagged {
-            alerts.push(i);
+    // Batched scoring path: bitwise identical to per-point processing.
+    let mut chunk: Vec<Vec<f64>> = Vec::with_capacity(CLI_BATCH);
+    let mut chunk_alerts: Vec<Alert> = Vec::new();
+    let mut base = 0usize;
+    for points in stream.points.chunks(CLI_BATCH) {
+        chunk.clear();
+        chunk.extend(points.iter().map(|p| p.values.clone()));
+        alerting.process_batch(&chunk, &mut chunk_alerts);
+        for (off, alert) in chunk_alerts.iter().enumerate() {
+            scores.push(alert.score);
+            if alert.is_anomaly {
+                alerts.push(base + off);
+            }
         }
+        base += points.len();
     }
 
     // Summary.
@@ -326,10 +341,20 @@ fn cmd_apply(p: &ParsedArgs) -> Result<(), String> {
         ));
     }
 
-    let scores: Vec<f64> = stream
-        .iter()
-        .map(|(v, _)| saved.score.evaluate(&saved.model, v))
-        .collect();
+    // Score-only inference runs through the batched `V_kᵀY` kernel (bitwise
+    // identical to per-point `evaluate`), reusing one scratch across chunks.
+    let mut scores: Vec<f64> = Vec::with_capacity(stream.len());
+    let mut scratch = ScoreScratch::new();
+    let mut chunk: Vec<Vec<f64>> = Vec::with_capacity(CLI_BATCH);
+    let mut batch_out = Vec::new();
+    for points in stream.points.chunks(CLI_BATCH) {
+        chunk.clear();
+        chunk.extend(points.iter().map(|p| p.values.clone()));
+        saved
+            .model
+            .score_rows_into(&chunk, saved.score, &mut scratch, &mut batch_out);
+        scores.extend_from_slice(&batch_out);
+    }
 
     if !p.has_flag("quiet") {
         println!(
@@ -386,6 +411,9 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
     let snapshot_every: u64 = p
         .get_parse_or("snapshot-every", 256, "integer")
         .map_err(|e| e.to_string())?;
+    let max_batch: usize = p
+        .get_parse_or("max-batch", 64, "positive integer")
+        .map_err(|e| e.to_string())?;
     let policy = match p.get_or("policy", "block") {
         "block" => BackpressurePolicy::Block,
         "drop" => BackpressurePolicy::DropNewest,
@@ -427,7 +455,8 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .with_queue_capacity(queue)
         .with_backpressure(policy)
         .with_partition(partition)
-        .with_snapshot_every(snapshot_every);
+        .with_snapshot_every(snapshot_every)
+        .with_max_batch(max_batch);
     let metrics_out = p.options.get("metrics-out").cloned();
     let factory_err = std::cell::RefCell::new(None::<String>);
     // One factory serves both the plain and the instrumented engine: the
@@ -523,7 +552,8 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
             .with_context("k", k.to_string())
             .with_context("ell", ell.to_string())
             .with_context("warmup", warmup.to_string())
-            .with_context("snapshot_every", snapshot_every.to_string());
+            .with_context("snapshot_every", snapshot_every.to_string())
+            .with_context("max_batch", max_batch.to_string());
         artifact.write(Path::new(path)).map_err(|e| e.to_string())?;
         if !p.has_flag("quiet") {
             print!("{}", artifact.report.render_table());
@@ -563,6 +593,11 @@ impl StreamingDetector for BoxedDetector {
     fn score_only(&self, y: &[f64]) -> Option<f64> {
         self.0.score_only(y)
     }
+    // Forward through the box so the concrete detector's batched kernel is
+    // reached (the trait default would loop per point at this layer).
+    fn process_batch(&mut self, ys: &[Vec<f64>], out: &mut Vec<f64>) {
+        self.0.process_batch(ys, out)
+    }
 }
 
 impl BoxedThreshold {
@@ -572,9 +607,8 @@ impl BoxedThreshold {
         }
     }
 
-    fn process(&mut self, y: &[f64]) -> (f64, bool) {
-        let alert = self.inner.process(y);
-        (alert.score, alert.is_anomaly)
+    fn process_batch(&mut self, ys: &[Vec<f64>], out: &mut Vec<Alert>) {
+        self.inner.process_batch(ys, out)
     }
 
     fn name(&self) -> String {

@@ -47,6 +47,22 @@ pub trait StreamingDetector {
         None
     }
 
+    /// Scores a batch of points, folding each into the detector state, and
+    /// appends the scores to `out` (after clearing it).
+    ///
+    /// Semantically identical — bitwise, for the detectors in this crate —
+    /// to calling [`Self::process`] per row in order. The default simply
+    /// does that; detectors with a batched scoring path (e.g. the sketch
+    /// detector's `V_kᵀY` blocked matmul) override it to amortize kernel
+    /// cost across the batch while preserving per-point score identity.
+    fn process_batch(&mut self, ys: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(ys.len());
+        for y in ys {
+            out.push(self.process(y));
+        }
+    }
+
     /// Convenience: scores an entire slice of rows.
     fn process_all(&mut self, rows: &[Vec<f64>]) -> Vec<f64> {
         rows.iter().map(|r| self.process(r)).collect()

@@ -144,7 +144,7 @@ impl StreamingDetector for ExactSvdDetector {
         self.since_refresh += 1;
 
         if let Some((alpha, every)) = self.decay {
-            if self.processed % every as u64 == 0 {
+            if self.processed.is_multiple_of(every as u64) {
                 self.cov.scale_mut(alpha);
                 self.trace *= alpha;
             }

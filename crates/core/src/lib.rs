@@ -91,5 +91,5 @@ pub use normalize::{NormalizedDetector, OnlineNormalizer};
 pub use refresh::RefreshPolicy;
 pub use score::ScoreKind;
 pub use sketched::{DecayConfig, SketchDetector, UpdatePolicy};
-pub use subspace::SubspaceModel;
+pub use subspace::{ScoreScratch, SubspaceModel};
 pub use threshold::{Alert, QuantileEstimator, ThresholdedDetector};

@@ -14,7 +14,7 @@ use std::time::Instant;
 use crate::detector::StreamingDetector;
 use crate::refresh::RefreshPolicy;
 use crate::score::ScoreKind;
-use crate::subspace::SubspaceModel;
+use crate::subspace::{ScoreScratch, SubspaceModel};
 use crate::threshold::QuantileEstimator;
 
 /// Whether anomalous-looking points are folded into the sketch.
@@ -84,6 +84,10 @@ pub struct SketchDetector<S: MatrixSketch> {
     /// Observability sink; the default no-op handle keeps `process` free of
     /// clock reads and event allocation.
     recorder: RecorderHandle,
+    /// Reusable staging buffers for the batched scoring path.
+    scratch: ScoreScratch,
+    /// Reusable score buffer for the batched scoring path.
+    batch_scores: Vec<f64>,
 }
 
 impl<S: MatrixSketch> SketchDetector<S> {
@@ -121,6 +125,8 @@ impl<S: MatrixSketch> SketchDetector<S> {
             processed: 0,
             refresh_count: 0,
             recorder: RecorderHandle::default(),
+            scratch: ScoreScratch::new(),
+            batch_scores: Vec::new(),
         }
     }
 
@@ -279,7 +285,7 @@ impl<S: MatrixSketch> SketchDetector<S> {
         self.processed += 1;
         self.since_refresh += 1;
         if let Some(d) = self.decay {
-            if self.processed % d.every as u64 == 0 {
+            if self.processed.is_multiple_of(d.every as u64) {
                 self.sketch.decay(d.alpha);
             }
         }
@@ -389,6 +395,64 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
 
     fn score_only(&self, y: &[f64]) -> Option<f64> {
         SketchDetector::score_only(self, y)
+    }
+
+    /// Batched processing: scores run through `SubspaceModel`'s blocked
+    /// `V_kᵀY` kernel in chunks, folded into the sketch per point.
+    ///
+    /// Scores depend only on the current model, which can change only at a
+    /// refresh, so each chunk extends at most to the next possible refresh
+    /// point (for the periodic policy; energy-triggered refresh can fire on
+    /// any point, so it stays per-point). Because the batched kernel is
+    /// bitwise identical to the per-point one, outputs match
+    /// [`StreamingDetector::process`] bit for bit — property-tested in this
+    /// crate. Instrumented detectors take the per-point path so recorded
+    /// span counts are identical to per-point processing.
+    fn process_batch(&mut self, ys: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(ys.len());
+        if self.recorder.enabled() {
+            for y in ys {
+                out.push(self.process(y));
+            }
+            return;
+        }
+        let mut i = 0;
+        while i < ys.len() {
+            if !self.is_warmed_up() {
+                out.push(self.process(&ys[i]));
+                i += 1;
+                continue;
+            }
+            // Largest chunk guaranteed to score against one model version.
+            let horizon = match self.refresh {
+                RefreshPolicy::Periodic { period } => {
+                    period.max(1).saturating_sub(self.since_refresh).max(1)
+                }
+                RefreshPolicy::EnergyTriggered { .. } => 1,
+            };
+            let end = (i + horizon).min(ys.len());
+            if end - i < 2 {
+                out.push(self.process(&ys[i]));
+                i += 1;
+                continue;
+            }
+            let mut scores = std::mem::take(&mut self.batch_scores);
+            self.model
+                .as_ref()
+                .expect("warmed up implies model")
+                .score_rows_into(&ys[i..end], self.score, &mut self.scratch, &mut scores);
+            for (off, y) in ys[i..end].iter().enumerate() {
+                let score = scores[off];
+                if self.should_update(score) {
+                    self.sketch.update(y);
+                }
+                self.after_update();
+                out.push(score);
+            }
+            self.batch_scores = scores;
+            i = end;
+        }
     }
 }
 
@@ -830,6 +894,73 @@ mod tests {
         }
         assert_eq!(plain.skipped_updates(), metered.skipped_updates());
         assert_eq!(plain.refresh_count(), metered.refresh_count());
+    }
+
+    #[test]
+    fn process_batch_is_bitwise_identical_to_per_point() {
+        let d = 14;
+        let (rows, _) = planted_stream(300, 30, d, 3, 27);
+        let make = |refresh| {
+            SketchDetector::new(
+                FrequentDirections::new(10, d),
+                3,
+                ScoreKind::RelativeProjection,
+                refresh,
+                48,
+            )
+        };
+        for refresh in [
+            RefreshPolicy::Periodic { period: 16 },
+            RefreshPolicy::EnergyTriggered {
+                growth: 1.5,
+                max_period: 64,
+            },
+        ] {
+            let mut per_point = make(refresh);
+            let mut batched = make(refresh);
+            let expected: Vec<f64> = rows.iter().map(|r| per_point.process(r)).collect();
+            // Feed in uneven batch sizes that straddle warmup and refreshes.
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            let mut i = 0;
+            for chunk in [7usize, 64, 5, 100, 1, 200] {
+                let end = (i + chunk).min(rows.len());
+                batched.process_batch(&rows[i..end], &mut buf);
+                got.extend_from_slice(&buf);
+                i = end;
+            }
+            assert_eq!(got.len(), expected.len());
+            for (j, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+                assert_eq!(g.to_bits(), e.to_bits(), "point {j}: {g} vs {e}");
+            }
+            assert_eq!(batched.processed(), per_point.processed());
+            assert_eq!(batched.refresh_count(), per_point.refresh_count());
+        }
+    }
+
+    #[test]
+    fn process_batch_with_filtering_policy_matches_per_point() {
+        let d = 10;
+        let (rows, _) = planted_stream(250, 25, d, 2, 28);
+        let make = || {
+            SketchDetector::new(
+                FrequentDirections::new(8, d),
+                2,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 16 },
+                32,
+            )
+            .with_update_policy(UpdatePolicy::SkipAnomalous { quantile: 0.95 })
+        };
+        let mut per_point = make();
+        let mut batched = make();
+        let expected: Vec<f64> = rows.iter().map(|r| per_point.process(r)).collect();
+        let mut got = Vec::new();
+        batched.process_batch(&rows, &mut got);
+        for (j, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(g.to_bits(), e.to_bits(), "point {j}");
+        }
+        assert_eq!(batched.skipped_updates(), per_point.skipped_updates());
     }
 
     #[test]

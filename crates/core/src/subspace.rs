@@ -17,9 +17,41 @@ use sketchad_linalg::svd::top_k_svd;
 use sketchad_linalg::vecops;
 use sketchad_linalg::{LinAlgError, Matrix, SparseVec};
 
+use crate::score::ScoreKind;
+
 /// Relative σ cutoff: directions with `σ_j ≤ RELATIVE_SIGMA_FLOOR·σ_1` are
 /// excluded from the leverage sum to avoid division blow-ups.
 const RELATIVE_SIGMA_FLOOR: f64 = 1e-8;
+
+/// Caller-reusable scratch for the batched scoring path.
+///
+/// Holds the staged point matrix (for callers that feed rows one at a time)
+/// and the `batch × k` coefficient block `Y·V_kᵀ`. Reusing one scratch across
+/// batches makes steady-state batch scoring allocation-free.
+#[derive(Debug, Clone)]
+pub struct ScoreScratch {
+    /// Staging area for row-slice inputs (see
+    /// [`SubspaceModel::score_rows_into`]).
+    batch: Matrix,
+    /// Row-major `batch × k` coefficient matrix `C = Y·V_kᵀ`.
+    coeffs: Vec<f64>,
+}
+
+impl Default for ScoreScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            batch: Matrix::zeros(0, 0),
+            coeffs: Vec::new(),
+        }
+    }
+}
 
 /// A rank-k model of the "normal" subspace.
 ///
@@ -230,6 +262,153 @@ impl SubspaceModel {
     /// both terms comparably scaled.
     pub fn blended_score(&self, y: &[f64], beta: f64) -> f64 {
         self.relative_projection_distance(y) + beta * self.standardized_leverage(y)
+    }
+
+    /// Batched scoring: evaluates `kind` for every row of `ys` in one pass.
+    ///
+    /// The `batch × k` coefficient matrix `C = Y·V_kᵀ` lands in
+    /// `scratch.coeffs`, computed through the blocked
+    /// [`vecops::row_dots`] kernel — one sweep of all `k` model rows per
+    /// point, with the score assembled from the coefficient row while the
+    /// point is still cache-hot (a separate coefficient pass would stream
+    /// large batches through L2 twice). Every output is **bitwise
+    /// identical** to the corresponding per-point method
+    /// ([`Self::projection_distance_sq`] and friends): the kernel keeps
+    /// independent accumulator chains per coefficient and the score
+    /// expressions replicate the per-point operation order exactly. Serving
+    /// layers rely on this to micro-batch without changing any emitted
+    /// score.
+    ///
+    /// `out` is cleared and refilled; `scratch` is reused across calls so
+    /// steady-state batch scoring performs no allocation.
+    ///
+    /// # Panics
+    /// Panics when `ys.cols() != dim()` (for a non-empty batch).
+    pub fn score_batch_into(
+        &self,
+        ys: &Matrix,
+        kind: ScoreKind,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let b = ys.rows();
+        if b == 0 {
+            return;
+        }
+        assert_eq!(ys.cols(), self.dim(), "batch point dimension mismatch");
+        let k = self.k();
+        let d = self.dim();
+        scratch.coeffs.clear();
+        scratch.coeffs.resize(b * k, 0.0);
+        out.reserve(b);
+        for i in 0..b {
+            let y = ys.row(i);
+            let coeffs = &mut scratch.coeffs[i * k..(i + 1) * k];
+            vecops::row_dots(self.vt.as_slice(), d, d, k, y, coeffs);
+            out.push(self.score_from_coeffs(kind, y, coeffs));
+        }
+    }
+
+    /// [`Self::score_batch_into`] returning a fresh vector.
+    pub fn score_batch(
+        &self,
+        ys: &Matrix,
+        kind: ScoreKind,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.score_batch_into(ys, kind, scratch, &mut out);
+        out
+    }
+
+    /// Batched scoring over a slice of rows: stages the rows into
+    /// `scratch`'s reusable matrix, then runs [`Self::score_batch_into`].
+    ///
+    /// # Panics
+    /// Panics when any row's length differs from `dim()`.
+    pub fn score_rows_into(
+        &self,
+        rows: &[Vec<f64>],
+        kind: ScoreKind,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let b = rows.len();
+        if b == 0 {
+            return;
+        }
+        scratch.batch.clear_rows();
+        for r in rows {
+            scratch.batch.push_row(r);
+        }
+        assert_eq!(
+            scratch.batch.cols(),
+            self.dim(),
+            "batch point dimension mismatch"
+        );
+        let k = self.k();
+        let d = self.dim();
+        scratch.coeffs.clear();
+        scratch.coeffs.resize(b * k, 0.0);
+        out.reserve(b);
+        for i in 0..b {
+            let y = scratch.batch.row(i);
+            let coeffs = &mut scratch.coeffs[i * k..(i + 1) * k];
+            vecops::row_dots(self.vt.as_slice(), d, d, k, y, coeffs);
+            out.push(self.score_from_coeffs(kind, y, coeffs));
+        }
+    }
+
+    /// Assembles one score from a precomputed coefficient slice
+    /// (`coeffs[j] == v_j·y` bitwise), replicating the exact operation order
+    /// of the per-point methods so batched and per-point scores are
+    /// bit-for-bit equal.
+    fn score_from_coeffs(&self, kind: ScoreKind, y: &[f64], coeffs: &[f64]) -> f64 {
+        match kind {
+            ScoreKind::ProjectionDistance => self.proj_sq_from_coeffs(y, coeffs),
+            ScoreKind::RelativeProjection => self.rel_proj_from_coeffs(y, coeffs),
+            ScoreKind::Leverage => self.leverage_from_coeffs(coeffs),
+            ScoreKind::Blended { beta } => {
+                let n = self.rows_represented.max(1) as f64;
+                let std_lev = n * self.leverage_from_coeffs(coeffs) / self.k().max(1) as f64;
+                self.rel_proj_from_coeffs(y, coeffs) + beta * std_lev
+            }
+        }
+    }
+
+    /// Mirrors [`Self::projection_distance_sq`] from precomputed coefficients.
+    fn proj_sq_from_coeffs(&self, y: &[f64], coeffs: &[f64]) -> f64 {
+        let norm_sq = vecops::norm2_sq(y);
+        let mut captured = 0.0;
+        for &c in coeffs {
+            captured += c * c;
+        }
+        (norm_sq - captured).max(0.0)
+    }
+
+    /// Mirrors [`Self::relative_projection_distance`] from coefficients.
+    fn rel_proj_from_coeffs(&self, y: &[f64], coeffs: &[f64]) -> f64 {
+        let norm_sq = vecops::norm2_sq(y);
+        if norm_sq <= 0.0 {
+            return 0.0;
+        }
+        (self.proj_sq_from_coeffs(y, coeffs) / norm_sq).clamp(0.0, 1.0)
+    }
+
+    /// Mirrors [`Self::leverage_score`] from precomputed coefficients.
+    fn leverage_from_coeffs(&self, coeffs: &[f64]) -> f64 {
+        let sigma_max = self.sigma.first().copied().unwrap_or(0.0);
+        let floor = RELATIVE_SIGMA_FLOOR * sigma_max;
+        let mut lev = 0.0;
+        for (&s, &c) in self.sigma.iter().zip(coeffs) {
+            if s <= floor {
+                break; // descending order: the rest are also below the floor
+            }
+            lev += (c * c) / (s * s);
+        }
+        lev
     }
 
     /// Sparse-input projection distance: `O(k·nnz)`.
@@ -454,6 +633,67 @@ mod tests {
         assert!(serde_json::from_str::<Matrix>(bad).is_err());
         let good = r#"{"rows":1,"cols":2,"data":[1.0,2.0]}"#;
         assert!(serde_json::from_str::<Matrix>(good).is_ok());
+    }
+
+    #[test]
+    fn batch_scores_are_bitwise_identical_to_per_point() {
+        let mut rng = seeded_rng(17);
+        // Non-trivial model: random 40×12 data, rank-5 subspace.
+        let a = sketchad_linalg::rng::gaussian_matrix(&mut rng, 40, 12, 1.0);
+        let model = SubspaceModel::from_matrix(&a, 5, 40).unwrap();
+        // Batch crossing dot4's 4-row blocking and including a zero row.
+        let mut ys = sketchad_linalg::rng::gaussian_matrix(&mut rng, 23, 12, 2.0);
+        for c in 0..12 {
+            ys[(7, c)] = 0.0;
+        }
+        let kinds = [
+            ScoreKind::ProjectionDistance,
+            ScoreKind::RelativeProjection,
+            ScoreKind::Leverage,
+            ScoreKind::Blended { beta: 0.1 },
+        ];
+        let mut scratch = ScoreScratch::new();
+        let mut out = Vec::new();
+        for kind in kinds {
+            model.score_batch_into(&ys, kind, &mut scratch, &mut out);
+            assert_eq!(out.len(), ys.rows());
+            for (i, &got) in out.iter().enumerate() {
+                let per_point = kind.evaluate(&model, ys.row(i));
+                assert_eq!(
+                    got.to_bits(),
+                    per_point.to_bits(),
+                    "{} row {i}: batch {got} vs per-point {per_point}",
+                    kind.label(),
+                );
+            }
+            // The row-slice staging path must agree bit for bit too.
+            let rows: Vec<Vec<f64>> = (0..ys.rows()).map(|i| ys.row(i).to_vec()).collect();
+            let mut out2 = Vec::new();
+            model.score_rows_into(&rows, kind, &mut scratch, &mut out2);
+            assert_eq!(out, out2);
+        }
+        // Empty batch clears the output and does nothing else.
+        model.score_batch_into(
+            &Matrix::zeros(0, 0),
+            ScoreKind::default(),
+            &mut scratch,
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn batch_scoring_rejects_wrong_dimension() {
+        let m = axis_model();
+        let mut scratch = ScoreScratch::new();
+        let mut out = Vec::new();
+        m.score_batch_into(
+            &Matrix::zeros(2, 7),
+            ScoreKind::default(),
+            &mut scratch,
+            &mut out,
+        );
     }
 
     #[test]

@@ -153,6 +153,8 @@ pub struct ThresholdedDetector<D: StreamingDetector> {
     quantile: QuantileEstimator,
     calibration: usize,
     flagged: u64,
+    /// Reusable score buffer for the batched path.
+    batch_scores: Vec<f64>,
 }
 
 /// The outcome of processing one point through a [`ThresholdedDetector`].
@@ -178,6 +180,7 @@ impl<D: StreamingDetector> ThresholdedDetector<D> {
             quantile: QuantileEstimator::new(1.0 - fp_rate),
             calibration,
             flagged: 0,
+            batch_scores: Vec::new(),
         }
     }
 
@@ -200,6 +203,46 @@ impl<D: StreamingDetector> ThresholdedDetector<D> {
             threshold,
             is_anomaly,
         }
+    }
+
+    /// Processes a batch of points, appending one [`Alert`] per point to
+    /// `out` (after clearing it). Scores run through the inner detector's
+    /// batched path; the threshold logic is applied to the batch scores in
+    /// arrival order, so the alerts are identical to calling
+    /// [`Self::process`] per point.
+    pub fn process_batch(&mut self, ys: &[Vec<f64>], out: &mut Vec<Alert>) {
+        out.clear();
+        out.reserve(ys.len());
+        // Per-point until the inner detector warms up: `process` feeds the
+        // quantile only for warmed-up scores, and the point that *completes*
+        // warmup must still contribute its score — exactly what the
+        // per-point path does. Warmup is monotone, so once it holds the
+        // batch path below can update the quantile unconditionally.
+        let mut i = 0;
+        while i < ys.len() && !self.inner.is_warmed_up() {
+            out.push(self.process(&ys[i]));
+            i += 1;
+        }
+        if i == ys.len() {
+            return;
+        }
+        let mut scores = std::mem::take(&mut self.batch_scores);
+        self.inner.process_batch(&ys[i..], &mut scores);
+        for &score in &scores {
+            let calibrated = self.quantile.count() >= self.calibration;
+            let threshold = self.quantile.estimate();
+            let is_anomaly = calibrated && score > threshold;
+            if is_anomaly {
+                self.flagged += 1;
+            }
+            self.quantile.update(score);
+            out.push(Alert {
+                score,
+                threshold,
+                is_anomaly,
+            });
+        }
+        self.batch_scores = scores;
     }
 
     /// Number of points flagged so far.
@@ -295,6 +338,49 @@ mod tests {
         // 5% target.
         let rate = det.flagged() as f64 / scored.max(1) as f64;
         assert!(rate > 0.01 && rate < 0.12, "empirical FP rate {rate}");
+    }
+
+    #[test]
+    fn thresholded_batch_matches_per_point() {
+        use crate::refresh::RefreshPolicy;
+        use crate::score::ScoreKind;
+        use crate::sketched::SketchDetector;
+        use sketchad_linalg::rng::gaussian_vec;
+        use sketchad_sketch::FrequentDirections;
+
+        let d = 8;
+        let mut rng = seeded_rng(34);
+        let rows: Vec<Vec<f64>> = (0..400).map(|_| gaussian_vec(&mut rng, d)).collect();
+        let make = || {
+            let inner = SketchDetector::new(
+                FrequentDirections::new(8, d),
+                2,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 16 },
+                32,
+            );
+            ThresholdedDetector::new(inner, 0.05, 100)
+        };
+        let mut per_point = make();
+        let mut batched = make();
+        let expected: Vec<Alert> = rows.iter().map(|r| per_point.process(r)).collect();
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        let mut i = 0;
+        // Batch boundaries straddle warmup (32) and calibration (100).
+        for chunk in [20usize, 30, 75, 275] {
+            let end = (i + chunk).min(rows.len());
+            batched.process_batch(&rows[i..end], &mut buf);
+            got.extend_from_slice(&buf);
+            i = end;
+        }
+        assert_eq!(got.len(), expected.len());
+        for (j, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(g.score.to_bits(), e.score.to_bits(), "point {j}");
+            assert_eq!(g.threshold.to_bits(), e.threshold.to_bits(), "point {j}");
+            assert_eq!(g.is_anomaly, e.is_anomaly, "point {j}");
+        }
+        assert_eq!(batched.flagged(), per_point.flagged());
     }
 
     #[test]

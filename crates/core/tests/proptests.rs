@@ -189,6 +189,61 @@ proptest! {
         prop_assert_eq!(plain.refresh_count(), metered.refresh_count());
     }
 
+    /// Batched scoring agrees with per-point evaluation for every score
+    /// kind on arbitrary models and batches. The contract downstream code
+    /// relies on is ≤ 1e-9 relative error; the implementation actually
+    /// guarantees bitwise identity (both paths run the exact same dot
+    /// kernels in the same order), so assert both.
+    #[test]
+    fn batch_scoring_matches_per_point_all_kinds(
+        b in sketch_matrix(10, 7),
+        ys in prop::collection::vec(point(7), 1..40),
+    ) {
+        use sketchad_core::ScoreScratch;
+        let model = SubspaceModel::from_matrix(&b, 3, 1).unwrap();
+        let batch = Matrix::from_rows(&ys).unwrap();
+        let mut scratch = ScoreScratch::new();
+        for kind in [
+            ScoreKind::ProjectionDistance,
+            ScoreKind::RelativeProjection,
+            ScoreKind::Leverage,
+            ScoreKind::Blended { beta: 0.25 },
+        ] {
+            let out = model.score_batch(&batch, kind, &mut scratch);
+            prop_assert_eq!(out.len(), ys.len());
+            for (i, y) in ys.iter().enumerate() {
+                let pp = kind.evaluate(&model, y);
+                prop_assert!(
+                    (out[i] - pp).abs() <= 1e-9 * (1.0 + pp.abs()),
+                    "{} row {}: batch {} vs per-point {}",
+                    kind.label(), i, out[i], pp
+                );
+                prop_assert_eq!(out[i].to_bits(), pp.to_bits(),
+                    "{} row {} not bitwise identical", kind.label(), i);
+            }
+        }
+    }
+
+    /// Two identically configured detectors fed the same stream emit
+    /// bitwise-identical score sequences and agree on every counter
+    /// (per-host run-to-run determinism).
+    #[test]
+    fn two_runs_are_bitwise_deterministic(
+        rows in prop::collection::vec(point(6), 30..90),
+        seed in 0u64..1000,
+    ) {
+        let cfg = DetectorConfig::new(2, 8).with_warmup(5).with_seed(seed);
+        let mut d1 = cfg.build_fd(6);
+        let mut d2 = cfg.build_fd(6);
+        for r in &rows {
+            let s1 = d1.process(r);
+            let s2 = d2.process(r);
+            prop_assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+        prop_assert_eq!(d1.processed(), d2.processed());
+        prop_assert_eq!(d1.refresh_count(), d2.refresh_count());
+    }
+
     /// Quantile monotonicity: a higher q never yields a smaller estimate on
     /// the same data (checked on fresh estimators).
     #[test]

@@ -33,7 +33,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// runtime-feature-detected SIMD kernels in `vecops::simd`, which opt back in
+// with a scoped `#[allow(unsafe_code)]` and per-call safety comments. All
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod eigen;
 pub mod error;

@@ -52,6 +52,11 @@ impl TryFrom<RawMatrix> for Matrix {
 }
 
 impl Matrix {
+    /// Column-block width for the retiled [`Self::matmul`] kernel: the inner
+    /// loops touch one output slice plus four `rhs` slices of this many
+    /// `f64`s (5 × 2 KiB), keeping the working set inside a 32 KiB L1.
+    pub const COL_BLOCK: usize = 256;
+
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
@@ -249,8 +254,16 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop runs over contiguous rows
-    /// of both the accumulator and `rhs`.
+    /// Four output rows at a time go through the register-tiled
+    /// [`vecops::gemm4`] micro-kernel (a 4×8 accumulator tile held in
+    /// registers across the whole k loop); leftover rows — and every row on
+    /// hosts without AVX2+FMA — fall back to a retiled `i-k-j` kernel where
+    /// the k dimension is unrolled four-wide through [`vecops::axpy4`] and
+    /// the j dimension is blocked at [`Self::COL_BLOCK`] columns so the
+    /// working set stays L1-resident. The inner loops are branch-free on
+    /// purpose: dense data gains nothing from zero-skipping, and the branch
+    /// defeats vectorization (sparse inputs should use the `SparseVec` paths
+    /// instead).
     ///
     /// # Errors
     /// Returns [`LinAlgError::ShapeMismatch`] when `self.cols != rhs.rows`.
@@ -262,22 +275,130 @@ impl Matrix {
                 op: "Matrix::matmul",
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        let n = rhs.cols;
+        let r4 = self.rows / 4 * 4;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in (0..r4).step_by(4) {
+            let out_block = &mut out.data[i * n..(i + 4) * n];
+            let tiled = n > 0
+                && vecops::gemm4(
+                    self.row(i),
+                    self.row(i + 1),
+                    self.row(i + 2),
+                    self.row(i + 3),
+                    &rhs.data,
+                    n,
+                    n,
+                    out_block,
+                    n,
+                );
+            if !tiled {
+                for r in 0..4 {
+                    Self::matmul_row_scalar(
+                        self.row(i + r),
+                        &rhs.data,
+                        n,
+                        &mut out_block[r * n..(r + 1) * n],
+                    );
                 }
-                let b_row = rhs.row(k);
-                vecops::axpy(aik, b_row, out_row);
             }
+        }
+        for i in r4..self.rows {
+            Self::matmul_row_scalar(self.row(i), &rhs.data, n, &mut out.data[i * n..(i + 1) * n]);
         }
         Ok(out)
     }
 
+    /// One output row of `matmul` via the blocked axpy formulation — the
+    /// portable fallback behind [`vecops::gemm4`] and the row-tail path.
+    fn matmul_row_scalar(a_row: &[f64], rhs_data: &[f64], n: usize, out_row: &mut [f64]) {
+        if n == 0 {
+            return;
+        }
+        let kdim = a_row.len();
+        let k4 = kdim / 4 * 4;
+        for jb in (0..n).step_by(Self::COL_BLOCK) {
+            let je = (jb + Self::COL_BLOCK).min(n);
+            for k in (0..k4).step_by(4) {
+                let alpha = [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]];
+                vecops::axpy4(
+                    alpha,
+                    &rhs_data[k * n + jb..k * n + je],
+                    &rhs_data[(k + 1) * n + jb..(k + 1) * n + je],
+                    &rhs_data[(k + 2) * n + jb..(k + 2) * n + je],
+                    &rhs_data[(k + 3) * n + jb..(k + 3) * n + je],
+                    &mut out_row[jb..je],
+                );
+            }
+            for k in k4..kdim {
+                vecops::axpy(
+                    a_row[k],
+                    &rhs_data[k * n + jb..k * n + je],
+                    &mut out_row[jb..je],
+                );
+            }
+        }
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose (`rows × rhs.rows`).
+    ///
+    /// Every output row is one [`vecops::row_dots`] sweep of the `rhs` rows
+    /// against the corresponding row of `self` (one kernel dispatch per
+    /// sweep, `rhs` cache-hot across it). Each element is bitwise identical
+    /// to `vecops::dot(self.row(i), rhs.row(j))` — the batched scoring path
+    /// relies on this to match per-point scores exactly.
+    ///
+    /// # Errors
+    /// Returns [`LinAlgError::ShapeMismatch`] when `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul_nt`] into a caller-provided buffer (no allocation).
+    ///
+    /// `out` must hold exactly `self.rows * rhs.rows` elements, row-major.
+    ///
+    /// # Errors
+    /// Returns [`LinAlgError::ShapeMismatch`] when `self.cols != rhs.cols` or
+    /// `out` has the wrong length.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut [f64]) -> Result<()> {
+        if self.cols != rhs.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (0, self.cols),
+                got: (rhs.rows, rhs.cols),
+                op: "Matrix::matmul_nt",
+            });
+        }
+        if out.len() != self.rows * rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.rows, rhs.rows),
+                got: (out.len(), 1),
+                op: "Matrix::matmul_nt_into",
+            });
+        }
+        let n = rhs.rows;
+        for i in 0..self.rows {
+            vecops::row_dots(
+                &rhs.data,
+                self.cols,
+                self.cols,
+                n,
+                self.row(i),
+                &mut out[i * n..(i + 1) * n],
+            );
+        }
+        Ok(())
+    }
+
     /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Processes four stream rows per pass: each output row accumulates the
+    /// four corresponding `rhs` rows through one fused [`vecops::axpy4`], so
+    /// the (large, `cols × rhs.cols`) accumulator is swept once per four
+    /// stream rows while the four `rhs` rows stay cache-hot. Branch-free on
+    /// dense data (see [`Self::matmul`]).
     pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinAlgError::ShapeMismatch {
@@ -286,15 +407,28 @@ impl Matrix {
                 op: "Matrix::tr_matmul",
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
+        let n = rhs.cols;
+        let r4 = self.rows / 4 * 4;
+        let mut out = Matrix::zeros(self.cols, n);
+        for r in (0..r4).step_by(4) {
+            let (a0, a1, a2, a3) = (
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
+            let (b0, b1, b2, b3) = (rhs.row(r), rhs.row(r + 1), rhs.row(r + 2), rhs.row(r + 3));
+            for i in 0..self.cols {
+                let alpha = [a0[i], a1[i], a2[i], a3[i]];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                vecops::axpy4(alpha, b0, b1, b2, b3, out_row);
+            }
+        }
+        for r in r4..self.rows {
             let a_row = self.row(r);
             let b_row = rhs.row(r);
             for (i, &ari) in a_row.iter().enumerate() {
-                if ari == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 vecops::axpy(ari, b_row, out_row);
             }
         }
@@ -302,20 +436,35 @@ impl Matrix {
     }
 
     /// Gram matrix `selfᵀ * self` (`cols × cols`), exploiting symmetry.
+    ///
+    /// Same four-row [`vecops::axpy4`] tiling as [`Self::tr_matmul`], but
+    /// only the upper triangle is accumulated (`g[i][i..]`) and then
+    /// mirrored, halving the flops. On AVX2+FMA hosts each four-row sweep
+    /// runs as one fused [`vecops::gram4_upper`] dispatch.
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
+        let r4 = self.rows / 4 * 4;
         let mut g = Matrix::zeros(d, d);
-        for r in 0..self.rows {
+        for r in (0..r4).step_by(4) {
+            let (x0, x1, x2, x3) = (
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
+            if !vecops::gram4_upper(x0, x1, x2, x3, &mut g.data, d) {
+                for i in 0..d {
+                    let alpha = [x0[i], x1[i], x2[i], x3[i]];
+                    let grow = &mut g.data[i * d + i..(i + 1) * d];
+                    vecops::axpy4(alpha, &x0[i..], &x1[i..], &x2[i..], &x3[i..], grow);
+                }
+            }
+        }
+        for r in r4..self.rows {
             let row = self.row(r);
             for i in 0..d {
-                let ri = row[i];
-                if ri == 0.0 {
-                    continue;
-                }
-                let grow = &mut g.data[i * d..(i + 1) * d];
-                for j in i..d {
-                    grow[j] += ri * row[j];
-                }
+                let grow = &mut g.data[i * d + i..(i + 1) * d];
+                vecops::axpy(row[i], &row[i..], grow);
             }
         }
         // Mirror the upper triangle.
@@ -328,15 +477,34 @@ impl Matrix {
     }
 
     /// Outer Gram matrix `self * selfᵀ` (`rows × rows`), exploiting symmetry.
+    ///
+    /// Upper-triangle row-row dot products, four at a time via
+    /// [`vecops::dot4`].
     pub fn outer_gram(&self) -> Matrix {
         let n = self.rows;
         let mut g = Matrix::zeros(n, n);
         for i in 0..n {
             let ri = self.row(i);
-            for j in i..n {
+            let mut j = i;
+            while j + 4 <= n {
+                let d = vecops::dot4(
+                    self.row(j),
+                    self.row(j + 1),
+                    self.row(j + 2),
+                    self.row(j + 3),
+                    ri,
+                );
+                for (o, &v) in d.iter().enumerate() {
+                    g.data[i * n + j + o] = v;
+                    g.data[(j + o) * n + i] = v;
+                }
+                j += 4;
+            }
+            while j < n {
                 let v = vecops::dot(ri, self.row(j));
                 g.data[i * n + j] = v;
                 g.data[j * n + i] = v;
+                j += 1;
             }
         }
         g
@@ -398,6 +566,15 @@ impl Matrix {
             cols: self.cols,
             data,
         })
+    }
+
+    /// Removes every row while keeping the allocation, leaving an empty
+    /// `0 × 0` matrix ready to be refilled with [`Self::push_row`]. Used by
+    /// batch-scoring scratch buffers to stage points without reallocating.
+    pub fn clear_rows(&mut self) {
+        self.rows = 0;
+        self.cols = 0;
+        self.data.clear();
     }
 
     /// Multiply every element by `s` in place.
@@ -652,6 +829,98 @@ mod tests {
         }
         assert_eq!(m[(2, 1)], 2.0);
         assert_eq!(m[(0, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        // Sizes straddle the 4-row unroll boundary of the dot4 kernel.
+        for (m, n, d) in [(3, 5, 7), (4, 4, 8), (6, 9, 13), (1, 1, 3)] {
+            let a = Matrix::from_vec(m, d, (0..m * d).map(|i| (i as f64).sin()).collect()).unwrap();
+            let b = Matrix::from_vec(n, d, (0..n * d).map(|i| (i as f64).cos()).collect()).unwrap();
+            let fast = a.matmul_nt(&b).unwrap();
+            let slow = a.matmul(&b.transpose()).unwrap();
+            assert_eq!(fast.shape(), (m, n));
+            for i in 0..m {
+                for j in 0..n {
+                    assert!(approx(fast[(i, j)], slow[(i, j)]));
+                    // Each element must be bitwise the plain row-row dot —
+                    // the batched scoring path depends on this.
+                    assert_eq!(
+                        fast[(i, j)].to_bits(),
+                        vecops::dot(b.row(j), a.row(i)).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_rejects_mismatched_inner_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(a.matmul_nt(&b).is_err());
+        let mut out = vec![0.0; 3]; // wrong length for 2×2
+        assert!(a.matmul_nt_into(&Matrix::zeros(2, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference_past_block_boundary() {
+        // Shapes chosen to cross COL_BLOCK (j-blocking) and leave 4-way
+        // unroll tails in every dimension.
+        let (m, k, n) = (6, 7, Matrix::COL_BLOCK + 13);
+        let a =
+            Matrix::from_vec(m, k, (0..m * k).map(|i| (i as f64 * 0.37).sin()).collect()).unwrap();
+        let b =
+            Matrix::from_vec(k, n, (0..k * n).map(|i| (i as f64 * 0.11).cos()).collect()).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        // Naive triple loop as the reference.
+        let mut want = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    want[(i, j)] += a[(i, kk)] * b[(kk, j)];
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..n {
+                assert!(approx(fast[(i, j)], want[(i, j)]), "({i},{j})");
+            }
+        }
+        // tr_matmul and gram against their transpose-based definitions.
+        let c = Matrix::from_vec(7, 9, (0..63).map(|i| (i as f64 * 0.73).sin()).collect()).unwrap();
+        let d = Matrix::from_vec(7, 5, (0..35).map(|i| (i as f64 * 0.29).cos()).collect()).unwrap();
+        let fast = c.tr_matmul(&d).unwrap();
+        let slow = c.transpose().matmul(&d).unwrap();
+        for i in 0..9 {
+            for j in 0..5 {
+                assert!(approx(fast[(i, j)], slow[(i, j)]));
+            }
+        }
+        let g = c.gram();
+        let g2 = c.transpose().matmul(&c).unwrap();
+        for i in 0..9 {
+            for j in 0..9 {
+                assert!(approx(g[(i, j)], g2[(i, j)]));
+            }
+        }
+        let og = c.outer_gram();
+        let og2 = c.matmul(&c.transpose()).unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert!(approx(og[(i, j)], og2[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_rows_keeps_allocation_and_allows_refill() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        m.clear_rows();
+        assert_eq!(m.shape(), (0, 0));
+        m.push_row(&[7.0, 8.0]); // a different width is fine after clearing
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m.row(0), &[7.0, 8.0]);
     }
 
     #[test]

@@ -1,8 +1,59 @@
 //! Vector kernels over `&[f64]` slices.
 //!
 //! These free functions are the innermost loops of every sketch update and
-//! score computation, so they are written to auto-vectorize: straight-line
-//! iterator chains over contiguous slices, no bounds checks in the hot path.
+//! score computation. Each public kernel has two implementations:
+//!
+//! * a **scalar** path written to auto-vectorize on stable rustc —
+//!   `chunks_exact` blocks (no bounds checks in the hot path) with four
+//!   independent accumulator chains, so the compiler can emit SIMD without
+//!   needing `-ffast-math` reassociation; and
+//! * an **AVX2+FMA** path (x86-64 only) selected by runtime feature
+//!   detection, since the default `x86_64` target compiles the scalar path
+//!   to baseline SSE2 and leaves 2–4× on the table on any post-2013 core.
+//!
+//! Path selection depends only on the slice length and the host CPU, so a
+//! given machine always takes the same path for the same input: results are
+//! bitwise reproducible run-to-run. Across *different* machines the low bits
+//! may differ (FMA fuses the multiply-add rounding) — the workspace's
+//! determinism contract is per-host, matching the seeded-RNG contract.
+//!
+//! The fused kernels [`dot4`] and [`axpy4`] process four rows against one
+//! shared vector in a single pass. They are *bitwise compatible* with their
+//! one-row counterparts on every path: `dot4(a0, a1, a2, a3, b)[i] ==
+//! dot(ai, b)` exactly, and `axpy4` produces the same bits as four
+//! sequential [`axpy`] calls. The blocked matrix kernels rely on this to
+//! keep batched results identical to the one-at-a-time paths.
+
+/// Below this length the scalar path is used unconditionally: the SIMD
+/// prologue/reduction costs more than it saves, and keeping one fixed
+/// threshold makes path selection a pure function of `len`.
+const MIN_SIMD_LEN: usize = 8;
+
+/// SIMD capability tiers, cached once (the kernels below sit on per-point
+/// hot paths where even a couple of extra atomic loads per call are
+/// measurable). The dot family prefers AVX-512 (half the loop trips at the
+/// short lengths scoring uses); the axpy family and the gemm micro-kernel
+/// are store-bound and stay on the 256-bit path.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn simd_level() -> u8 {
+    static LEVEL: std::sync::OnceLock<u8> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if !(std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")) {
+            0
+        } else if std::is_x86_feature_detected!("avx512f") {
+            2
+        } else {
+            1
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn simd_enabled() -> bool {
+    simd_level() >= 1
+}
 
 /// Dot product `Σ aᵢ bᵢ`.
 ///
@@ -17,22 +68,270 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         a.len(),
         b.len()
     );
-    // Four-lane manual unroll: keeps independent accumulator chains so the
-    // compiler can vectorize without needing -ffast-math reassociation.
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= MIN_SIMD_LEN {
+        // SAFETY: the matching CPU features were verified at runtime.
+        #[allow(unsafe_code)]
+        match simd_level() {
+            2 => return unsafe { simd::dot512(a, b) },
+            1 => return unsafe { simd::dot(a, b) },
+            _ => {}
+        }
+    }
+    scalar_dot(a, b)
+}
+
+#[inline]
+fn scalar_dot(a: &[f64], b: &[f64]) -> f64 {
+    // Four independent accumulator chains over exact 4-blocks: the compiler
+    // vectorizes this without reassociating, keeping results deterministic.
     let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    let a_blocks = a.chunks_exact(4);
+    let b_blocks = b.chunks_exact(4);
+    let a_tail = a_blocks.remainder();
+    let b_tail = b_blocks.remainder();
+    for (ab, bb) in a_blocks.zip(b_blocks) {
+        acc[0] += ab[0] * bb[0];
+        acc[1] += ab[1] * bb[1];
+        acc[2] += ab[2] * bb[2];
+        acc[3] += ab[3] * bb[3];
     }
     let mut tail = 0.0;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
+    for (x, y) in a_tail.iter().zip(b_tail.iter()) {
+        tail += x * y;
     }
     acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Four simultaneous dot products of rows `a0..a3` against a shared `b`.
+///
+/// Returns `[dot(a0, b), dot(a1, b), dot(a2, b), dot(a3, b)]`, each bitwise
+/// identical to the corresponding [`dot`] call — on the SIMD path this is
+/// literally four calls into the same vector kernel (with `b` L1-hot after
+/// the first), and on the scalar path a fused loop that replicates [`dot`]'s
+/// accumulation order per row. This is the inner kernel of
+/// `Matrix::matmul_nt` and the batched scoring path.
+///
+/// # Panics
+/// Panics when any slice length differs from `b.len()`.
+#[inline]
+pub fn dot4(a0: &[f64], a1: &[f64], a2: &[f64], a3: &[f64], b: &[f64]) -> [f64; 4] {
+    let n = b.len();
+    assert!(
+        a0.len() == n && a1.len() == n && a2.len() == n && a3.len() == n,
+        "dot4: length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if n >= MIN_SIMD_LEN {
+        // SAFETY: the matching CPU features were verified at runtime.
+        #[allow(unsafe_code)]
+        match simd_level() {
+            2 => {
+                return unsafe {
+                    [
+                        simd::dot512(a0, b),
+                        simd::dot512(a1, b),
+                        simd::dot512(a2, b),
+                        simd::dot512(a3, b),
+                    ]
+                }
+            }
+            1 => {
+                return unsafe {
+                    [
+                        simd::dot(a0, b),
+                        simd::dot(a1, b),
+                        simd::dot(a2, b),
+                        simd::dot(a3, b),
+                    ]
+                }
+            }
+            _ => {}
+        }
+    }
+    scalar_dot4(a0, a1, a2, a3, b)
+}
+
+#[inline]
+fn scalar_dot4(a0: &[f64], a1: &[f64], a2: &[f64], a3: &[f64], b: &[f64]) -> [f64; 4] {
+    let n = b.len();
+    let mut acc0 = [0.0f64; 4];
+    let mut acc1 = [0.0f64; 4];
+    let mut acc2 = [0.0f64; 4];
+    let mut acc3 = [0.0f64; 4];
+    let blocks = n / 4;
+    let split = blocks * 4;
+    // Equal-length reslices let the compiler elide all bounds checks below.
+    let (b0, bt) = b.split_at(split);
+    let (r0, t0) = a0.split_at(split);
+    let (r1, t1) = a1.split_at(split);
+    let (r2, t2) = a2.split_at(split);
+    let (r3, t3) = a3.split_at(split);
+    for i in 0..blocks {
+        let j = i * 4;
+        acc0[0] += r0[j] * b0[j];
+        acc0[1] += r0[j + 1] * b0[j + 1];
+        acc0[2] += r0[j + 2] * b0[j + 2];
+        acc0[3] += r0[j + 3] * b0[j + 3];
+        acc1[0] += r1[j] * b0[j];
+        acc1[1] += r1[j + 1] * b0[j + 1];
+        acc1[2] += r1[j + 2] * b0[j + 2];
+        acc1[3] += r1[j + 3] * b0[j + 3];
+        acc2[0] += r2[j] * b0[j];
+        acc2[1] += r2[j + 1] * b0[j + 1];
+        acc2[2] += r2[j + 2] * b0[j + 2];
+        acc2[3] += r2[j + 3] * b0[j + 3];
+        acc3[0] += r3[j] * b0[j];
+        acc3[1] += r3[j + 1] * b0[j + 1];
+        acc3[2] += r3[j + 2] * b0[j + 2];
+        acc3[3] += r3[j + 3] * b0[j + 3];
+    }
+    let mut tails = [0.0f64; 4];
+    for (i, &bv) in bt.iter().enumerate() {
+        tails[0] += t0[i] * bv;
+        tails[1] += t1[i] * bv;
+        tails[2] += t2[i] * bv;
+        tails[3] += t3[i] * bv;
+    }
+    [
+        acc0[0] + acc0[1] + acc0[2] + acc0[3] + tails[0],
+        acc1[0] + acc1[1] + acc1[2] + acc1[3] + tails[1],
+        acc2[0] + acc2[1] + acc2[2] + acc2[3] + tails[2],
+        acc3[0] + acc3[1] + acc3[2] + acc3[3] + tails[3],
+    ]
+}
+
+/// Dot products of `nrows` row-major rows against a shared `y`:
+/// `out[j] = dot(rows[j], y)`, where row `j` is `b[j*ldb .. j*ldb + d]`.
+///
+/// Each output is bitwise identical to the corresponding [`dot`] call; the
+/// point of this kernel is one dispatch (and one inlined feature region) for
+/// the whole row sweep instead of one per row. This is the inner loop of
+/// `Matrix::matmul_nt` and the batched scoring path, where `b` is the k×d
+/// basis and `y` a point.
+///
+/// # Panics
+/// Panics when `y.len() != d`, `out.len() != nrows`, or `b` is too short for
+/// `nrows` rows of stride `ldb` (with `d <= ldb`).
+pub fn row_dots(b: &[f64], ldb: usize, d: usize, nrows: usize, y: &[f64], out: &mut [f64]) {
+    assert_eq!(y.len(), d, "row_dots: y length mismatch");
+    assert_eq!(out.len(), nrows, "row_dots: out length mismatch");
+    assert!(
+        d <= ldb || nrows <= 1,
+        "row_dots: row stride shorter than row"
+    );
+    if nrows > 0 {
+        assert!(
+            (nrows - 1) * ldb + d <= b.len(),
+            "row_dots: rows out of bounds"
+        );
+    }
+    #[cfg(target_arch = "x86_64")]
+    if d >= MIN_SIMD_LEN {
+        // SAFETY: the matching CPU features were verified at runtime, and
+        // the asserts above bound every row access.
+        #[allow(unsafe_code)]
+        match simd_level() {
+            2 => {
+                unsafe { simd::row_dots512(b, ldb, d, nrows, y, out) };
+                return;
+            }
+            1 => {
+                unsafe { simd::row_dots(b, ldb, d, nrows, y, out) };
+                return;
+            }
+            _ => {}
+        }
+    }
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = scalar_dot(&b[j * ldb..j * ldb + d], y);
+    }
+}
+
+/// Accumulates four rows of a matrix product into `out`:
+/// `out[r][j] += Σ_k a_r[k] · b[k][j]` for `r in 0..4`, `j in 0..n`, where
+/// `b` is row-major with stride `ldb` and `out` holds four rows of stride
+/// `ldo`. Returns `false` without touching `out` when the AVX2+FMA
+/// micro-kernel is unavailable — the caller must then run its scalar path.
+///
+/// This is the register-tiled heart of `Matrix::matmul`: a 4×8 accumulator
+/// tile lives entirely in registers across the full `k` loop, so `out` is
+/// written once per tile instead of once per `(k, j)` like the axpy
+/// formulation.
+///
+/// # Panics
+/// Panics when the row lengths disagree or `b`/`out` are too short for the
+/// strides.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm4(
+    a0: &[f64],
+    a1: &[f64],
+    a2: &[f64],
+    a3: &[f64],
+    b: &[f64],
+    ldb: usize,
+    n: usize,
+    out: &mut [f64],
+    ldo: usize,
+) -> bool {
+    let kdim = a0.len();
+    assert!(
+        a1.len() == kdim && a2.len() == kdim && a3.len() == kdim,
+        "gemm4: a-row length mismatch"
+    );
+    assert!(n <= ldb || kdim <= 1, "gemm4: b stride shorter than row");
+    assert!(n <= ldo, "gemm4: out stride shorter than row");
+    if kdim > 0 {
+        assert!((kdim - 1) * ldb + n <= b.len(), "gemm4: b out of bounds");
+    }
+    assert!(3 * ldo + n <= out.len(), "gemm4: out too short for 4 rows");
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: AVX2 and FMA presence was just verified at runtime, and the
+        // asserts above bound every access the kernel makes.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::gemm4(a0, a1, a2, a3, b, ldb, n, out, ldo)
+        };
+        return true;
+    }
+    false
+}
+
+/// Accumulates the upper-triangle Gram contribution of four stream rows:
+/// `g[i][i..] += Σ_r x_r[i] · x_r[i..]` for `i in 0..d`, with `g` a
+/// row-major `d × d` matrix. Semantically one [`axpy4`] per output row, but
+/// a single kernel dispatch covers the whole sweep — at small `d` the
+/// per-call dispatch and bounds checks of `d` separate axpy4 calls on
+/// ever-shorter slices are a double-digit-percent tax. Returns `false`
+/// without touching `g` when the SIMD kernel is unavailable.
+///
+/// # Panics
+/// Panics when any `x` length differs from `d` or `g.len() != d * d`.
+pub fn gram4_upper(
+    x0: &[f64],
+    x1: &[f64],
+    x2: &[f64],
+    x3: &[f64],
+    g: &mut [f64],
+    d: usize,
+) -> bool {
+    assert!(
+        x0.len() == d && x1.len() == d && x2.len() == d && x3.len() == d,
+        "gram4_upper: row length mismatch"
+    );
+    assert_eq!(g.len(), d * d, "gram4_upper: gram buffer size mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: AVX2 and FMA presence was just verified at runtime, and
+        // the asserts above bound every slice taken inside.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::gram4_upper(x0, x1, x2, x3, g, d)
+        };
+        return true;
+    }
+    false
 }
 
 /// `y ← y + alpha * x`.
@@ -42,15 +341,471 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    #[cfg(target_arch = "x86_64")]
+    if y.len() >= MIN_SIMD_LEN && simd_enabled() {
+        // SAFETY: AVX2 and FMA presence was just verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { simd::axpy(alpha, x, y) };
+    }
+    scalar_axpy(alpha, x, y)
+}
+
+#[inline]
+fn scalar_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let x_blocks = x.chunks_exact(4);
+    let x_tail = x_blocks.remainder();
+    let mut y_blocks = y.chunks_exact_mut(4);
+    for (yb, xb) in y_blocks.by_ref().zip(x_blocks) {
+        yb[0] += alpha * xb[0];
+        yb[1] += alpha * xb[1];
+        yb[2] += alpha * xb[2];
+        yb[3] += alpha * xb[3];
+    }
+    for (yi, xi) in y_blocks.into_remainder().iter_mut().zip(x_tail.iter()) {
         *yi += alpha * xi;
+    }
+}
+
+/// Fused four-row axpy: `y ← y + a0·x0 + a1·x1 + a2·x2 + a3·x3` in one pass.
+///
+/// Per element the additions nest in row order, so the result is bitwise
+/// identical to four sequential [`axpy`] calls on every path — but `y` is
+/// read and written once instead of four times. This is the inner kernel of
+/// the retiled `Matrix::matmul` / `tr_matmul` / `gram`.
+///
+/// # Panics
+/// Panics when any slice length differs from `y.len()`.
+#[inline]
+pub fn axpy4(alpha: [f64; 4], x0: &[f64], x1: &[f64], x2: &[f64], x3: &[f64], y: &mut [f64]) {
+    let n = y.len();
+    assert!(
+        x0.len() == n && x1.len() == n && x2.len() == n && x3.len() == n,
+        "axpy4: length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if n >= MIN_SIMD_LEN && simd_enabled() {
+        // SAFETY: AVX2 and FMA presence was just verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { simd::axpy4(alpha, x0, x1, x2, x3, y) };
+    }
+    scalar_axpy4(alpha, x0, x1, x2, x3, y)
+}
+
+#[inline]
+fn scalar_axpy4(alpha: [f64; 4], x0: &[f64], x1: &[f64], x2: &[f64], x3: &[f64], y: &mut [f64]) {
+    let n = y.len();
+    let blocks = n / 4;
+    let split = blocks * 4;
+    let (r0, t0) = x0.split_at(split);
+    let (r1, t1) = x1.split_at(split);
+    let (r2, t2) = x2.split_at(split);
+    let (r3, t3) = x3.split_at(split);
+    let (ym, yt) = y.split_at_mut(split);
+    for i in 0..blocks {
+        let j = i * 4;
+        ym[j] = ym[j] + alpha[0] * r0[j] + alpha[1] * r1[j] + alpha[2] * r2[j] + alpha[3] * r3[j];
+        ym[j + 1] = ym[j + 1]
+            + alpha[0] * r0[j + 1]
+            + alpha[1] * r1[j + 1]
+            + alpha[2] * r2[j + 1]
+            + alpha[3] * r3[j + 1];
+        ym[j + 2] = ym[j + 2]
+            + alpha[0] * r0[j + 2]
+            + alpha[1] * r1[j + 2]
+            + alpha[2] * r2[j + 2]
+            + alpha[3] * r3[j + 2];
+        ym[j + 3] = ym[j + 3]
+            + alpha[0] * r0[j + 3]
+            + alpha[1] * r1[j + 3]
+            + alpha[2] * r2[j + 3]
+            + alpha[3] * r3[j + 3];
+    }
+    for (i, yi) in yt.iter_mut().enumerate() {
+        *yi = *yi + alpha[0] * t0[i] + alpha[1] * t1[i] + alpha[2] * t2[i] + alpha[3] * t3[i];
+    }
+}
+
+/// Runtime-dispatched AVX2+FMA kernels. Kept in one module so the
+/// crate-level `deny(unsafe_code)` has exactly one sanctioned exception.
+///
+/// Invariants the dispatchers above rely on:
+/// * every function here is only called after `simd_enabled()` returned
+///   true, so the `#[target_feature]` contracts hold;
+/// * the vector/scalar split point inside each kernel is `4 * (n / 4)`,
+///   matching the corresponding fused kernel so `axpy4` stays bitwise equal
+///   to four sequential `axpy` calls;
+/// * scalar tails use separate multiply-then-add (no fusing), same as the
+///   scalar kernels' tails.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// Dot product with four 256-bit FMA accumulator chains.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; `a` and `b` must have equal lengths (checked
+    /// by the public wrapper).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 8)),
+                _mm256_loadu_pd(bp.add(i + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 12)),
+                _mm256_loadu_pd(bp.add(i + 12)),
+                acc3,
+            );
+            i += 16;
+        }
+        while i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            i += 4;
+        }
+        // Fixed reduction order: (acc0+acc1) + (acc2+acc3), then low→high
+        // within the register, then the scalar tail.
+        let sum = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+        let lo = _mm256_castpd256_pd128(sum);
+        let hi = _mm256_extractf128_pd(sum, 1);
+        let pair = _mm_add_pd(lo, hi);
+        let mut s = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+        while i < n {
+            s += *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+        s
+    }
+
+    /// Dot product with four 512-bit FMA accumulator chains — the same
+    /// shape as [`dot`] but half the loop trips, which matters most at the
+    /// short lengths (d = 64…512) the scoring paths use.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `a` and `b` must have equal lengths (checked by
+    /// the public wrapper).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot512(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut acc2 = _mm512_setzero_pd();
+        let mut acc3 = _mm512_setzero_pd();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(ap.add(i)), _mm512_loadu_pd(bp.add(i)), acc0);
+            acc1 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(ap.add(i + 8)),
+                _mm512_loadu_pd(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(ap.add(i + 16)),
+                _mm512_loadu_pd(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(ap.add(i + 24)),
+                _mm512_loadu_pd(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(ap.add(i)), _mm512_loadu_pd(bp.add(i)), acc0);
+            i += 8;
+        }
+        // Fixed reduction order: (acc0+acc1) + (acc2+acc3), in-register tree
+        // reduce, then the scalar tail.
+        let sum = _mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3));
+        let mut s = _mm512_reduce_add_pd(sum);
+        while i < n {
+            s += *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+        s
+    }
+
+    /// Row sweep of [`dot`] against a shared `y`, one feature region for the
+    /// whole sweep so the per-row kernel inlines without re-dispatch.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; the public wrapper's asserts bound every row
+    /// slice taken here.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_dots(
+        b: &[f64],
+        ldb: usize,
+        d: usize,
+        nrows: usize,
+        y: &[f64],
+        out: &mut [f64],
+    ) {
+        for j in 0..nrows {
+            *out.get_unchecked_mut(j) = dot(b.get_unchecked(j * ldb..j * ldb + d), y);
+        }
+    }
+
+    /// [`row_dots`] on the 512-bit [`dot512`] kernel.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; the public wrapper's asserts bound every row slice
+    /// taken here.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn row_dots512(
+        b: &[f64],
+        ldb: usize,
+        d: usize,
+        nrows: usize,
+        y: &[f64],
+        out: &mut [f64],
+    ) {
+        for j in 0..nrows {
+            *out.get_unchecked_mut(j) = dot512(b.get_unchecked(j * ldb..j * ldb + d), y);
+        }
+    }
+
+    /// 4-row register-tiled GEMM block: `out[r][j] += Σ_k a_r[k]·b[k][j]`.
+    ///
+    /// The j loop walks 8 columns at a time holding a 4×8 accumulator tile
+    /// (eight ymm registers) across the entire k loop; per k step it costs
+    /// two `b` loads plus four broadcasts for eight FMAs, and `out` is only
+    /// touched once per tile. 4-column and scalar column tails follow the
+    /// same k-inner ordering.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; the public wrapper's asserts guarantee
+    /// `(kdim-1)*ldb + n <= b.len()` and `3*ldo + n <= out.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm4(
+        a0: &[f64],
+        a1: &[f64],
+        a2: &[f64],
+        a3: &[f64],
+        b: &[f64],
+        ldb: usize,
+        n: usize,
+        out: &mut [f64],
+        ldo: usize,
+    ) {
+        let kdim = a0.len();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut c00 = _mm256_setzero_pd();
+            let mut c01 = _mm256_setzero_pd();
+            let mut c10 = _mm256_setzero_pd();
+            let mut c11 = _mm256_setzero_pd();
+            let mut c20 = _mm256_setzero_pd();
+            let mut c21 = _mm256_setzero_pd();
+            let mut c30 = _mm256_setzero_pd();
+            let mut c31 = _mm256_setzero_pd();
+            for k in 0..kdim {
+                let b0 = _mm256_loadu_pd(bp.add(k * ldb + j));
+                let b1 = _mm256_loadu_pd(bp.add(k * ldb + j + 4));
+                let v0 = _mm256_set1_pd(*a0.get_unchecked(k));
+                c00 = _mm256_fmadd_pd(v0, b0, c00);
+                c01 = _mm256_fmadd_pd(v0, b1, c01);
+                let v1 = _mm256_set1_pd(*a1.get_unchecked(k));
+                c10 = _mm256_fmadd_pd(v1, b0, c10);
+                c11 = _mm256_fmadd_pd(v1, b1, c11);
+                let v2 = _mm256_set1_pd(*a2.get_unchecked(k));
+                c20 = _mm256_fmadd_pd(v2, b0, c20);
+                c21 = _mm256_fmadd_pd(v2, b1, c21);
+                let v3 = _mm256_set1_pd(*a3.get_unchecked(k));
+                c30 = _mm256_fmadd_pd(v3, b0, c30);
+                c31 = _mm256_fmadd_pd(v3, b1, c31);
+            }
+            for (r, (lo, hi)) in [(c00, c01), (c10, c11), (c20, c21), (c30, c31)]
+                .into_iter()
+                .enumerate()
+            {
+                let p = op.add(r * ldo + j);
+                _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), lo));
+                _mm256_storeu_pd(p.add(4), _mm256_add_pd(_mm256_loadu_pd(p.add(4)), hi));
+            }
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm256_setzero_pd();
+            let mut c1 = _mm256_setzero_pd();
+            let mut c2 = _mm256_setzero_pd();
+            let mut c3 = _mm256_setzero_pd();
+            for k in 0..kdim {
+                let bv = _mm256_loadu_pd(bp.add(k * ldb + j));
+                c0 = _mm256_fmadd_pd(_mm256_set1_pd(*a0.get_unchecked(k)), bv, c0);
+                c1 = _mm256_fmadd_pd(_mm256_set1_pd(*a1.get_unchecked(k)), bv, c1);
+                c2 = _mm256_fmadd_pd(_mm256_set1_pd(*a2.get_unchecked(k)), bv, c2);
+                c3 = _mm256_fmadd_pd(_mm256_set1_pd(*a3.get_unchecked(k)), bv, c3);
+            }
+            for (r, c) in [c0, c1, c2, c3].into_iter().enumerate() {
+                let p = op.add(r * ldo + j);
+                _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), c));
+            }
+            j += 4;
+        }
+        while j < n {
+            for (r, a) in [a0, a1, a2, a3].into_iter().enumerate() {
+                let mut s = *op.add(r * ldo + j);
+                for (k, &ak) in a.iter().enumerate() {
+                    s = ak.mul_add(*bp.add(k * ldb + j), s);
+                }
+                *op.add(r * ldo + j) = s;
+            }
+            j += 1;
+        }
+    }
+
+    /// Upper-triangle Gram sweep of four stream rows in one feature region:
+    /// row `i` of `g` gets one inlined [`axpy4`] over the `[i..]` tails.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; the public wrapper's asserts guarantee all
+    /// four rows have length `d` and `g` has length `d * d`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gram4_upper(
+        x0: &[f64],
+        x1: &[f64],
+        x2: &[f64],
+        x3: &[f64],
+        g: &mut [f64],
+        d: usize,
+    ) {
+        for i in 0..d {
+            let alpha = [
+                *x0.get_unchecked(i),
+                *x1.get_unchecked(i),
+                *x2.get_unchecked(i),
+                *x3.get_unchecked(i),
+            ];
+            axpy4(
+                alpha,
+                x0.get_unchecked(i..),
+                x1.get_unchecked(i..),
+                x2.get_unchecked(i..),
+                x3.get_unchecked(i..),
+                g.get_unchecked_mut(i * d + i..(i + 1) * d),
+            );
+        }
+    }
+
+    /// `y ← y + alpha·x`, one fused multiply-add per element.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; slices must have equal lengths (checked by the
+    /// public wrapper).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let a = _mm256_set1_pd(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let y0 = _mm256_fmadd_pd(a, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            let y1 = _mm256_fmadd_pd(
+                a,
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(yp.add(i + 4)),
+            );
+            _mm256_storeu_pd(yp.add(i), y0);
+            _mm256_storeu_pd(yp.add(i + 4), y1);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let y0 = _mm256_fmadd_pd(a, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), y0);
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Fused four-row axpy; the FMA chain nests in row order per element, so
+    /// the result is bitwise identical to four sequential [`axpy`] calls.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA; all slices must have equal lengths (checked by
+    /// the public wrapper).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy4(
+        alpha: [f64; 4],
+        x0: &[f64],
+        x1: &[f64],
+        x2: &[f64],
+        x3: &[f64],
+        y: &mut [f64],
+    ) {
+        let n = y.len();
+        let a0 = _mm256_set1_pd(alpha[0]);
+        let a1 = _mm256_set1_pd(alpha[1]);
+        let a2 = _mm256_set1_pd(alpha[2]);
+        let a3 = _mm256_set1_pd(alpha[3]);
+        let p0 = x0.as_ptr();
+        let p1 = x1.as_ptr();
+        let p2 = x2.as_ptr();
+        let p3 = x3.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let mut v = _mm256_loadu_pd(yp.add(i));
+            v = _mm256_fmadd_pd(a0, _mm256_loadu_pd(p0.add(i)), v);
+            v = _mm256_fmadd_pd(a1, _mm256_loadu_pd(p1.add(i)), v);
+            v = _mm256_fmadd_pd(a2, _mm256_loadu_pd(p2.add(i)), v);
+            v = _mm256_fmadd_pd(a3, _mm256_loadu_pd(p3.add(i)), v);
+            _mm256_storeu_pd(yp.add(i), v);
+            i += 4;
+        }
+        while i < n {
+            // Separate multiply-then-add per row, matching the scalar tail of
+            // sequential `axpy` calls bit for bit.
+            let mut v = *yp.add(i);
+            v += alpha[0] * *p0.add(i);
+            v += alpha[1] * *p1.add(i);
+            v += alpha[2] * *p2.add(i);
+            v += alpha[3] * *p3.add(i);
+            *yp.add(i) = v;
+            i += 1;
+        }
     }
 }
 
 /// `y ← alpha * y`.
 #[inline]
 pub fn scale(alpha: f64, y: &mut [f64]) {
-    for yi in y.iter_mut() {
+    let mut blocks = y.chunks_exact_mut(4);
+    for yb in blocks.by_ref() {
+        yb[0] *= alpha;
+        yb[1] *= alpha;
+        yb[2] *= alpha;
+        yb[3] *= alpha;
+    }
+    for yi in blocks.into_remainder() {
         *yi *= alpha;
     }
 }
@@ -152,10 +907,86 @@ mod tests {
     }
 
     #[test]
+    fn dot_simd_path_agrees_with_scalar() {
+        // Lengths straddling the 16-wide main loop, 4-wide secondary loop
+        // and scalar tail of the SIMD kernel. On non-AVX2 hosts this
+        // degenerates to scalar-vs-scalar and still passes.
+        for n in [8usize, 15, 16, 17, 31, 64, 100, 1023] {
+            let a: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) as f64 * 0.29).cos()).collect();
+            let fast = dot(&a, &b);
+            let slow = scalar_dot(&a, &b);
+            let scale = slow.abs().max(1.0);
+            assert!(
+                (fast - slow).abs() <= 1e-12 * scale,
+                "n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_simd_path_agrees_with_scalar() {
+        for n in [8usize, 15, 17, 64, 257] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 5 + 3) as f64 * 0.41).sin()).collect();
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+            let mut fast = base.clone();
+            axpy(1.7, &x, &mut fast);
+            let mut slow = base.clone();
+            scalar_axpy(1.7, &x, &mut slow);
+            for i in 0..n {
+                assert!((fast[i] - slow[i]).abs() <= 1e-12, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot4_bitwise_matches_dot() {
+        // Awkward lengths (not multiples of 4) exercise the tail path; 23
+        // takes the SIMD path on AVX2 hosts, 5 stays scalar.
+        for n in [5usize, 23] {
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| {
+                    (0..n)
+                        .map(|i| ((i * 7 + r * 13 + 1) as f64).sin() * 3.7)
+                        .collect()
+                })
+                .collect();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) as f64).cos() * 1.9).collect();
+            let fused = dot4(&rows[0], &rows[1], &rows[2], &rows[3], &b);
+            for r in 0..4 {
+                assert_eq!(
+                    fused[r],
+                    dot(&rows[r], &b),
+                    "n={n} row {r} not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn axpy_accumulates() {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, 4.0], &mut y);
         assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy4_bitwise_matches_sequential_axpy() {
+        // 19 takes the SIMD path on AVX2 hosts, 6 stays scalar; both must
+        // match four sequential axpy calls bit for bit.
+        for n in [6usize, 19] {
+            let alpha = [0.3, -1.7, 2.9, 0.01];
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| (0..n).map(|i| ((i + r * 5) as f64).sin()).collect())
+                .collect();
+            let mut fused: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let mut seq = fused.clone();
+            axpy4(alpha, &rows[0], &rows[1], &rows[2], &rows[3], &mut fused);
+            for r in 0..4 {
+                axpy(alpha[r], &rows[r], &mut seq);
+            }
+            assert_eq!(fused, seq, "n={n}");
+        }
     }
 
     #[test]

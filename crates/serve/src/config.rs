@@ -42,12 +42,19 @@ pub struct ServeConfig {
     /// processed points (and once more on shutdown). `0` disables periodic
     /// publication (shutdown still publishes).
     pub snapshot_every: u64,
+    /// Upper bound on the shard worker's micro-batch: after blocking for one
+    /// job, the worker opportunistically drains up to `max_batch − 1` more
+    /// already-queued jobs and scores them through the detector's batched
+    /// path (one blocked `V_kᵀY` matmul per batch). Scores are bitwise
+    /// identical to per-point processing; `1` disables micro-batching.
+    /// Must be ≥ 1.
+    pub max_batch: usize,
 }
 
 impl ServeConfig {
     /// Config with `shards` workers and defaults: queue capacity 1024,
     /// blocking backpressure, round-robin partitioning, snapshots every
-    /// 256 points.
+    /// 256 points, micro-batches of up to 64 queued points.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
@@ -55,6 +62,7 @@ impl ServeConfig {
             backpressure: BackpressurePolicy::Block,
             partition: PartitionStrategy::RoundRobin,
             snapshot_every: 256,
+            max_batch: 64,
         }
     }
 
@@ -86,6 +94,13 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the worker micro-batch ceiling (1 = score strictly per point).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.shards == 0 {
             return Err(ServeError::InvalidConfig("shards must be >= 1".into()));
@@ -94,6 +109,9 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig(
                 "queue_capacity must be >= 1".into(),
             ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
         }
         Ok(())
     }
@@ -122,7 +140,9 @@ mod tests {
             .with_queue_capacity(0)
             .validate()
             .is_err());
+        assert!(ServeConfig::new(1).with_max_batch(0).validate().is_err());
         assert!(ServeConfig::new(1).validate().is_ok());
+        assert!(ServeConfig::new(1).with_max_batch(1).validate().is_ok());
     }
 
     #[test]

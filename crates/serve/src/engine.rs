@@ -182,6 +182,7 @@ impl ServeEngine {
             let shared = Arc::new(ShardShared::default());
             let worker_shared = Arc::clone(&shared);
             let snapshot_every = config.snapshot_every;
+            let max_batch = config.max_batch;
             let obs = match &recorder {
                 Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
                 None => RecorderHandle::default(),
@@ -190,7 +191,15 @@ impl ServeEngine {
             let join = std::thread::Builder::new()
                 .name(format!("sketchad-shard-{idx}"))
                 .spawn(move || {
-                    run_worker(idx, rx, detector, worker_shared, snapshot_every, worker_obs)
+                    run_worker(
+                        idx,
+                        rx,
+                        detector,
+                        worker_shared,
+                        snapshot_every,
+                        max_batch,
+                        worker_obs,
+                    )
                 })
                 .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
             shards.push(ShardHandle {
@@ -669,6 +678,30 @@ mod tests {
         if outcome.dropped > 0 {
             assert!(obs.event_count("queue_dropped") > 0);
         }
+    }
+
+    #[test]
+    fn micro_batching_does_not_change_scores() {
+        // The worker's micro-batch path must be bitwise identical to strict
+        // per-point processing, whatever batch sizes the queue happens to
+        // yield.
+        let run = |max_batch: usize| -> Vec<u64> {
+            let config = ServeConfig::new(2)
+                .with_snapshot_every(8)
+                .with_max_batch(max_batch);
+            let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+            engine.submit_batch((0..300).map(wave)).unwrap();
+            let report = engine.finish().unwrap();
+            report
+                .scores_in_order()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        };
+        let strict = run(1);
+        assert_eq!(strict.len(), 300);
+        assert_eq!(strict, run(64), "max_batch=64 diverged");
+        assert_eq!(strict, run(7), "max_batch=7 diverged");
     }
 
     #[test]

@@ -63,29 +63,74 @@ pub(crate) struct ShardOutput {
 /// `&mut`, and single ownership is what makes per-shard score sequences
 /// deterministic. Concurrent readers are served through the snapshot cell
 /// instead.
+///
+/// With `max_batch > 1` the worker micro-batches: after blocking for one
+/// job it opportunistically drains up to `max_batch − 1` already-queued
+/// jobs and scores the group through
+/// [`StreamingDetector::process_batch`], whose blocked `V_kᵀY` kernel
+/// yields scores bitwise identical to per-point processing. Instrumented
+/// workers always run per point so recorded span and gauge counts match
+/// the per-point contract exactly.
 pub(crate) fn run_worker(
     shard: usize,
     rx: Receiver<Job>,
     mut detector: Box<dyn StreamingDetector + Send>,
     shared: Arc<ShardShared>,
     snapshot_every: u64,
+    max_batch: usize,
     recorder: RecorderHandle,
 ) -> ShardOutput {
     let mut scores = Vec::new();
     let mut latency = LatencyHistogram::new();
     let observing = recorder.enabled();
 
-    while let Ok(job) = rx.recv() {
-        let score = detector.process(&job.point);
-        let depth_after = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
-        let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
-        latency.record(job.enqueued.elapsed());
-        scores.push((job.seq, score));
-        if observing {
-            recorder.gauge(Gauge::QueueDepth, depth_after as f64);
+    if observing || max_batch <= 1 {
+        while let Ok(job) = rx.recv() {
+            let score = detector.process(&job.point);
+            let depth_after = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
+            latency.record(job.enqueued.elapsed());
+            scores.push((job.seq, score));
+            if observing {
+                recorder.gauge(Gauge::QueueDepth, depth_after as f64);
+            }
+            if snapshot_every > 0 && processed.is_multiple_of(snapshot_every) {
+                publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
+            }
         }
-        if snapshot_every > 0 && processed % snapshot_every == 0 {
-            publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
+    } else {
+        // Reused across batches: the only steady-state allocations left are
+        // the point vectors themselves, owned by the submitter.
+        let mut batch_points: Vec<Vec<f64>> = Vec::with_capacity(max_batch);
+        let mut batch_meta: Vec<(u64, Instant)> = Vec::with_capacity(max_batch);
+        let mut batch_scores: Vec<f64> = Vec::with_capacity(max_batch);
+        while let Ok(job) = rx.recv() {
+            batch_points.clear();
+            batch_meta.clear();
+            batch_meta.push((job.seq, job.enqueued));
+            batch_points.push(job.point);
+            while batch_points.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        batch_meta.push((job.seq, job.enqueued));
+                        batch_points.push(job.point);
+                    }
+                    Err(_) => break,
+                }
+            }
+            let n = batch_points.len() as u64;
+            detector.process_batch(&batch_points, &mut batch_scores);
+            shared.depth.fetch_sub(n as usize, Ordering::Relaxed);
+            let before = shared.processed.fetch_add(n, Ordering::Relaxed);
+            for (&(seq, enqueued), &score) in batch_meta.iter().zip(batch_scores.iter()) {
+                latency.record(enqueued.elapsed());
+                scores.push((seq, score));
+            }
+            // Publish when the batch crossed a `snapshot_every` boundary —
+            // same cadence (one publish per period) as the per-point loop.
+            if snapshot_every > 0 && before / snapshot_every != (before + n) / snapshot_every {
+                publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
+            }
         }
     }
 

@@ -7,7 +7,8 @@
 //! alive for as long as any reader holds the `Arc`, even if the shard
 //! publishes ten newer generations meanwhile.
 
-use sketchad_core::{ScoreKind, SubspaceModel};
+use sketchad_core::{ScoreKind, ScoreScratch, SubspaceModel};
+use sketchad_linalg::Matrix;
 use std::sync::{Arc, RwLock};
 
 /// A slot holding the latest published model for one shard.
@@ -74,6 +75,52 @@ impl SnapshotScorer {
         self.cell.load().map(|m| self.score.evaluate(&m, y))
     }
 
+    /// Scores every row of `ys` against **one** snapshot generation (a
+    /// single cell load for the whole batch) through the model's blocked
+    /// `V_kᵀY` kernel. Appends to `out` after clearing it; `scratch` is
+    /// caller-owned, so steady-state batch scoring allocates nothing.
+    ///
+    /// Returns `false` (with `out` empty) until the shard has published a
+    /// model. Scores are bitwise identical to [`Self::score`] per row.
+    pub fn score_batch_into(
+        &self,
+        ys: &Matrix,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        match self.cell.load() {
+            Some(m) => {
+                m.score_batch_into(ys, self.score, scratch, out);
+                true
+            }
+            None => {
+                out.clear();
+                false
+            }
+        }
+    }
+
+    /// Row-slice variant of [`Self::score_batch_into`]: stages `rows` into
+    /// the scratch's reusable matrix, then scores them against one snapshot
+    /// generation.
+    pub fn score_rows_into(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        match self.cell.load() {
+            Some(m) => {
+                m.score_rows_into(rows, self.score, scratch, out);
+                true
+            }
+            None => {
+                out.clear();
+                false
+            }
+        }
+    }
+
     /// The latest snapshot itself.
     pub fn model(&self) -> Option<Arc<SubspaceModel>> {
         self.cell.load()
@@ -123,6 +170,34 @@ mod tests {
         assert!(Arc::ptr_eq(&held, &first));
         assert!(held.projection_distance_sq(&[1.0; 6]).is_finite());
         assert_eq!(cell.generation(), 2);
+    }
+
+    #[test]
+    fn batch_scorer_matches_per_point_bitwise() {
+        let cell = Arc::new(SnapshotCell::new());
+        let scorer = SnapshotScorer::new(Arc::clone(&cell), ScoreKind::RelativeProjection);
+        let mut scratch = ScoreScratch::new();
+        let mut out = vec![1.0; 3]; // stale contents must be cleared
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..6).map(|j| ((i * 6 + j) as f64 * 0.21).sin()).collect())
+            .collect();
+        // No model yet: both batch entry points report absence.
+        assert!(!scorer.score_rows_into(&rows, &mut scratch, &mut out));
+        assert!(out.is_empty());
+        let ys = Matrix::from_rows(&rows).unwrap();
+        assert!(!scorer.score_batch_into(&ys, &mut scratch, &mut out));
+        assert!(out.is_empty());
+
+        cell.publish(Arc::new(trained_model()));
+        assert!(scorer.score_rows_into(&rows, &mut scratch, &mut out));
+        assert_eq!(out.len(), rows.len());
+        for (row, &got) in rows.iter().zip(out.iter()) {
+            let want = scorer.score(row).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        let mut out2 = Vec::new();
+        assert!(scorer.score_batch_into(&ys, &mut scratch, &mut out2));
+        assert_eq!(out, out2);
     }
 
     #[test]

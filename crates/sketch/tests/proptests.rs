@@ -172,6 +172,37 @@ proptest! {
         prop_assert_eq!(d5.sketch(), s5.sketch(), "window parity");
     }
 
+    /// The online shrink certificate sandwiches the Gram deficit on
+    /// arbitrary streams: 0 ⪯ AᵀA − BᵀB ⪯ Σδ·I, so for every probe x,
+    /// 0 ≤ xᵀ(AᵀA − BᵀB)x ≤ shrink_delta_sum · ‖x‖². This is the invariant
+    /// the amortized (2ℓ-buffered) shrink schedule must preserve.
+    #[test]
+    fn shrink_delta_sum_bounds_gram_deficit(
+        rows in stream_strategy(80, 5),
+        ell in 2usize..6,
+    ) {
+        let a = to_matrix(&rows);
+        let mut fd = FrequentDirections::new(ell, 5);
+        for r in &rows {
+            fd.update(r);
+        }
+        let diff = a.gram().sub(&fd.sketch().gram()).unwrap();
+        let delta = fd.shrink_delta_sum();
+        let mass = a.squared_frobenius_norm();
+        prop_assert!(delta >= 0.0);
+        for p in 0..6usize {
+            let x: Vec<f64> = (0..5).map(|i| ((i * 7 + p * 3 + 1) as f64).sin()).collect();
+            let nx: f64 = x.iter().map(|v| v * v).sum();
+            let dx = diff.matvec(&x);
+            let quad: f64 = x.iter().zip(dx.iter()).map(|(u, v)| u * v).sum();
+            // Underestimate side (gram_is_underestimate, now on arbitrary data)…
+            prop_assert!(quad >= -1e-7 * (1.0 + mass), "probe {}: quad {}", p, quad);
+            // …and the Σδ certificate dominates the deficit.
+            prop_assert!(quad <= delta * nx * (1.0 + 1e-8) + 1e-7 * (1.0 + mass),
+                "probe {}: quad {} exceeds Σδ·‖x‖² = {}", p, quad, delta * nx);
+        }
+    }
+
     /// FD merge equals feeding the concatenated stream, up to the FD error
     /// bound on the concatenation.
     #[test]
