@@ -30,7 +30,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("shards", shards), |b| {
             b.iter(|| {
                 let config = ServeConfig::new(shards).with_queue_capacity(512);
-                let mut engine = ServeEngine::start(config, |_| {
+                let mut engine = ServeEngine::start(config, move |_| {
                     Box::new(
                         DetectorConfig::new(4, 32)
                             .with_warmup(200)

@@ -1,0 +1,262 @@
+//! CI gate over the committed `results/` artifacts: every JSON file must
+//! parse and carry the keys downstream tooling (plots, dashboards, the
+//! perf-baseline diff) relies on. Catches the failure mode where a bench
+//! binary's output shape drifts but the stale committed artifact — or a
+//! half-written one — goes unnoticed until a plot script breaks weeks
+//! later.
+//!
+//! Checked shapes:
+//!
+//! * `OBS_*.json` — must round-trip through the real `ObsArtifact`
+//!   deserializer and carry the current `sketchad-obs/v1` schema tag.
+//! * `BENCH_*.json` — `id` matching the file stem, a non-empty
+//!   `description`, and a non-empty `cases` or `runs` array.
+//! * experiment artifacts (`f*.json`, `t*.json`, `a*.json`) — `id`
+//!   matching the file stem, `description`, and a non-empty `results`
+//!   array whose entries are objects.
+//!
+//! Exits non-zero listing every violation (not just the first), so one CI
+//! run shows the full damage.
+
+use serde::Value;
+use sketchad_obs::{ObsArtifact, OBS_SCHEMA};
+use std::path::Path;
+
+fn get<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn get_str<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
+    match get(value, key)? {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Checks one artifact; returns the violations found in it.
+fn check_file(path: &Path) -> Vec<String> {
+    let name = path.file_name().unwrap_or_default().to_string_lossy();
+    let stem = path.file_stem().unwrap_or_default().to_string_lossy();
+    let mut violations = Vec::new();
+    let mut violation = |msg: String| violations.push(format!("{name}: {msg}"));
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            violation(format!("unreadable: {e}"));
+            return violations;
+        }
+    };
+
+    if name.starts_with("OBS_") {
+        // The strongest check available: the real deserializer.
+        match serde_json::from_str::<ObsArtifact>(&text) {
+            Ok(artifact) => {
+                if artifact.schema != OBS_SCHEMA {
+                    violation(format!(
+                        "schema tag {:?} (expected {OBS_SCHEMA:?})",
+                        artifact.schema
+                    ));
+                }
+                if artifact.command.is_empty() {
+                    violation("empty command".to_string());
+                }
+            }
+            Err(e) => violation(format!("not a valid ObsArtifact: {e}")),
+        }
+        return violations;
+    }
+
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            violation(format!("invalid JSON: {e}"));
+            return violations;
+        }
+    };
+    if value.as_object().is_none() {
+        violation(format!("top level is {}, expected object", value.kind()));
+        return violations;
+    }
+    match get_str(&value, "id") {
+        Some(id) if id == stem => {}
+        Some(id) => violation(format!("id {id:?} does not match file stem {stem:?}")),
+        None => violation("missing string key \"id\"".to_string()),
+    }
+    match get_str(&value, "description") {
+        Some(d) if !d.is_empty() => {}
+        Some(_) => violation("empty description".to_string()),
+        None => violation("missing string key \"description\"".to_string()),
+    }
+
+    if name.starts_with("BENCH_") {
+        // A bench artifact carries its data as `cases` (kernel/score
+        // benches) or `runs` (the serve scaling sweep).
+        let rows = get(&value, "cases").or_else(|| get(&value, "runs"));
+        match rows.and_then(Value::as_array) {
+            Some([]) => violation("empty cases/runs array".to_string()),
+            Some(rows) => {
+                for (i, row) in rows.iter().enumerate() {
+                    if row.as_object().is_none() {
+                        violation(format!(
+                            "cases/runs[{i}] is {}, expected object",
+                            row.kind()
+                        ));
+                    }
+                }
+            }
+            None => violation("missing array key \"cases\" or \"runs\"".to_string()),
+        }
+    } else {
+        // Experiment figure/table artifacts: flat rows in `results`,
+        // grouped curves in `series`; either may be empty but not both.
+        let results = get(&value, "results").and_then(Value::as_array);
+        let series = get(&value, "series").and_then(Value::as_array);
+        match (results, series) {
+            (None, None) => violation("missing array key \"results\" (or \"series\")".to_string()),
+            (r, s) => {
+                if r.is_none_or(|a| a.is_empty()) && s.is_none_or(|a| a.is_empty()) {
+                    violation("both results and series are empty".to_string());
+                }
+                for (i, row) in r.unwrap_or_default().iter().enumerate() {
+                    if row.as_object().is_none() {
+                        violation(format!("results[{i}] is {}, expected object", row.kind()));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let root = Path::new(&root);
+    if !root.is_dir() {
+        eprintln!("schema_check: {} is not a directory", root.display());
+        std::process::exit(2);
+    }
+    let mut paths: Vec<_> = match std::fs::read_dir(root) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("schema_check: cannot read {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("schema_check: no JSON artifacts under {}", root.display());
+        std::process::exit(2);
+    }
+    let mut all_violations = Vec::new();
+    for path in &paths {
+        all_violations.extend(check_file(path));
+    }
+    if all_violations.is_empty() {
+        println!("schema_check: {} artifact(s) OK", paths.len());
+    } else {
+        eprintln!(
+            "schema_check: {} violation(s) across {} artifact(s):",
+            all_violations.len(),
+            paths.len()
+        );
+        for v in &all_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, name: &str, content: &str) -> std::path::PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("schema_check_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn valid_artifacts_pass() {
+        let dir = tmpdir("ok");
+        let f = write(
+            &dir,
+            "f9.json",
+            r#"{"id":"f9","description":"a figure","results":[{"auc":0.9}]}"#,
+        );
+        assert!(check_file(&f).is_empty(), "{:?}", check_file(&f));
+        let b = write(
+            &dir,
+            "BENCH_x.json",
+            r#"{"id":"BENCH_x","description":"bench","cases":[{"kernel":"dot"}]}"#,
+        );
+        assert!(check_file(&b).is_empty(), "{:?}", check_file(&b));
+    }
+
+    #[test]
+    fn violations_are_specific() {
+        let dir = tmpdir("bad");
+        let wrong_id = write(
+            &dir,
+            "f9.json",
+            r#"{"id":"f8","description":"d","results":[{"a":1}]}"#,
+        );
+        assert!(check_file(&wrong_id)[0].contains("does not match file stem"));
+        let empty = write(
+            &dir,
+            "BENCH_y.json",
+            r#"{"id":"BENCH_y","description":"d","cases":[]}"#,
+        );
+        assert!(check_file(&empty)[0].contains("empty cases/runs"));
+        let garbage = write(&dir, "t9.json", "not json");
+        assert!(check_file(&garbage)[0].contains("invalid JSON"));
+    }
+
+    #[test]
+    fn obs_artifacts_use_the_real_deserializer() {
+        let dir = tmpdir("obs");
+        let bad = write(&dir, "OBS_x.json", r#"{"schema":"sketchad-obs/v1"}"#);
+        assert!(check_file(&bad)[0].contains("not a valid ObsArtifact"));
+        // A real artifact round-trips.
+        let artifact = ObsArtifact::new("schema_check_test", Default::default());
+        let good = write(
+            &dir,
+            "OBS_y.json",
+            &serde_json::to_string(&artifact).unwrap(),
+        );
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+    }
+
+    #[test]
+    fn committed_artifacts_validate() {
+        // The real gate, inline: if this fails, a committed artifact broke
+        // schema (or this checker drifted from the writers).
+        let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(results).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|x| x == "json") {
+                let violations = check_file(&path);
+                assert!(violations.is_empty(), "{violations:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no committed artifacts found");
+    }
+}

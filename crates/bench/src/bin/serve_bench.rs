@@ -111,7 +111,8 @@ fn main() {
     let mut one_shard_rate = None;
     for shards in [1usize, 2, 4, 8] {
         let config = ServeConfig::new(shards).with_queue_capacity(queue_capacity);
-        let mut engine = ServeEngine::start(config, |_| build_detector(d)).expect("engine start");
+        let mut engine =
+            ServeEngine::start(config, move |_| build_detector(d)).expect("engine start");
         let started = Instant::now();
         engine.submit_batch(points.iter().cloned()).expect("submit");
         let report = engine.finish().expect("drain");
@@ -179,9 +180,10 @@ fn main() {
     let config = ServeConfig::new(obs_shards)
         .with_queue_capacity(queue_capacity)
         .with_snapshot_every(512);
-    let mut engine =
-        ServeEngine::start_instrumented(config, |_shard, recorder| build_instrumented(d, recorder))
-            .expect("engine start");
+    let mut engine = ServeEngine::start_instrumented(config, move |_shard, recorder| {
+        build_instrumented(d, recorder)
+    })
+    .expect("engine start");
     engine.submit_batch(points.iter().cloned()).expect("submit");
     let report = engine.finish().expect("drain");
     let obs = report

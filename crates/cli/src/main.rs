@@ -40,11 +40,11 @@ const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [o
            [--save-model FILE] [--metrics-out FILE] [--normalize] [--quiet]
   apply    --model FILE --input FILE [--output FILE] [--quiet]
   pipeline (--input FILE | --dataset NAME [--small]) [--shards N]
-           [--queue N] [--policy block|drop] [--partition rr|hash]
+           [--queue N] [--on-overload block|drop|shed] [--partition rr|hash]
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
-           [--max-batch N] [--output FILE] [--stats-json FILE]
-           [--metrics-out FILE] [--quiet]
+           [--max-batch N] [--max-restarts N] [--output FILE]
+           [--stats-json FILE] [--metrics-out FILE] [--quiet]
   datasets";
 
 /// Points scored per batched call in `score`/`apply` — large enough to
@@ -414,11 +414,26 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
     let max_batch: usize = p
         .get_parse_or("max-batch", 64, "positive integer")
         .map_err(|e| e.to_string())?;
-    let policy = match p.get_or("policy", "block") {
+    // `--on-overload` is the documented spelling; `--policy` is kept as a
+    // compatible alias from before load-shedding existed.
+    let policy_name = p
+        .options
+        .get("on-overload")
+        .map(String::as_str)
+        .unwrap_or_else(|| p.get_or("policy", "block"));
+    let policy = match policy_name {
         "block" => BackpressurePolicy::Block,
         "drop" => BackpressurePolicy::DropNewest,
-        other => return Err(format!("unknown policy {other:?} (block|drop)")),
+        "shed" => BackpressurePolicy::ShedOldest,
+        other => {
+            return Err(format!(
+                "unknown overload policy {other:?} (block|drop|shed)"
+            ))
+        }
     };
+    let max_restarts: u32 = p
+        .get_parse_or("max-restarts", 2, "integer")
+        .map_err(|e| e.to_string())?;
     let partition = match p.get_or("partition", "rr") {
         "rr" => PartitionStrategy::RoundRobin,
         "hash" => {
@@ -456,13 +471,20 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .with_backpressure(policy)
         .with_partition(partition)
         .with_snapshot_every(snapshot_every)
-        .with_max_batch(max_batch);
+        .with_max_batch(max_batch)
+        .with_max_restarts(max_restarts);
     let metrics_out = p.options.get("metrics-out").cloned();
-    let factory_err = std::cell::RefCell::new(None::<String>);
+    // Validate up front: the factory also rebuilds detectors after worker
+    // panics (on the worker thread), so it must be infallible — and
+    // `Send + 'static`, hence the owned captures below.
+    if !matches!(sketch_name.as_str(), "fd" | "rp" | "cs" | "rs") {
+        return Err(format!("unknown sketch {sketch_name:?} (fd|rp|cs|rs)"));
+    }
     // One factory serves both the plain and the instrumented engine: the
     // recorder (per-shard, provided by `start_instrumented`) is installed on
     // the detector when present.
-    let build = |recorder: Option<RecorderHandle>| -> Box<dyn StreamingDetector + Send> {
+    let factory_sketch = sketch_name.clone();
+    let build = move |recorder: Option<RecorderHandle>| -> Box<dyn StreamingDetector + Send> {
         macro_rules! build_detector {
             ($builder:ident) => {{
                 let det = cfg.$builder(dim);
@@ -472,28 +494,19 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
                 }
             }};
         }
-        match sketch_name.as_str() {
+        match factory_sketch.as_str() {
             "fd" => build_detector!(build_fd),
             "rp" => build_detector!(build_rp),
             "cs" => build_detector!(build_cs),
-            "rs" => build_detector!(build_rs),
-            other => {
-                *factory_err.borrow_mut() = Some(format!("unknown sketch {other:?} (fd|rp|cs|rs)"));
-                // Placeholder so start() can finish; the error below wins.
-                build_detector!(build_fd)
-            }
+            _ => build_detector!(build_rs),
         }
     };
     let mut engine = if metrics_out.is_some() {
-        ServeEngine::start_instrumented(serve_config, |_shard, recorder| build(Some(recorder)))
+        ServeEngine::start_instrumented(serve_config, move |_shard, recorder| build(Some(recorder)))
     } else {
-        ServeEngine::start(serve_config, |_shard| build(None))
+        ServeEngine::start(serve_config, move |_shard| build(None))
     }
     .map_err(|e| e.to_string())?;
-    if let Some(err) = factory_err.into_inner() {
-        let _ = engine.finish();
-        return Err(err);
-    }
 
     let started = std::time::Instant::now();
     let batch = engine
@@ -507,19 +520,43 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         let rate = stats.total_processed as f64 / elapsed.as_secs_f64().max(1e-9);
         println!(
             "pipeline: {} points (d={}) through {shards} shard(s) in {:.2}s — {:.0} points/s",
-            batch.accepted + batch.dropped,
+            batch.submitted(),
             dim,
             elapsed.as_secs_f64(),
             rate
         );
         println!(
-            "processed {} / dropped {} | latency p50 {:.1} µs, p99 {:.1} µs",
-            stats.total_processed, stats.total_dropped, stats.latency_p50_us, stats.latency_p99_us
+            "processed {} / dropped {} / rejected {} / shed {} | latency p50 {:.1} µs, p99 {:.1} µs",
+            stats.total_processed,
+            stats.total_dropped,
+            stats.total_rejected,
+            stats.total_shed,
+            stats.latency_p50_us,
+            stats.latency_p99_us
         );
+        if stats.total_restarts > 0 || !stats.degraded_shards.is_empty() {
+            println!(
+                "faults: {} worker restart(s), {} point(s) lost in crashes, degraded shards {:?}",
+                stats.total_restarts, stats.total_crash_lost, stats.degraded_shards
+            );
+        }
+        if report.quarantine.total() > 0 {
+            println!(
+                "quarantine: {} row(s) rejected ({} retained for inspection)",
+                report.quarantine.total(),
+                report.quarantine.len()
+            );
+        }
         for s in &stats.shards {
             println!(
-                "  shard {}: processed {}, dropped {}, queue high-water {}",
-                s.shard, s.processed, s.dropped, s.queue_high_water
+                "  shard {}: processed {}, dropped {}, rejected {}, shed {}, queue high-water {}{}",
+                s.shard,
+                s.processed,
+                s.dropped,
+                s.rejected,
+                s.shed,
+                s.queue_high_water,
+                if s.degraded { " [degraded]" } else { "" }
             );
         }
     }

@@ -102,7 +102,10 @@ impl StreamingDetector for OjaDetector {
             }
         }
         self.processed += 1;
-        if self.processed.is_multiple_of(self.orthonormalize_every as u64) {
+        if self
+            .processed
+            .is_multiple_of(self.orthonormalize_every as u64)
+        {
             self.reorthonormalize();
         }
         score

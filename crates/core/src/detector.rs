@@ -47,6 +47,20 @@ pub trait StreamingDetector {
         None
     }
 
+    /// Installs a previously-built model into a fresh detector, so a
+    /// restarted worker resumes scoring from its last published snapshot
+    /// instead of emitting warmup zeros while its sketch refills.
+    ///
+    /// Returns `false` (and changes nothing) for detector kinds that have no
+    /// model to adopt, or when `model.dim() != self.dim()`. Implementations
+    /// that return `true` must make the adopted model take effect
+    /// immediately — `score_only` works and `process` scores against it —
+    /// and may replace it with a self-built model at their next refresh.
+    fn adopt_model(&mut self, model: &SubspaceModel) -> bool {
+        let _ = model;
+        false
+    }
+
     /// Scores a batch of points, folding each into the detector state, and
     /// appends the scores to `out` (after clearing it).
     ///

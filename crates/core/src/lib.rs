@@ -46,6 +46,9 @@
 //! * [`threshold`] — P² streaming quantile + alerting wrapper.
 //! * [`normalize`] — online z-scoring wrapper.
 //! * [`config`] — [`DetectorConfig`] builder entry point.
+//! * [`validate`] — input hygiene ([`validate_point`]) for serving layers:
+//!   non-finite and wrong-dimension rows are detected *before* they can
+//!   poison a sketch or panic a worker.
 //! * [`detector`] — the [`StreamingDetector`] trait every detector
 //!   implements: mutating [`process`](StreamingDetector::process) plus the
 //!   pure-read [`score_only`](StreamingDetector::score_only) used by
@@ -76,6 +79,7 @@ pub mod score;
 pub mod sketched;
 pub mod subspace;
 pub mod threshold;
+pub mod validate;
 
 /// Re-export of the observability layer (`sketchad-obs`) so downstream
 /// crates can instrument detectors without a separate dependency:
@@ -93,3 +97,4 @@ pub use score::ScoreKind;
 pub use sketched::{DecayConfig, SketchDetector, UpdatePolicy};
 pub use subspace::{ScoreScratch, SubspaceModel};
 pub use threshold::{Alert, QuantileEstimator, ThresholdedDetector};
+pub use validate::{validate_point, InputViolation};

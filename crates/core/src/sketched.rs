@@ -397,6 +397,22 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
         SketchDetector::score_only(self, y)
     }
 
+    /// Restart-from-snapshot support: installs `model` as the current
+    /// subspace model and waives warmup, so a detector rebuilt after a
+    /// worker crash scores incoming points against the adopted (stale)
+    /// model immediately instead of emitting warmup zeros. The refresh
+    /// schedule is reset; the next refresh replaces the adopted model with
+    /// one built from the post-restart sketch.
+    fn adopt_model(&mut self, model: &SubspaceModel) -> bool {
+        if model.dim() != self.dim() {
+            return false;
+        }
+        self.model = Some(model.clone());
+        self.warmup = 0;
+        self.since_refresh = 0;
+        true
+    }
+
     /// Batched processing: scores run through `SubspaceModel`'s blocked
     /// `V_kᵀY` kernel in chunks, folded into the sketch per point.
     ///
@@ -961,6 +977,53 @@ mod tests {
             assert_eq!(g.to_bits(), e.to_bits(), "point {j}");
         }
         assert_eq!(batched.skipped_updates(), per_point.skipped_updates());
+    }
+
+    #[test]
+    fn adopt_model_waives_warmup_and_scores_immediately() {
+        let d = 8;
+        let make = |dim: usize| {
+            SketchDetector::new(
+                FrequentDirections::new(8, dim),
+                2,
+                ScoreKind::RelativeProjection,
+                RefreshPolicy::Periodic { period: 8 },
+                16,
+            )
+        };
+        let mut donor = make(d);
+        let mut e0 = vec![0.0; d];
+        e0[0] = 3.0;
+        for _ in 0..64 {
+            donor.process(&e0);
+        }
+        let model = donor.model().expect("donor trained").clone();
+
+        // A dimension mismatch is refused and changes nothing.
+        let mut wrong = make(d + 1);
+        assert!(!wrong.adopt_model(&model));
+        assert!(!wrong.is_warmed_up());
+
+        // Adoption makes a fresh detector score immediately, bitwise equal
+        // to the donor's read-only scores against the same model.
+        let mut fresh = make(d);
+        assert!(fresh.score_only(&e0).is_none());
+        assert!(StreamingDetector::adopt_model(&mut fresh, &model));
+        assert!(fresh.is_warmed_up());
+        let mut probe = vec![0.0; d];
+        probe[1] = 2.0;
+        assert_eq!(
+            fresh.score_only(&probe).unwrap().to_bits(),
+            donor.score_only(&probe).unwrap().to_bits()
+        );
+        // `process` scores against the adopted model (no warmup zeros) and
+        // the refresh schedule later rebuilds from post-restart data.
+        let s = fresh.process(&probe);
+        assert!(s.is_finite() && s > 0.0);
+        for _ in 0..16 {
+            fresh.process(&probe);
+        }
+        assert!(fresh.refresh_count() >= 1, "refresh must still fire");
     }
 
     #[test]

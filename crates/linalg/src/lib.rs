@@ -52,3 +52,4 @@ pub mod vecops;
 pub use error::{LinAlgError, Result};
 pub use matrix::Matrix;
 pub use sparse::SparseVec;
+pub use vecops::active_simd_tier;

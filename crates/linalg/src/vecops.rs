@@ -34,12 +34,20 @@ const MIN_SIMD_LEN: usize = 8;
 /// measurable). The dot family prefers AVX-512 (half the loop trips at the
 /// short lengths scoring uses); the axpy family and the gemm micro-kernel
 /// are store-bound and stay on the 256-bit path.
+///
+/// Setting `SKETCHAD_FORCE_SCALAR=1` in the environment pins tier 0
+/// regardless of CPU capabilities. CI uses this to run the whole test suite
+/// down the scalar path on hardware whose feature detection would otherwise
+/// always pick the `unsafe` SIMD kernels; it is read once, at the first
+/// kernel call.
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn simd_level() -> u8 {
     static LEVEL: std::sync::OnceLock<u8> = std::sync::OnceLock::new();
     *LEVEL.get_or_init(|| {
-        if !(std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")) {
+        if force_scalar_requested()
+            || !(std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma"))
+        {
             0
         } else if std::is_x86_feature_detected!("avx512f") {
             2
@@ -49,10 +57,45 @@ fn simd_level() -> u8 {
     })
 }
 
+/// Whether `SKETCHAD_FORCE_SCALAR` asks for the scalar path.
+#[cfg(target_arch = "x86_64")]
+fn force_scalar_requested() -> bool {
+    parse_force_scalar(std::env::var("SKETCHAD_FORCE_SCALAR").ok().as_deref())
+}
+
+/// Any non-empty value other than `0` counts as a request, so `=1`, `=true`,
+/// `=yes` all work and `=0` / unset do not.
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+fn parse_force_scalar(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn simd_enabled() -> bool {
     simd_level() >= 1
+}
+
+/// The dispatch tier the kernels in this module are actually using, as a
+/// stable label: `"scalar"`, `"avx2+fma"`, or `"avx512f"`.
+///
+/// Purely diagnostic — benches and CI logs print it so a run's numbers can
+/// be attributed to the code path that produced them (and so the
+/// `SKETCHAD_FORCE_SCALAR=1` job can assert the override took effect).
+/// Calling this caches the tier, like any kernel call.
+pub fn active_simd_tier() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd_level() {
+            2 => "avx512f",
+            1 => "avx2+fma",
+            _ => "scalar",
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "scalar"
+    }
 }
 
 /// Dot product `Σ aᵢ bᵢ`.
@@ -889,6 +932,31 @@ pub fn orthogonalize_against(v: &mut [f64], basis: &[&[f64]]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn force_scalar_parsing() {
+        assert!(parse_force_scalar(Some("1")));
+        assert!(parse_force_scalar(Some("true")));
+        assert!(parse_force_scalar(Some("yes")));
+        assert!(!parse_force_scalar(Some("0")));
+        assert!(!parse_force_scalar(Some("")));
+        assert!(!parse_force_scalar(None));
+    }
+
+    #[test]
+    fn active_tier_is_a_known_label_and_stable() {
+        let tier = active_simd_tier();
+        assert!(
+            ["scalar", "avx2+fma", "avx512f"].contains(&tier),
+            "unknown tier {tier:?}"
+        );
+        // The tier is cached at first use: repeated calls must agree.
+        assert_eq!(tier, active_simd_tier());
+        // When the CI override is set, dispatch must have pinned scalar.
+        if parse_force_scalar(std::env::var("SKETCHAD_FORCE_SCALAR").ok().as_deref()) {
+            assert_eq!(tier, "scalar");
+        }
+    }
 
     #[test]
     fn dot_known_values() {

@@ -54,6 +54,42 @@ pub enum Event {
         /// The `Σδ` error certificate after this shrink.
         error_bound: f64,
     },
+    /// A submitted row failed input validation and was quarantined.
+    PointRejected {
+        /// The shard the row was routed to.
+        shard: usize,
+        /// Global submission sequence number of the rejected row.
+        seq: u64,
+        /// The violation label from `sketchad-core`'s `InputViolation`:
+        /// `"non_finite"` or `"wrong_dim"`.
+        reason: String,
+    },
+    /// The oldest queued update was evicted to admit a newer one
+    /// (`ShedOldest` policy), or an update was refused by a read-only or
+    /// degraded shard.
+    QueueShed {
+        /// The shedding shard.
+        shard: usize,
+        /// Global submission sequence number of the shed point.
+        seq: u64,
+    },
+    /// A shard worker panicked and was restarted from its last published
+    /// snapshot.
+    WorkerRestarted {
+        /// The restarted shard.
+        shard: usize,
+        /// Total restarts of this shard so far, this one included.
+        restarts: u64,
+    },
+    /// A shard exhausted its restart budget and degraded to
+    /// shed-with-count: reads still serve the stale snapshot, updates are
+    /// counted as shed.
+    ShardDegraded {
+        /// The degraded shard.
+        shard: usize,
+        /// Restarts consumed before degrading.
+        restarts: u64,
+    },
 }
 
 impl Event {
@@ -65,6 +101,10 @@ impl Event {
             Event::QueueBlocked { .. } => "queue_blocked",
             Event::QueueDropped { .. } => "queue_dropped",
             Event::SketchShrink { .. } => "sketch_shrink",
+            Event::PointRejected { .. } => "point_rejected",
+            Event::QueueShed { .. } => "queue_shed",
+            Event::WorkerRestarted { .. } => "worker_restarted",
+            Event::ShardDegraded { .. } => "shard_degraded",
         }
     }
 }
@@ -96,6 +136,20 @@ impl Serialize for Event {
             } => {
                 entries.push(("rows_seen".into(), rows_seen.to_value()));
                 entries.push(("error_bound".into(), error_bound.to_value()));
+            }
+            Event::PointRejected { shard, seq, reason } => {
+                entries.push(("shard".into(), shard.to_value()));
+                entries.push(("seq".into(), seq.to_value()));
+                entries.push(("reason".into(), reason.to_value()));
+            }
+            Event::QueueShed { shard, seq } => {
+                entries.push(("shard".into(), shard.to_value()));
+                entries.push(("seq".into(), seq.to_value()));
+            }
+            Event::WorkerRestarted { shard, restarts }
+            | Event::ShardDegraded { shard, restarts } => {
+                entries.push(("shard".into(), shard.to_value()));
+                entries.push(("restarts".into(), restarts.to_value()));
             }
         }
         Value::Object(entries)
@@ -138,6 +192,23 @@ impl Deserialize for Event {
                 rows_seen: field(entries, "rows_seen")?,
                 error_bound: field(entries, "error_bound")?,
             }),
+            "point_rejected" => Ok(Event::PointRejected {
+                shard: field(entries, "shard")?,
+                seq: field(entries, "seq")?,
+                reason: field(entries, "reason")?,
+            }),
+            "queue_shed" => Ok(Event::QueueShed {
+                shard: field(entries, "shard")?,
+                seq: field(entries, "seq")?,
+            }),
+            "worker_restarted" => Ok(Event::WorkerRestarted {
+                shard: field(entries, "shard")?,
+                restarts: field(entries, "restarts")?,
+            }),
+            "shard_degraded" => Ok(Event::ShardDegraded {
+                shard: field(entries, "shard")?,
+                restarts: field(entries, "restarts")?,
+            }),
             other => Err(DeError::custom(format!("unknown Event kind `{other}`"))),
         }
     }
@@ -176,6 +247,20 @@ mod tests {
             Event::SketchShrink {
                 rows_seen: 3,
                 error_bound: 0.5,
+            },
+            Event::PointRejected {
+                shard: 1,
+                seq: 42,
+                reason: "non_finite".into(),
+            },
+            Event::QueueShed { shard: 2, seq: 7 },
+            Event::WorkerRestarted {
+                shard: 0,
+                restarts: 1,
+            },
+            Event::ShardDegraded {
+                shard: 3,
+                restarts: 2,
             },
         ];
         for e in &events {

@@ -18,11 +18,14 @@ const STAGES: [Stage; 5] = [
     Stage::SnapshotPublish,
 ];
 
-const COUNTERS: [Counter; 4] = [
+const COUNTERS: [Counter; 7] = [
     Counter::UpdatesSkipped,
     Counter::QueueDropped,
     Counter::QueueBlocked,
     Counter::SnapshotsPublished,
+    Counter::PointsRejected,
+    Counter::PointsShed,
+    Counter::WorkerRestarts,
 ];
 
 const GAUGES: [Gauge; 4] = [
@@ -48,6 +51,9 @@ fn counter_index(counter: Counter) -> usize {
         Counter::QueueDropped => 1,
         Counter::QueueBlocked => 2,
         Counter::SnapshotsPublished => 3,
+        Counter::PointsRejected => 4,
+        Counter::PointsShed => 5,
+        Counter::WorkerRestarts => 6,
     }
 }
 
@@ -79,7 +85,7 @@ struct GaugeAgg {
 #[derive(Debug)]
 struct Inner {
     spans: [SpanAgg; 5],
-    counters: [u64; 4],
+    counters: [u64; 7],
     gauges: [Option<GaugeAgg>; 4],
     events: VecDeque<Event>,
     event_capacity: usize,
@@ -118,7 +124,7 @@ impl MetricsRecorder {
         Self {
             inner: Mutex::new(Inner {
                 spans: [SpanAgg::default(); 5],
-                counters: [0; 4],
+                counters: [0; 7],
                 gauges: [None; 4],
                 events: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
                 event_capacity: capacity,

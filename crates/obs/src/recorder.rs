@@ -51,6 +51,16 @@ pub enum Counter {
     QueueBlocked,
     /// Model snapshots published by serve shards.
     SnapshotsPublished,
+    /// Rows rejected by input validation before reaching a detector
+    /// (non-finite components or wrong dimension), quarantined instead.
+    PointsRejected,
+    /// Update points shed by overload handling: oldest-queued evictions
+    /// under `ShedOldest`, plus submissions refused while a shard is
+    /// read-only or degraded.
+    PointsShed,
+    /// Shard workers restarted from their last published snapshot after a
+    /// detector panic.
+    WorkerRestarts,
 }
 
 impl Counter {
@@ -61,6 +71,9 @@ impl Counter {
             Counter::QueueDropped => "queue_dropped",
             Counter::QueueBlocked => "queue_blocked",
             Counter::SnapshotsPublished => "snapshots_published",
+            Counter::PointsRejected => "points_rejected",
+            Counter::PointsShed => "points_shed",
+            Counter::WorkerRestarts => "worker_restarts",
         }
     }
 }
@@ -277,6 +290,9 @@ mod tests {
         // schema-version bump.
         assert_eq!(Stage::SketchUpdate.label(), "sketch_update");
         assert_eq!(Counter::QueueDropped.label(), "queue_dropped");
+        assert_eq!(Counter::PointsRejected.label(), "points_rejected");
+        assert_eq!(Counter::PointsShed.label(), "points_shed");
+        assert_eq!(Counter::WorkerRestarts.label(), "worker_restarts");
         assert_eq!(Gauge::FdErrorBound.label(), "fd_error_bound");
     }
 }

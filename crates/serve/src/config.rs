@@ -13,6 +13,12 @@ pub enum BackpressurePolicy {
     /// counter. Producers never block; scores for dropped points are never
     /// emitted.
     DropNewest,
+    /// Admit the new point by evicting the *oldest* queued point, counting
+    /// the eviction in the shard's `shed` counter. Producers never block,
+    /// and under overload the detector keeps seeing the freshest data —
+    /// the right trade for anomaly detection, where a stale backlog scores
+    /// points against a model that has already moved on.
+    ShedOldest,
 }
 
 /// How points are assigned to shards.
@@ -49,12 +55,21 @@ pub struct ServeConfig {
     /// identical to per-point processing; `1` disables micro-batching.
     /// Must be ≥ 1.
     pub max_batch: usize,
+    /// How many times a shard's panicked worker is rebuilt (resuming from
+    /// its last published snapshot) before the shard degrades to
+    /// shed-with-count. `0` means a single panic degrades the shard.
+    pub max_restarts: u32,
+    /// Upper bound on quarantined rows retained for inspection (oldest are
+    /// discarded beyond it; rejection *counts* are always exact). `0`
+    /// counts rejections without retaining any row.
+    pub quarantine_capacity: usize,
 }
 
 impl ServeConfig {
     /// Config with `shards` workers and defaults: queue capacity 1024,
     /// blocking backpressure, round-robin partitioning, snapshots every
-    /// 256 points, micro-batches of up to 64 queued points.
+    /// 256 points, micro-batches of up to 64 queued points, 2 worker
+    /// restarts per shard, 64 retained quarantine rows.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
@@ -63,6 +78,8 @@ impl ServeConfig {
             partition: PartitionStrategy::RoundRobin,
             snapshot_every: 256,
             max_batch: 64,
+            max_restarts: 2,
+            quarantine_capacity: 64,
         }
     }
 
@@ -98,6 +115,21 @@ impl ServeConfig {
     #[must_use]
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the per-shard worker restart budget (0 = degrade on first
+    /// panic).
+    #[must_use]
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Sets how many quarantined rows are retained for inspection.
+    #[must_use]
+    pub fn with_quarantine_capacity(mut self, capacity: usize) -> Self {
+        self.quarantine_capacity = capacity;
         self
     }
 

@@ -2,13 +2,15 @@
 
 use crate::config::{stable_hash, BackpressurePolicy, PartitionStrategy, ServeConfig};
 use crate::error::{panic_message, ServeError};
-use crate::shard::{run_worker, Job, ShardShared};
+use crate::quarantine::Quarantine;
+use crate::queue::{DeathWatch, JobQueue, PushError};
+use crate::shard::{run_supervised, Job, ShardShared, WorkerConfig};
 use crate::snapshot::SnapshotScorer;
 use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
-use sketchad_core::{ScoreKind, StreamingDetector, SubspaceModel};
+use sketchad_core::{validate_point, InputViolation, ScoreKind, StreamingDetector, SubspaceModel};
 use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -19,6 +21,13 @@ pub enum SubmitOutcome {
     Accepted,
     /// The point was discarded at a full queue (`DropNewest` policy only).
     Dropped,
+    /// The point failed input validation (non-finite component or wrong
+    /// dimension) and was quarantined instead of enqueued.
+    Rejected(InputViolation),
+    /// The point was an update the pipeline refused in order to stay
+    /// available: the engine is read-only, or the target shard has
+    /// degraded. Reads against published snapshots keep working.
+    Shed,
 }
 
 /// Outcome of a batched submission.
@@ -28,17 +37,33 @@ pub struct BatchOutcome {
     pub accepted: u64,
     /// Points discarded at full queues.
     pub dropped: u64,
+    /// Points quarantined by input validation.
+    pub rejected: u64,
+    /// Points shed at submit time (read-only engine or degraded shard).
+    /// `ShedOldest` evictions of *previously accepted* points are counted
+    /// in [`PipelineStats::total_shed`], not here.
+    pub shed: u64,
+}
+
+impl BatchOutcome {
+    /// Every submitted point landed exactly one way.
+    pub fn submitted(&self) -> u64 {
+        self.accepted + self.dropped + self.rejected + self.shed
+    }
 }
 
 /// Everything the pipeline produced, returned by [`ServeEngine::finish`].
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// `(sequence, score)` for every scored point, sorted by the global
-    /// submission sequence. Under `DropNewest`, dropped sequences are
-    /// simply absent.
+    /// submission sequence. Dropped, rejected, shed, and crash-lost
+    /// sequences are simply absent.
     pub scores: Vec<(u64, f64)>,
     /// Final pipeline statistics.
     pub stats: PipelineStats,
+    /// Rows input validation refused, retained up to the configured
+    /// capacity for inspection.
+    pub quarantine: Quarantine,
 }
 
 impl PipelineReport {
@@ -49,7 +74,7 @@ impl PipelineReport {
 }
 
 struct ShardHandle {
-    tx: Option<SyncSender<Job>>,
+    queue: Arc<JobQueue>,
     join: Option<JoinHandle<crate::shard::ShardOutput>>,
     shared: Arc<ShardShared>,
     /// This shard's metrics recorder; `None` on uninstrumented engines.
@@ -59,6 +84,12 @@ struct ShardHandle {
     obs: RecorderHandle,
 }
 
+/// The factory every shard shares: rebuilding a panicked shard's detector
+/// happens on the worker thread, so the factory must be `Send` and live in
+/// a mutex (builds are rare — startup and restarts — so contention is nil).
+type SharedFactory =
+    Arc<Mutex<dyn FnMut(usize, RecorderHandle) -> Box<dyn StreamingDetector + Send> + Send>>;
+
 /// Sharded concurrent serving engine.
 ///
 /// Partitions submitted points across `N` worker shards, each owning one
@@ -67,6 +98,18 @@ struct ShardHandle {
 /// score sequence deterministic; concurrent readers score against the
 /// shard's published [snapshot](crate::SnapshotScorer) instead of touching
 /// the live detector.
+///
+/// ## Failure domains
+///
+/// Submitted rows are validated before they can reach a detector: rows
+/// with non-finite components or the wrong dimension are quarantined
+/// ([`SubmitOutcome::Rejected`]) rather than poisoning the sketch. A
+/// detector panic is contained to its shard — the worker restarts from the
+/// last published snapshot up to [`ServeConfig::max_restarts`] times, after
+/// which the shard degrades to shed-with-count while every other shard (and
+/// every snapshot reader) keeps running. [`finish`](Self::finish) then
+/// reports exact loss accounting:
+/// `scored + dropped + rejected + shed + crash_lost == submitted`.
 ///
 /// ```
 /// use sketchad_core::DetectorConfig;
@@ -80,8 +123,12 @@ struct ShardHandle {
 ///     let t = i as f64 * 0.1;
 ///     engine.submit(vec![t.sin(), t.cos(), 0.0, 0.0]).unwrap();
 /// }
+/// // A poison row is quarantined, not processed.
+/// engine.submit(vec![f64::NAN, 0.0, 0.0, 0.0]).unwrap();
 /// let report = engine.finish().unwrap();
 /// assert_eq!(report.stats.total_processed, 100);
+/// assert_eq!(report.stats.total_rejected, 1);
+/// assert_eq!(report.quarantine.total(), 1);
 /// ```
 pub struct ServeEngine {
     shards: Vec<ShardHandle>,
@@ -89,6 +136,8 @@ pub struct ServeEngine {
     submitted: u64,
     backpressure: BackpressurePolicy,
     partition: PartitionStrategy,
+    read_only: bool,
+    quarantine: Quarantine,
     /// Errors from shards discovered dead during submission; reported again
     /// (first one) by `finish` so they cannot be silently lost.
     dead: Vec<ServeError>,
@@ -101,12 +150,19 @@ impl ServeEngine {
     /// Every detector must report the same [`dim`](StreamingDetector::dim);
     /// for deterministic sharded scoring they should also be identically
     /// configured (same seeds per shard are fine — shards see disjoint
-    /// substreams).
+    /// substreams). The factory is also how a panicked shard's worker is
+    /// rebuilt, hence the `Send + 'static` bounds.
     pub fn start<F>(config: ServeConfig, mut factory: F) -> Result<Self, ServeError>
     where
-        F: FnMut(usize) -> Box<dyn StreamingDetector + Send>,
+        F: FnMut(usize) -> Box<dyn StreamingDetector + Send> + Send + 'static,
     {
-        Self::start_inner(config, move |idx| (factory(idx), None))
+        Self::start_inner(
+            config,
+            Arc::new(Mutex::new(move |idx: usize, _h: RecorderHandle| {
+                factory(idx)
+            })),
+            false,
+        )
     }
 
     /// Like [`start`](Self::start), but gives every shard its own
@@ -118,7 +174,8 @@ impl ServeEngine {
     /// `SketchDetector::with_recorder`) so detector-level spans land in the
     /// same per-shard report as the engine's queue events. The engine itself
     /// records queue-depth gauges, snapshot publications, and
-    /// blocked/dropped submissions on that handle either way.
+    /// blocked/dropped/rejected/shed submissions on that handle either way.
+    /// A rebuilt worker reuses its shard's original recorder.
     ///
     /// ```
     /// use sketchad_core::DetectorConfig;
@@ -143,31 +200,31 @@ impl ServeEngine {
     /// let obs = report.stats.obs.expect("instrumented engine attaches obs");
     /// assert_eq!(obs.span("sketch_update").unwrap().count, 100);
     /// ```
-    pub fn start_instrumented<F>(config: ServeConfig, mut factory: F) -> Result<Self, ServeError>
+    pub fn start_instrumented<F>(config: ServeConfig, factory: F) -> Result<Self, ServeError>
     where
-        F: FnMut(usize, RecorderHandle) -> Box<dyn StreamingDetector + Send>,
+        F: FnMut(usize, RecorderHandle) -> Box<dyn StreamingDetector + Send> + Send + 'static,
     {
-        Self::start_inner(config, move |idx| {
-            let recorder = Arc::new(MetricsRecorder::new());
-            let handle = RecorderHandle::from(Arc::clone(&recorder) as Arc<dyn Recorder>);
-            (factory(idx, handle), Some(recorder))
-        })
+        Self::start_inner(config, Arc::new(Mutex::new(factory)), true)
     }
 
-    fn start_inner<F>(config: ServeConfig, mut make: F) -> Result<Self, ServeError>
-    where
-        F: FnMut(
-            usize,
-        ) -> (
-            Box<dyn StreamingDetector + Send>,
-            Option<Arc<MetricsRecorder>>,
-        ),
-    {
+    fn start_inner(
+        config: ServeConfig,
+        factory: SharedFactory,
+        instrument: bool,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
         let mut shards = Vec::with_capacity(config.shards);
         let mut dim = None;
         for idx in 0..config.shards {
-            let (detector, recorder) = make(idx);
+            let recorder = instrument.then(|| Arc::new(MetricsRecorder::new()));
+            let obs = match &recorder {
+                Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
+                None => RecorderHandle::default(),
+            };
+            let detector = {
+                let mut build = factory.lock().unwrap_or_else(|e| e.into_inner());
+                build(idx, obs.clone())
+            };
             let d = detector.dim();
             match dim {
                 None => dim = Some(d),
@@ -178,32 +235,43 @@ impl ServeEngine {
                 }
                 Some(_) => {}
             }
-            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+            let queue = Arc::new(JobQueue::new(config.queue_capacity));
             let shared = Arc::new(ShardShared::default());
-            let worker_shared = Arc::clone(&shared);
-            let snapshot_every = config.snapshot_every;
-            let max_batch = config.max_batch;
-            let obs = match &recorder {
-                Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
-                None => RecorderHandle::default(),
+            let worker_cfg = WorkerConfig {
+                shard: idx,
+                snapshot_every: config.snapshot_every,
+                max_batch: config.max_batch,
+                max_restarts: config.max_restarts,
             };
+            let rebuild = {
+                let factory = Arc::clone(&factory);
+                let obs = obs.clone();
+                Box::new(move || {
+                    let mut build = factory.lock().unwrap_or_else(|e| e.into_inner());
+                    build(idx, obs.clone())
+                }) as crate::shard::DetectorRebuild
+            };
+            let worker_queue = Arc::clone(&queue);
+            let worker_shared = Arc::clone(&shared);
             let worker_obs = obs.clone();
             let join = std::thread::Builder::new()
                 .name(format!("sketchad-shard-{idx}"))
                 .spawn(move || {
-                    run_worker(
-                        idx,
-                        rx,
+                    let mut watch = DeathWatch::arm(Arc::clone(&worker_queue));
+                    let output = run_supervised(
+                        worker_cfg,
+                        worker_queue,
                         detector,
+                        rebuild,
                         worker_shared,
-                        snapshot_every,
-                        max_batch,
                         worker_obs,
-                    )
+                    );
+                    watch.disarm();
+                    output
                 })
                 .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
             shards.push(ShardHandle {
-                tx: Some(tx),
+                queue,
                 join: Some(join),
                 shared,
                 recorder,
@@ -216,6 +284,8 @@ impl ServeEngine {
             submitted: 0,
             backpressure: config.backpressure,
             partition: config.partition,
+            read_only: false,
+            quarantine: Quarantine::new(config.quarantine_capacity),
             dead: Vec::new(),
         })
     }
@@ -233,6 +303,25 @@ impl ServeEngine {
     /// Global submission counter (also the next point's sequence number).
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Switches the engine into (or out of) read-only mode. While read-only,
+    /// every submission is shed — counted, never enqueued — and snapshot
+    /// readers keep scoring against the latest published (now stale) models.
+    /// The overload escape hatch: scoring stays available while updates
+    /// stop.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// Whether the engine is currently shedding all updates.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Whether `shard` has exhausted its restart budget and degraded.
+    pub fn is_degraded(&self, shard: usize) -> bool {
+        self.shards[shard].shared.degraded.load(Relaxed)
     }
 
     fn route(&self, key: Option<u64>) -> usize {
@@ -260,15 +349,40 @@ impl ServeEngine {
         key: Option<u64>,
         point: Vec<f64>,
     ) -> Result<SubmitOutcome, ServeError> {
-        if point.len() != self.dim {
-            return Err(ServeError::DimensionMismatch {
-                expected: self.dim,
-                got: point.len(),
-            });
-        }
         let shard = self.route(key);
+        let seq = self.submitted;
+        // Input hygiene first: a poison row is quarantined whatever the
+        // overload state, so it can never reach (and corrupt) a detector.
+        if let Err(violation) = validate_point(&point, self.dim) {
+            self.submitted += 1;
+            let handle = &self.shards[shard];
+            handle.shared.rejected.fetch_add(1, Relaxed);
+            if handle.obs.enabled() {
+                handle.obs.incr(Counter::PointsRejected, 1);
+                handle.obs.event(Event::PointRejected {
+                    shard,
+                    seq,
+                    reason: violation.label().to_string(),
+                });
+            }
+            self.quarantine.push(seq, violation, point);
+            return Ok(SubmitOutcome::Rejected(violation));
+        }
+        // Availability shedding: a read-only engine or a degraded shard
+        // refuses the update but the submission still succeeds — reads stay
+        // up, accounting stays exact.
+        if self.read_only || self.shards[shard].shared.degraded.load(Relaxed) {
+            self.submitted += 1;
+            let handle = &self.shards[shard];
+            handle.shared.shed.fetch_add(1, Relaxed);
+            if handle.obs.enabled() {
+                handle.obs.incr(Counter::PointsShed, 1);
+                handle.obs.event(Event::QueueShed { shard, seq });
+            }
+            return Ok(SubmitOutcome::Shed);
+        }
         let job = Job {
-            seq: self.submitted,
+            seq,
             point,
             enqueued: Instant::now(),
         };
@@ -278,56 +392,75 @@ impl ServeEngine {
         let outcome = match self.backpressure {
             BackpressurePolicy::Block => {
                 let handle = &self.shards[shard];
-                let tx = handle.tx.as_ref().expect("engine not finished");
-                // When observing, probe with try_send first so a full queue
+                // When observing, probe with try_push first so a full queue
                 // is recorded as a QueueBlocked event before the (identical)
-                // blocking send; when not observing this is a plain send.
-                let send_result = if handle.obs.enabled() {
-                    match tx.try_send(job) {
+                // blocking push; when not observing this is a plain push.
+                let push_result = if handle.obs.enabled() {
+                    match handle.queue.try_push(job) {
                         Ok(()) => Ok(()),
-                        Err(TrySendError::Full(job)) => {
+                        Err(PushError::Full(job)) => {
                             handle.obs.incr(Counter::QueueBlocked, 1);
                             handle.obs.event(Event::QueueBlocked {
                                 shard,
                                 seq: job.seq,
                             });
-                            tx.send(job).map_err(|_| ())
+                            handle.queue.push_block(job)
                         }
-                        Err(TrySendError::Disconnected(_)) => Err(()),
+                        Err(dead) => Err(dead),
                     }
                 } else {
-                    tx.send(job).map_err(|_| ())
+                    handle.queue.push_block(job)
                 };
-                match send_result {
+                match push_result {
                     Ok(()) => SubmitOutcome::Accepted,
-                    // The worker dropped its receiver: it panicked.
-                    Err(()) => {
+                    // The worker thread itself is gone (not a contained
+                    // detector panic — those are handled in-thread).
+                    Err(_) => {
                         self.shards[shard].shared.release_slot();
                         return Err(self.harvest_dead_shard(shard));
                     }
                 }
             }
             BackpressurePolicy::DropNewest => {
-                let tx = self.shards[shard].tx.as_ref().expect("engine not finished");
-                match tx.try_send(job) {
+                let handle = &self.shards[shard];
+                match handle.queue.try_push(job) {
                     Ok(()) => SubmitOutcome::Accepted,
-                    Err(TrySendError::Full(job)) => {
-                        self.shards[shard].shared.release_slot();
-                        self.shards[shard]
-                            .shared
-                            .dropped
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let obs = &self.shards[shard].obs;
-                        if obs.enabled() {
-                            obs.incr(Counter::QueueDropped, 1);
-                            obs.event(Event::QueueDropped {
+                    Err(PushError::Full(job)) => {
+                        handle.shared.release_slot();
+                        handle.shared.dropped.fetch_add(1, Relaxed);
+                        if handle.obs.enabled() {
+                            handle.obs.incr(Counter::QueueDropped, 1);
+                            handle.obs.event(Event::QueueDropped {
                                 shard,
                                 seq: job.seq,
                             });
                         }
                         SubmitOutcome::Dropped
                     }
-                    Err(TrySendError::Disconnected(_)) => {
+                    Err(PushError::Dead(_)) => {
+                        self.shards[shard].shared.release_slot();
+                        return Err(self.harvest_dead_shard(shard));
+                    }
+                }
+            }
+            BackpressurePolicy::ShedOldest => {
+                let handle = &self.shards[shard];
+                match handle.queue.push_shed_oldest(job) {
+                    Ok(None) => SubmitOutcome::Accepted,
+                    Ok(Some(evicted)) => {
+                        // The new point took the evicted one's slot.
+                        handle.shared.release_slot();
+                        handle.shared.shed.fetch_add(1, Relaxed);
+                        if handle.obs.enabled() {
+                            handle.obs.incr(Counter::PointsShed, 1);
+                            handle.obs.event(Event::QueueShed {
+                                shard,
+                                seq: evicted.seq,
+                            });
+                        }
+                        SubmitOutcome::Accepted
+                    }
+                    Err(_) => {
                         self.shards[shard].shared.release_slot();
                         return Err(self.harvest_dead_shard(shard));
                     }
@@ -340,8 +473,8 @@ impl ServeEngine {
         Ok(outcome)
     }
 
-    /// Submits a batch, aggregating accept/drop counts. Stops at the first
-    /// hard error (dead shard / dimension mismatch).
+    /// Submits a batch, aggregating per-outcome counts. Stops at the first
+    /// hard error (a dead worker thread).
     pub fn submit_batch<I>(&mut self, points: I) -> Result<BatchOutcome, ServeError>
     where
         I: IntoIterator<Item = Vec<f64>>,
@@ -351,25 +484,28 @@ impl ServeEngine {
             match self.submit(point)? {
                 SubmitOutcome::Accepted => outcome.accepted += 1,
                 SubmitOutcome::Dropped => outcome.dropped += 1,
+                SubmitOutcome::Rejected(_) => outcome.rejected += 1,
+                SubmitOutcome::Shed => outcome.shed += 1,
             }
         }
         Ok(outcome)
     }
 
-    /// Joins a shard known to be dead and returns its panic as an error.
-    /// The error is also remembered so `finish` re-reports it.
+    /// Joins a shard whose worker thread is gone entirely (the supervisor
+    /// contains detector panics, so this is a supervisor-level failure) and
+    /// returns it as an error. The error is also remembered so `finish`
+    /// re-reports it.
     fn harvest_dead_shard(&mut self, shard: usize) -> ServeError {
-        // Close our sender first so the join below cannot wait on us.
-        self.shards[shard].tx = None;
+        self.shards[shard].queue.close();
         let err = match self.shards[shard].join.take() {
             Some(handle) => match handle.join() {
                 Err(payload) => ServeError::WorkerPanicked {
                     shard,
                     message: panic_message(payload.as_ref()),
                 },
-                // recv() only errors once every sender is dropped, so a
-                // clean return with our sender alive should be impossible;
-                // report it as a panic-shaped failure rather than hiding it.
+                // A queue marked dead with the thread still returning
+                // cleanly should be impossible; report it as a
+                // panic-shaped failure rather than hiding it.
                 Ok(_) => ServeError::WorkerPanicked {
                     shard,
                     message: "worker exited early without panicking".to_string(),
@@ -402,7 +538,6 @@ impl ServeEngine {
     /// Live (approximate) per-shard counters:
     /// `(processed, dropped, queue_depth, queue_high_water)`.
     pub fn live_counters(&self) -> Vec<(u64, u64, usize, usize)> {
-        use std::sync::atomic::Ordering::Relaxed;
         self.shards
             .iter()
             .map(|s| {
@@ -420,12 +555,13 @@ impl ServeEngine {
     /// is already enqueued, joins them all, and merges scores and stats.
     ///
     /// Every worker is joined even when an earlier one failed — no thread
-    /// is leaked — and the first failure (including shards that died during
-    /// submission) is returned as the error.
+    /// is leaked. Contained faults (detector panics, degraded shards) do
+    /// **not** fail the pipeline; they are reported in the stats. Only a
+    /// dead worker *thread* (supervisor failure) returns an error.
     pub fn finish(mut self) -> Result<PipelineReport, ServeError> {
-        // Closing the senders is the drain signal.
-        for shard in &mut self.shards {
-            shard.tx = None;
+        // Closing the queues is the drain signal.
+        for shard in &self.shards {
+            shard.queue.close();
         }
         let mut first_error = self.dead.first().cloned();
         let mut scores = Vec::new();
@@ -433,11 +569,10 @@ impl ServeEngine {
         let mut shard_stats = Vec::with_capacity(self.shards.len());
         for (idx, shard) in self.shards.iter_mut().enumerate() {
             let Some(handle) = shard.join.take() else {
-                continue; // already harvested after a mid-stream panic
+                continue; // already harvested after a supervisor failure
             };
             match handle.join() {
                 Ok(output) => {
-                    use std::sync::atomic::Ordering::Relaxed;
                     scores.extend(output.scores);
                     latency.merge(&output.latency);
                     shard_stats.push(ShardStats {
@@ -445,6 +580,11 @@ impl ServeEngine {
                         processed: shard.shared.processed.load(Relaxed),
                         dropped: shard.shared.dropped.load(Relaxed),
                         queue_high_water: shard.shared.high_water.load(Relaxed),
+                        rejected: shard.shared.rejected.load(Relaxed),
+                        shed: shard.shared.shed.load(Relaxed),
+                        crash_lost: shard.shared.crash_lost.load(Relaxed),
+                        restarts: shard.shared.restarts.load(Relaxed),
+                        degraded: shard.shared.degraded.load(Relaxed),
                     });
                 }
                 Err(payload) => {
@@ -473,7 +613,11 @@ impl ServeEngine {
         if let Some(report) = obs {
             stats = stats.with_obs(report);
         }
-        Ok(PipelineReport { scores, stats })
+        Ok(PipelineReport {
+            scores,
+            stats,
+            quarantine: self.quarantine,
+        })
     }
 }
 
@@ -532,17 +676,73 @@ mod tests {
     }
 
     #[test]
-    fn dimension_mismatch_is_rejected() {
+    fn wrong_dimension_is_quarantined_not_fatal() {
         let mut engine = ServeEngine::start(ServeConfig::new(1), fd_factory).unwrap();
-        let err = engine.submit(vec![1.0, 2.0]).unwrap_err();
+        let outcome = engine.submit(vec![1.0, 2.0]).unwrap();
         assert_eq!(
-            err,
-            ServeError::DimensionMismatch {
+            outcome,
+            SubmitOutcome::Rejected(InputViolation::WrongDim {
                 expected: 4,
                 got: 2
-            }
+            })
         );
-        engine.finish().unwrap();
+        // The stream keeps flowing afterwards.
+        engine.submit(wave(0)).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, 1);
+        assert_eq!(report.stats.total_rejected, 1);
+        assert_eq!(report.quarantine.total(), 1);
+        let row = report.quarantine.rows().next().unwrap();
+        assert_eq!(row.seq, 0);
+        assert_eq!(row.point, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn poison_rows_are_quarantined_and_never_scored() {
+        let mut engine = ServeEngine::start(ServeConfig::new(2), fd_factory).unwrap();
+        let mut expected_rejects = 0u64;
+        for i in 0..200u64 {
+            if i % 10 == 3 {
+                let mut p = wave(i);
+                p[(i as usize) % 4] = if i % 20 == 3 { f64::NAN } else { f64::INFINITY };
+                expected_rejects += 1;
+                assert!(matches!(
+                    engine.submit(p).unwrap(),
+                    SubmitOutcome::Rejected(InputViolation::NonFinite { .. })
+                ));
+            } else {
+                assert_eq!(engine.submit(wave(i)).unwrap(), SubmitOutcome::Accepted);
+            }
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_rejected, expected_rejects);
+        assert_eq!(report.stats.total_processed, 200 - expected_rejects);
+        assert_eq!(report.quarantine.total(), expected_rejects);
+        for &(_, score) in &report.scores {
+            assert!(score.is_finite(), "a poison row leaked into a detector");
+        }
+        // Conservation: every submission landed exactly one way.
+        assert_eq!(
+            report.stats.total_processed
+                + report.stats.total_dropped
+                + report.stats.total_rejected
+                + report.stats.total_shed
+                + report.stats.total_crash_lost,
+            200
+        );
+    }
+
+    #[test]
+    fn quarantine_respects_capacity_bound() {
+        let config = ServeConfig::new(1).with_quarantine_capacity(3);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        for _ in 0..10 {
+            engine.submit(vec![f64::NAN, 0.0, 0.0, 0.0]).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.quarantine.total(), 10);
+        assert_eq!(report.quarantine.len(), 3);
+        assert_eq!(report.quarantine.evicted(), 7);
     }
 
     #[test]
@@ -566,11 +766,74 @@ mod tests {
             .with_backpressure(BackpressurePolicy::DropNewest);
         let mut engine = ServeEngine::start(config, fd_factory).unwrap();
         let outcome = engine.submit_batch((0..5_000).map(wave)).unwrap();
-        assert_eq!(outcome.accepted + outcome.dropped, 5_000);
+        assert_eq!(outcome.submitted(), 5_000);
         let report = engine.finish().unwrap();
         assert_eq!(report.stats.total_processed, outcome.accepted);
         assert_eq!(report.stats.total_dropped, outcome.dropped);
         assert_eq!(report.scores.len() as u64, outcome.accepted);
+    }
+
+    #[test]
+    fn shed_oldest_keeps_freshest_points_with_exact_accounting() {
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(2)
+            .with_backpressure(BackpressurePolicy::ShedOldest);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        let outcome = engine.submit_batch((0..5_000).map(wave)).unwrap();
+        // Every submission is admitted under ShedOldest …
+        assert_eq!(outcome.accepted, 5_000);
+        assert_eq!(outcome.dropped + outcome.rejected + outcome.shed, 0);
+        let report = engine.finish().unwrap();
+        // … but previously queued points may have been evicted; exact
+        // conservation still holds.
+        assert_eq!(
+            report.stats.total_processed + report.stats.total_shed,
+            5_000
+        );
+        assert_eq!(report.scores.len() as u64, report.stats.total_processed);
+        // The *last* submissions always survive eviction: the final point
+        // can only have been scored, never shed.
+        if report.stats.total_shed > 0 {
+            let last_seq = report.scores.last().unwrap().0;
+            assert_eq!(last_seq, 4_999, "newest point must not be shed");
+        }
+    }
+
+    #[test]
+    fn read_only_mode_sheds_updates_but_serves_reads() {
+        let config = ServeConfig::new(1).with_snapshot_every(16);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        engine.submit_batch((0..64).map(wave)).unwrap();
+        // Wait for a snapshot so the read path has a model to serve.
+        let scorer = engine.scorer(0, ScoreKind::ProjectionDistance);
+        while scorer.generation() == 0 {
+            std::thread::yield_now();
+        }
+        engine.set_read_only(true);
+        assert!(engine.is_read_only());
+        for i in 64..96 {
+            assert_eq!(engine.submit(wave(i)).unwrap(), SubmitOutcome::Shed);
+        }
+        // Stale-snapshot reads keep working while updates shed.
+        assert!(scorer.score(&wave(1_000)).unwrap().is_finite());
+        engine.set_read_only(false);
+        engine.submit_batch((96..128).map(wave)).unwrap();
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_shed, 32);
+        assert_eq!(report.stats.total_processed, 96);
+        assert_eq!(
+            report.stats.total_processed + report.stats.total_shed,
+            engine_submitted(&report),
+        );
+    }
+
+    /// Back out the submission count from a report's conservation identity.
+    fn engine_submitted(report: &PipelineReport) -> u64 {
+        report.stats.total_processed
+            + report.stats.total_dropped
+            + report.stats.total_rejected
+            + report.stats.total_shed
+            + report.stats.total_crash_lost
     }
 
     #[test]
@@ -580,6 +843,7 @@ mod tests {
         assert_eq!(report.stats.total_processed, 0);
         assert!(report.scores.is_empty());
         assert_eq!(report.stats.latency_p50_us, 0.0);
+        assert_eq!(report.stats.stats_version, crate::stats::STATS_VERSION);
     }
 
     #[test]
@@ -616,6 +880,29 @@ mod tests {
         );
         // Queue depth was sampled for every drained job.
         assert_eq!(obs.gauge("queue_depth").unwrap().samples, 200);
+    }
+
+    #[test]
+    fn rejected_rows_show_up_as_obs_events() {
+        let config = ServeConfig::new(1);
+        let mut engine = ServeEngine::start_instrumented(config, |_shard, recorder| {
+            Box::new(
+                DetectorConfig::new(2, 8)
+                    .with_warmup(16)
+                    .with_seed(7)
+                    .build_fd(4)
+                    .with_recorder(recorder),
+            )
+        })
+        .unwrap();
+        engine.submit(wave(0)).unwrap();
+        engine.submit(vec![0.0, f64::NAN, 0.0, 0.0]).unwrap();
+        engine.submit(vec![1.0]).unwrap();
+        let report = engine.finish().unwrap();
+        let obs = report.stats.obs.unwrap();
+        assert_eq!(obs.counter("points_rejected"), 2);
+        assert_eq!(obs.event_count("point_rejected"), 2);
+        assert_eq!(report.stats.total_rejected, 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # sketchad-serve
 //!
 //! Sharded concurrent serving engine for streaming anomaly detection —
-//! std-only (threads + bounded channels), no external runtime.
+//! std-only (threads + bounded queues), no external runtime.
 //!
 //! ## Write-shard / read-snapshot split
 //!
@@ -14,29 +14,53 @@
 //!   always meet the same model). Each shard owns one detector behind a
 //!   bounded queue with configurable backpressure — [`Block`] never loses a
 //!   point, [`DropNewest`] never blocks the producer and counts what it
-//!   sheds.
+//!   drops, [`ShedOldest`] admits fresh points by evicting stale queued
+//!   ones so the detector tracks the live stream under overload.
 //! * **Reads snapshot.** Each shard periodically publishes its model as an
 //!   immutable `Arc<SubspaceModel>` into a [`SnapshotCell`]; any number of
 //!   [`SnapshotScorer`] handles score against the latest generation without
 //!   ever touching (or waiting on) the live detector.
 //!
+//! ## Failure domains
+//!
+//! Faults are contained at the smallest boundary that can absorb them:
+//!
+//! * **Bad input → quarantine.** Rows with non-finite components or the
+//!   wrong dimension are diverted into a bounded [`Quarantine`]
+//!   ([`SubmitOutcome::Rejected`]) before they can poison a sketch.
+//! * **Detector panic → shard restart.** The worker catches the panic,
+//!   rebuilds its detector from the shard factory, re-adopts the last
+//!   published snapshot, and keeps draining — scores accumulated before
+//!   the panic survive. After `max_restarts` recoveries the shard
+//!   *degrades*: updates shed with exact counts while the stale snapshot
+//!   keeps serving reads. Other shards never notice.
+//! * **Overload → shedding.** Besides the backpressure policies,
+//!   [`ServeEngine::set_read_only`] flips the whole engine into a mode
+//!   where every update is shed but snapshot reads stay available.
+//!
 //! Lifecycle is explicit: [`ServeEngine::finish`] closes the queues, lets
-//! every worker drain, and returns scores plus [`PipelineStats`] (per-shard
-//! counters and an end-to-end latency histogram with p50/p99). A worker
-//! panic surfaces as [`ServeError::WorkerPanicked`] at the next submit or
-//! at `finish` — never as a hang.
+//! every worker drain, and returns a [`PipelineReport`] — scores,
+//! [`PipelineStats`] with exact loss accounting
+//! (`scored + dropped + rejected + shed + crash_lost == submitted`), and
+//! the quarantine. Only a supervisor-level failure (the worker *thread*
+//! dying, not the detector panicking) surfaces as
+//! [`ServeError::WorkerPanicked`] — never as a hang.
 //!
 //! ## Module map
 //!
 //! * [`config`] — [`ServeConfig`], backpressure and partitioning policies.
 //! * [`engine`] — [`ServeEngine`], submission, shutdown, report assembly.
-//! * `shard` *(private)* — the worker loop owning each detector.
+//! * `shard` *(private)* — the supervised worker loop owning each detector.
+//! * `queue` *(private)* — the bounded MPSC job queue (shed-oldest capable,
+//!   panic-survivable).
+//! * [`quarantine`] — [`Quarantine`] / [`QuarantinedRow`] for refused input.
 //! * [`snapshot`] — [`SnapshotCell`] / [`SnapshotScorer`] read path.
 //! * [`stats`] — [`PipelineStats`], [`LatencyHistogram`], serializable.
 //! * [`error`] — [`ServeError`].
 //!
 //! [`Block`]: BackpressurePolicy::Block
 //! [`DropNewest`]: BackpressurePolicy::DropNewest
+//! [`ShedOldest`]: BackpressurePolicy::ShedOldest
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,6 +68,8 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod quarantine;
+mod queue;
 mod shard;
 pub mod snapshot;
 pub mod stats;
@@ -51,5 +77,6 @@ pub mod stats;
 pub use config::{BackpressurePolicy, PartitionStrategy, ServeConfig};
 pub use engine::{BatchOutcome, PipelineReport, ServeEngine, SubmitOutcome};
 pub use error::ServeError;
+pub use quarantine::{Quarantine, QuarantinedRow};
 pub use snapshot::{SnapshotCell, SnapshotScorer};
-pub use stats::{LatencyHistogram, PipelineStats, ShardStats};
+pub use stats::{LatencyHistogram, PipelineStats, ShardStats, STATS_VERSION};

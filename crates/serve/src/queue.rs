@@ -1,0 +1,282 @@
+//! The bounded job queue between the submit path and a shard worker.
+//!
+//! `std::sync::mpsc` almost fits, but two fault-tolerance requirements rule
+//! it out: `ShedOldest` must evict the *oldest queued* job from the sender
+//! side, and jobs already queued must survive a worker panic so the
+//! restarted worker can take over the backlog (an mpsc `Receiver` dies with
+//! the thread that owns it). This is the classic bounded buffer instead —
+//! one mutex, two condvars — with explicit lifecycle flags:
+//!
+//! * `closed` — set by the engine at shutdown; the worker drains what is
+//!   queued and then sees `None` from [`JobQueue::pop_block`].
+//! * `dead` — set by the worker thread's [`DeathWatch`] guard if the
+//!   supervisor itself dies (it should never: every detector panic is
+//!   caught and handled). A dead queue refuses pushes instead of letting a
+//!   producer block forever on a queue nobody will ever drain.
+
+use crate::shard::Job;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why a push did not enqueue. The job is handed back so `DropNewest` can
+/// count it and error paths can report its sequence number.
+#[derive(Debug)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (non-blocking pushes only).
+    Full(Job),
+    /// The worker died without closing the queue, or the queue was closed;
+    /// enqueuing would be a silent loss or an eternal block. The job rides
+    /// along for symmetry with `Full`; the engine's dead-shard path reports
+    /// the shard error instead of retrying the job.
+    Dead(#[allow(dead_code)] Job),
+}
+
+#[derive(Debug)]
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    dead: bool,
+}
+
+/// Bounded MPSC job queue with sender-side eviction; see the module docs.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                dead: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // The queue's own critical sections cannot panic, so poisoning can
+        // only be inherited noise; proceed with the data either way.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks while the queue is full (`Block` backpressure). Fails only on
+    /// a dead or closed queue.
+    pub(crate) fn push_block(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        loop {
+            if inner.dead || inner.closed {
+                return Err(PushError::Dead(job));
+            }
+            if inner.jobs.len() < self.capacity {
+                break;
+            }
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking push (`DropNewest` backpressure, and the full-queue
+    /// probe the observing `Block` path uses to record blocked submissions).
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.dead || inner.closed {
+            return Err(PushError::Dead(job));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Always-admitting push (`ShedOldest` backpressure): when full, the
+    /// oldest queued job is evicted and returned so the caller can account
+    /// for it.
+    pub(crate) fn push_shed_oldest(&self, job: Job) -> Result<Option<Job>, PushError> {
+        let mut inner = self.lock();
+        if inner.dead || inner.closed {
+            return Err(PushError::Dead(job));
+        }
+        let evicted = if inner.jobs.len() >= self.capacity {
+            inner.jobs.pop_front()
+        } else {
+            None
+        };
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(evicted)
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained (the graceful-shutdown signal).
+    pub(crate) fn pop_block(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking pop, for opportunistic micro-batching.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        let job = inner.jobs.pop_front();
+        drop(inner);
+        if job.is_some() {
+            self.not_full.notify_one();
+        }
+        job
+    }
+
+    /// Current queue length.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Shutdown signal: the worker drains the backlog, then exits.
+    pub(crate) fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Declares the consumer gone for good; blocked and future pushes fail
+    /// instead of waiting on a drain that will never come.
+    pub(crate) fn mark_dead(&self) {
+        let mut inner = self.lock();
+        inner.dead = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Drop guard the worker thread holds: if the supervisor exits by panic
+/// (its own bug — detector panics are caught inside it), the guard's `Drop`
+/// marks the queue dead on the way out of the thread, upholding the
+/// engine's "a dead shard is an error, never a hang" contract.
+pub(crate) struct DeathWatch {
+    queue: Arc<JobQueue>,
+    armed: bool,
+}
+
+impl DeathWatch {
+    pub(crate) fn arm(queue: Arc<JobQueue>) -> Self {
+        Self { queue, armed: true }
+    }
+
+    /// Normal worker exit: the queue was closed and drained, not abandoned.
+    pub(crate) fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        if self.armed {
+            self.queue.mark_dead();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn job(seq: u64) -> Job {
+        Job {
+            seq,
+            point: vec![seq as f64],
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_close_drain() {
+        let q = JobQueue::new(4);
+        for s in 0..3 {
+            q.push_block(job(s)).ok().unwrap();
+        }
+        q.close();
+        assert_eq!(q.pop_block().unwrap().seq, 0);
+        assert_eq!(q.pop_block().unwrap().seq, 1);
+        assert_eq!(q.pop_block().unwrap().seq, 2);
+        assert!(q.pop_block().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn try_push_full_hands_job_back() {
+        let q = JobQueue::new(1);
+        q.try_push(job(0)).ok().unwrap();
+        match q.try_push(job(1)) {
+            Err(PushError::Full(j)) => assert_eq!(j.seq, 1),
+            _ => panic!("expected Full"),
+        }
+    }
+
+    #[test]
+    fn shed_oldest_evicts_front() {
+        let q = JobQueue::new(2);
+        assert!(q.push_shed_oldest(job(0)).unwrap().is_none());
+        assert!(q.push_shed_oldest(job(1)).unwrap().is_none());
+        let evicted = q.push_shed_oldest(job(2)).unwrap().unwrap();
+        assert_eq!(evicted.seq, 0, "oldest job is the one shed");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop().unwrap().seq, 1);
+        assert_eq!(q.try_pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn dead_queue_refuses_pushes_and_wakes_blocked_producer() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push_block(job(0)).ok().unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_block(job(1)).is_err());
+        // Give the producer a moment to block on the full queue, then kill
+        // the (never-started) consumer side.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.mark_dead();
+        assert!(producer.join().unwrap(), "blocked push must fail, not hang");
+        assert!(matches!(q.try_push(job(2)), Err(PushError::Dead(_))));
+    }
+
+    #[test]
+    fn queued_jobs_survive_for_a_new_consumer() {
+        // The restart story: jobs enqueued before a worker panic are still
+        // there for whoever picks the queue back up.
+        let q = JobQueue::new(8);
+        q.push_block(job(7)).ok().unwrap();
+        q.push_block(job(8)).ok().unwrap();
+        // (No consumer existed yet; a restarted one simply pops.)
+        assert_eq!(q.pop_block().unwrap().seq, 7);
+        assert_eq!(q.pop_block().unwrap().seq, 8);
+    }
+}

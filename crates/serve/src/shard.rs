@@ -1,16 +1,28 @@
-//! The worker side of a shard: a thread owning one detector, draining one
-//! bounded queue.
+//! The worker side of a shard: a supervised thread owning one detector,
+//! draining one bounded queue.
+//!
+//! Supervision contract: a panic inside the detector (`process` /
+//! `process_batch`) is caught *inside the worker thread*, which rebuilds a
+//! fresh detector from the shard's factory, re-adopts the last published
+//! snapshot ([`StreamingDetector::adopt_model`]) so scoring resumes from the
+//! model readers were already being served, and keeps draining the same
+//! queue — scores accumulated before the panic survive. Each shard gets
+//! `max_restarts` such recoveries; beyond that it **degrades**: the stale
+//! snapshot keeps serving reads, while queued and future updates are shed
+//! with exact counts instead of failing the whole pipeline.
 
+use crate::queue::JobQueue;
 use crate::snapshot::SnapshotCell;
 use crate::stats::LatencyHistogram;
 use sketchad_core::StreamingDetector;
 use sketchad_obs::{Counter, Event, Gauge, RecorderHandle, Stage};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::Receiver;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One unit of work: a point plus its global submission sequence number.
+#[derive(Debug)]
 pub(crate) struct Job {
     pub seq: u64,
     pub point: Vec<f64>,
@@ -30,6 +42,18 @@ pub(crate) struct ShardShared {
     pub dropped: AtomicU64,
     /// Points the worker has scored.
     pub processed: AtomicU64,
+    /// Rows refused by input validation and quarantined.
+    pub rejected: AtomicU64,
+    /// Updates shed: `ShedOldest` evictions, read-only refusals, and
+    /// everything a degraded shard drains without scoring.
+    pub shed: AtomicU64,
+    /// Points consumed from the queue but unscored when a panic struck.
+    pub crash_lost: AtomicU64,
+    /// Worker restarts performed after detector panics.
+    pub restarts: AtomicU64,
+    /// Set once the restart budget is exhausted: updates shed, reads keep
+    /// serving the stale snapshot.
+    pub degraded: AtomicBool,
     /// Latest published model snapshot.
     pub snapshot: Arc<SnapshotCell>,
 }
@@ -44,10 +68,22 @@ impl ShardShared {
     }
 
     /// Rolls back a reservation whose enqueue did not happen (full queue or
-    /// dead worker).
+    /// dead worker) or whose job left the queue unprocessed (eviction).
     pub(crate) fn release_slot(&self) {
         self.depth.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// Rebuilds a shard's detector after a panic (same factory, same shard
+/// index, same recorder handle as the original build).
+pub(crate) type DetectorRebuild = Box<dyn FnMut() -> Box<dyn StreamingDetector + Send> + Send>;
+
+/// Per-shard worker parameters (everything `Copy`-ish the loops need).
+pub(crate) struct WorkerConfig {
+    pub shard: usize,
+    pub snapshot_every: u64,
+    pub max_batch: usize,
+    pub max_restarts: u32,
 }
 
 /// What a worker thread returns when its queue closes.
@@ -56,88 +92,204 @@ pub(crate) struct ShardOutput {
     pub latency: LatencyHistogram,
 }
 
-/// Worker loop: drain jobs until every sender is gone, then publish a final
-/// snapshot and hand back the scores.
+/// Worker results that must survive a detector panic: they live in the
+/// supervisor frame, outside every `catch_unwind`.
+struct WorkerState {
+    scores: Vec<(u64, f64)>,
+    latency: LatencyHistogram,
+    /// Jobs popped from the queue but not yet scored; folded into
+    /// `crash_lost` when a panic lands between pop and score.
+    in_flight: u64,
+}
+
+/// Supervised worker loop: drain, and on a detector panic restart from the
+/// last published snapshot (up to `max_restarts` times) or degrade.
 ///
 /// The detector is owned exclusively by this thread — `process` needs
 /// `&mut`, and single ownership is what makes per-shard score sequences
 /// deterministic. Concurrent readers are served through the snapshot cell
 /// instead.
-///
-/// With `max_batch > 1` the worker micro-batches: after blocking for one
-/// job it opportunistically drains up to `max_batch − 1` already-queued
-/// jobs and scores the group through
+pub(crate) fn run_supervised(
+    cfg: WorkerConfig,
+    queue: Arc<JobQueue>,
+    mut detector: Box<dyn StreamingDetector + Send>,
+    mut rebuild: DetectorRebuild,
+    shared: Arc<ShardShared>,
+    recorder: RecorderHandle,
+) -> ShardOutput {
+    let mut state = WorkerState {
+        scores: Vec::new(),
+        latency: LatencyHistogram::new(),
+        in_flight: 0,
+    };
+    loop {
+        let drained = catch_unwind(AssertUnwindSafe(|| {
+            drain(
+                &cfg,
+                &queue,
+                detector.as_mut(),
+                &shared,
+                &recorder,
+                &mut state,
+            );
+        }));
+        match drained {
+            Ok(()) => {
+                // Queue closed and fully drained: publish whatever the
+                // detector ended up with so post-drain readers see the
+                // freshest model.
+                publish_snapshot(cfg.shard, detector.as_ref(), &shared, &recorder);
+                break;
+            }
+            Err(_payload) => {
+                // Whatever was popped but unscored died with the panic; the
+                // detector itself is assumed corrupted and is replaced.
+                shared
+                    .crash_lost
+                    .fetch_add(state.in_flight, Ordering::Relaxed);
+                state.in_flight = 0;
+                let restarts = shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                if restarts > u64::from(cfg.max_restarts) {
+                    degrade(&cfg, &queue, &shared, &recorder, restarts);
+                    break;
+                }
+                // The rebuild itself may panic (a broken factory); that
+                // burns the remaining budget at once — degrade.
+                let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+                    let mut fresh = rebuild();
+                    if let Some(model) = shared.snapshot.load() {
+                        // Resume scoring from the model readers already see;
+                        // detectors without an adoption path warm up anew.
+                        fresh.adopt_model(&model);
+                    }
+                    fresh
+                }));
+                match rebuilt {
+                    Ok(fresh) => {
+                        detector = fresh;
+                        if recorder.enabled() {
+                            recorder.incr(Counter::WorkerRestarts, 1);
+                            recorder.event(Event::WorkerRestarted {
+                                shard: cfg.shard,
+                                restarts,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        degrade(&cfg, &queue, &shared, &recorder, restarts);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    ShardOutput {
+        scores: state.scores,
+        latency: state.latency,
+    }
+}
+
+/// Drains jobs until the queue closes. With `max_batch > 1` the worker
+/// micro-batches: after blocking for one job it opportunistically drains up
+/// to `max_batch − 1` already-queued jobs and scores the group through
 /// [`StreamingDetector::process_batch`], whose blocked `V_kᵀY` kernel
 /// yields scores bitwise identical to per-point processing. Instrumented
 /// workers always run per point so recorded span and gauge counts match
 /// the per-point contract exactly.
-pub(crate) fn run_worker(
-    shard: usize,
-    rx: Receiver<Job>,
-    mut detector: Box<dyn StreamingDetector + Send>,
-    shared: Arc<ShardShared>,
-    snapshot_every: u64,
-    max_batch: usize,
-    recorder: RecorderHandle,
-) -> ShardOutput {
-    let mut scores = Vec::new();
-    let mut latency = LatencyHistogram::new();
+fn drain(
+    cfg: &WorkerConfig,
+    queue: &JobQueue,
+    detector: &mut (dyn StreamingDetector + Send),
+    shared: &ShardShared,
+    recorder: &RecorderHandle,
+    state: &mut WorkerState,
+) {
     let observing = recorder.enabled();
-
-    if observing || max_batch <= 1 {
-        while let Ok(job) = rx.recv() {
-            let score = detector.process(&job.point);
+    if observing || cfg.max_batch <= 1 {
+        while let Some(job) = queue.pop_block() {
             let depth_after = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            state.in_flight = 1;
+            let score = detector.process(&job.point);
+            state.in_flight = 0;
             let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
-            latency.record(job.enqueued.elapsed());
-            scores.push((job.seq, score));
+            state.latency.record(job.enqueued.elapsed());
+            state.scores.push((job.seq, score));
             if observing {
                 recorder.gauge(Gauge::QueueDepth, depth_after as f64);
             }
-            if snapshot_every > 0 && processed.is_multiple_of(snapshot_every) {
-                publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
+            if cfg.snapshot_every > 0 && processed.is_multiple_of(cfg.snapshot_every) {
+                publish_snapshot(cfg.shard, detector, shared, recorder);
             }
         }
     } else {
         // Reused across batches: the only steady-state allocations left are
         // the point vectors themselves, owned by the submitter.
-        let mut batch_points: Vec<Vec<f64>> = Vec::with_capacity(max_batch);
-        let mut batch_meta: Vec<(u64, Instant)> = Vec::with_capacity(max_batch);
-        let mut batch_scores: Vec<f64> = Vec::with_capacity(max_batch);
-        while let Ok(job) = rx.recv() {
+        let mut batch_points: Vec<Vec<f64>> = Vec::with_capacity(cfg.max_batch);
+        let mut batch_meta: Vec<(u64, Instant)> = Vec::with_capacity(cfg.max_batch);
+        let mut batch_scores: Vec<f64> = Vec::with_capacity(cfg.max_batch);
+        while let Some(job) = queue.pop_block() {
             batch_points.clear();
             batch_meta.clear();
             batch_meta.push((job.seq, job.enqueued));
             batch_points.push(job.point);
-            while batch_points.len() < max_batch {
-                match rx.try_recv() {
-                    Ok(job) => {
+            while batch_points.len() < cfg.max_batch {
+                match queue.try_pop() {
+                    Some(job) => {
                         batch_meta.push((job.seq, job.enqueued));
                         batch_points.push(job.point);
                     }
-                    Err(_) => break,
+                    None => break,
                 }
             }
             let n = batch_points.len() as u64;
-            detector.process_batch(&batch_points, &mut batch_scores);
             shared.depth.fetch_sub(n as usize, Ordering::Relaxed);
+            state.in_flight = n;
+            detector.process_batch(&batch_points, &mut batch_scores);
+            state.in_flight = 0;
             let before = shared.processed.fetch_add(n, Ordering::Relaxed);
             for (&(seq, enqueued), &score) in batch_meta.iter().zip(batch_scores.iter()) {
-                latency.record(enqueued.elapsed());
-                scores.push((seq, score));
+                state.latency.record(enqueued.elapsed());
+                state.scores.push((seq, score));
             }
             // Publish when the batch crossed a `snapshot_every` boundary —
             // same cadence (one publish per period) as the per-point loop.
-            if snapshot_every > 0 && before / snapshot_every != (before + n) / snapshot_every {
-                publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
+            if cfg.snapshot_every > 0
+                && before / cfg.snapshot_every != (before + n) / cfg.snapshot_every
+            {
+                publish_snapshot(cfg.shard, detector, shared, recorder);
             }
         }
     }
+}
 
-    // Queue closed: graceful shutdown. Publish whatever the detector ended
-    // up with so post-drain readers see the freshest model.
-    publish_snapshot(shard, detector.as_ref(), &shared, &recorder);
-    ShardOutput { scores, latency }
+/// Terminal degraded mode: flag the shard, then drain every remaining and
+/// future job as shed (exact counts, no scoring) until shutdown. The last
+/// published snapshot stays up for readers.
+fn degrade(
+    cfg: &WorkerConfig,
+    queue: &JobQueue,
+    shared: &ShardShared,
+    recorder: &RecorderHandle,
+    restarts: u64,
+) {
+    shared.degraded.store(true, Ordering::Relaxed);
+    if recorder.enabled() {
+        recorder.event(Event::ShardDegraded {
+            shard: cfg.shard,
+            restarts,
+        });
+    }
+    while let Some(job) = queue.pop_block() {
+        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        if recorder.enabled() {
+            recorder.incr(Counter::PointsShed, 1);
+            recorder.event(Event::QueueShed {
+                shard: cfg.shard,
+                seq: job.seq,
+            });
+        }
+    }
 }
 
 fn publish_snapshot(

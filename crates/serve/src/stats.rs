@@ -91,6 +91,15 @@ impl LatencyHistogram {
     }
 }
 
+/// Schema version written into [`PipelineStats::stats_version`]. Artifacts
+/// predating the field deserialize with version `0` (every new field is
+/// `#[serde(default)]`, so they remain readable).
+///
+/// * `0` — legacy artifacts, before versioning existed.
+/// * `2` — fault-tolerance accounting: per-shard and total
+///   `rejected` / `shed` / `crash_lost` / `restarts`, `degraded` flags.
+pub const STATS_VERSION: u32 = 2;
+
 /// Final counters for one shard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardStats {
@@ -102,18 +111,54 @@ pub struct ShardStats {
     pub dropped: u64,
     /// Highest queue depth observed (approximate; sampled at enqueue).
     pub queue_high_water: usize,
+    /// Rows routed here that input validation refused (quarantined).
+    #[serde(default)]
+    pub rejected: u64,
+    /// Updates shed: `ShedOldest` evictions, read-only refusals, and jobs a
+    /// degraded shard drained without scoring.
+    #[serde(default)]
+    pub shed: u64,
+    /// Points consumed from the queue but unscored when the worker panicked.
+    #[serde(default)]
+    pub crash_lost: u64,
+    /// Times the worker was restarted from its last published snapshot.
+    #[serde(default)]
+    pub restarts: u64,
+    /// Whether the shard exhausted its restart budget and degraded to
+    /// shed-with-count.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Whole-pipeline statistics, serializable as a benchmark / monitoring
 /// artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineStats {
+    /// Artifact schema version ([`STATS_VERSION`] when written by this
+    /// build; `0` when read back from an artifact that predates the field).
+    #[serde(default)]
+    pub stats_version: u32,
     /// Per-shard final counters.
     pub shards: Vec<ShardStats>,
     /// Sum of per-shard `processed`.
     pub total_processed: u64,
     /// Sum of per-shard `dropped`.
     pub total_dropped: u64,
+    /// Sum of per-shard `rejected` (quarantined rows).
+    #[serde(default)]
+    pub total_rejected: u64,
+    /// Sum of per-shard `shed`.
+    #[serde(default)]
+    pub total_shed: u64,
+    /// Sum of per-shard `crash_lost`.
+    #[serde(default)]
+    pub total_crash_lost: u64,
+    /// Sum of per-shard worker `restarts`.
+    #[serde(default)]
+    pub total_restarts: u64,
+    /// Indices of shards that degraded (restart budget exhausted).
+    #[serde(default)]
+    pub degraded_shards: Vec<usize>,
     /// End-to-end (enqueue → scored) latency over all shards.
     pub latency: LatencyHistogram,
     /// Median end-to-end latency in microseconds (bucket upper bound;
@@ -135,6 +180,15 @@ impl PipelineStats {
     pub fn from_shards(shards: Vec<ShardStats>, latency: LatencyHistogram) -> Self {
         let total_processed = shards.iter().map(|s| s.processed).sum();
         let total_dropped = shards.iter().map(|s| s.dropped).sum();
+        let total_rejected = shards.iter().map(|s| s.rejected).sum();
+        let total_shed = shards.iter().map(|s| s.shed).sum();
+        let total_crash_lost = shards.iter().map(|s| s.crash_lost).sum();
+        let total_restarts = shards.iter().map(|s| s.restarts).sum();
+        let degraded_shards = shards
+            .iter()
+            .filter(|s| s.degraded)
+            .map(|s| s.shard)
+            .collect();
         let us = |q: f64| {
             latency
                 .quantile(q)
@@ -143,9 +197,15 @@ impl PipelineStats {
         };
         let (latency_p50_us, latency_p99_us) = (us(0.50), us(0.99));
         Self {
+            stats_version: STATS_VERSION,
             shards,
             total_processed,
             total_dropped,
+            total_rejected,
+            total_shed,
+            total_crash_lost,
+            total_restarts,
+            degraded_shards,
             latency,
             latency_p50_us,
             latency_p99_us,
@@ -204,27 +264,29 @@ mod tests {
         assert_eq!(a.count(), 3);
     }
 
+    fn shard_stats(shard: usize, processed: u64, dropped: u64) -> ShardStats {
+        ShardStats {
+            shard,
+            processed,
+            dropped,
+            queue_high_water: 4,
+            rejected: 0,
+            shed: 0,
+            crash_lost: 0,
+            restarts: 0,
+            degraded: false,
+        }
+    }
+
     #[test]
     fn pipeline_stats_aggregates_shards() {
-        let shards = vec![
-            ShardStats {
-                shard: 0,
-                processed: 10,
-                dropped: 1,
-                queue_high_water: 4,
-            },
-            ShardStats {
-                shard: 1,
-                processed: 20,
-                dropped: 0,
-                queue_high_water: 7,
-            },
-        ];
+        let shards = vec![shard_stats(0, 10, 1), shard_stats(1, 20, 0)];
         let mut lat = LatencyHistogram::new();
         for _ in 0..30 {
             lat.record(Duration::from_micros(3));
         }
         let stats = PipelineStats::from_shards(shards, lat);
+        assert_eq!(stats.stats_version, STATS_VERSION);
         assert_eq!(stats.total_processed, 30);
         assert_eq!(stats.total_dropped, 1);
         assert!(stats.latency_p50_us > 0.0);
@@ -232,19 +294,63 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_aggregate_and_name_degraded_shards() {
+        let mut healthy = shard_stats(0, 50, 0);
+        healthy.rejected = 2;
+        let mut flaky = shard_stats(1, 30, 0);
+        flaky.shed = 5;
+        flaky.crash_lost = 3;
+        flaky.restarts = 2;
+        flaky.degraded = true;
+        let stats = PipelineStats::from_shards(vec![healthy, flaky], LatencyHistogram::new());
+        assert_eq!(stats.total_rejected, 2);
+        assert_eq!(stats.total_shed, 5);
+        assert_eq!(stats.total_crash_lost, 3);
+        assert_eq!(stats.total_restarts, 2);
+        assert_eq!(stats.degraded_shards, vec![1]);
+    }
+
+    #[test]
     fn stats_serialize_roundtrip() {
-        let shards = vec![ShardStats {
-            shard: 0,
-            processed: 5,
-            dropped: 0,
-            queue_high_water: 2,
-        }];
+        let mut shard = shard_stats(0, 5, 0);
+        shard.shed = 1;
+        shard.restarts = 1;
         let mut lat = LatencyHistogram::new();
         lat.record(Duration::from_micros(1));
-        let stats = PipelineStats::from_shards(shards, lat);
+        let stats = PipelineStats::from_shards(vec![shard], lat);
         let json = serde_json::to_string(&stats).unwrap();
         let back: PipelineStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn legacy_artifacts_without_fault_fields_still_parse() {
+        // A verbatim pre-fault-tolerance artifact shape: no stats_version,
+        // no rejected/shed/crash_lost/restarts/degraded anywhere. Old
+        // `results/` JSON must stay readable by new builds.
+        let legacy = r#"{
+            "shards": [
+                {"shard": 0, "processed": 7, "dropped": 1, "queue_high_water": 3}
+            ],
+            "total_processed": 7,
+            "total_dropped": 1,
+            "latency": {"counts": [0, 2, 5], "total": 7},
+            "latency_p50_us": 1.5,
+            "latency_p99_us": 2.0,
+            "obs": null
+        }"#;
+        let stats: PipelineStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(stats.stats_version, 0, "legacy artifacts read as v0");
+        assert_eq!(stats.total_processed, 7);
+        assert_eq!(stats.total_rejected, 0);
+        assert_eq!(stats.total_shed, 0);
+        assert_eq!(stats.total_crash_lost, 0);
+        assert_eq!(stats.total_restarts, 0);
+        assert!(stats.degraded_shards.is_empty());
+        let shard = &stats.shards[0];
+        assert_eq!(shard.processed, 7);
+        assert_eq!(shard.rejected, 0);
+        assert!(!shard.degraded);
     }
 
     #[test]

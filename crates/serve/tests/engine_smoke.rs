@@ -1,9 +1,11 @@
 //! Concurrency smoke tests for the sharded serving engine: high-volume
-//! zero-loss drain, concurrent snapshot readers, and panic containment.
+//! zero-loss drain, concurrent snapshot readers, and panic containment
+//! (worker restart from the last published snapshot; degradation once the
+//! restart budget is spent).
 
 use sketchad_core::{DetectorConfig, ScoreKind, StreamingDetector, SubspaceModel};
-use sketchad_serve::{BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine, ServeError};
-use std::sync::atomic::{AtomicBool, Ordering};
+use sketchad_serve::{BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const DIM: usize = 16;
@@ -134,84 +136,135 @@ impl StreamingDetector for FlakyDetector {
     }
 }
 
-/// A worker panic mid-stream surfaces as `WorkerPanicked` — from submit or
-/// from finish, never as a hang or a silent success.
+/// A detector panic mid-stream is contained to its shard: the worker
+/// restarts, re-adopts the last published snapshot (the panic struck after
+/// warmup, so one exists), and the pipeline finishes cleanly with exact
+/// loss accounting — no error, no hang, no silent loss.
 #[test]
-fn worker_panic_is_an_error_not_a_hang() {
-    let config = ServeConfig::new(2).with_queue_capacity(8);
-    let mut engine = ServeEngine::start(config, |shard| {
-        let inner = fd_factory(shard);
-        if shard == 1 {
+fn worker_panic_recovers_from_last_snapshot() {
+    const N: u64 = 4_000;
+    let builds = Arc::new(AtomicU64::new(0));
+    let config = ServeConfig::new(1)
+        .with_queue_capacity(64)
+        .with_snapshot_every(16);
+    let factory_builds = Arc::clone(&builds);
+    let mut engine = ServeEngine::start(config, move |shard| {
+        // The first build is flaky and dies at point 100 (after the warmup
+        // of 64, so snapshots at 64, 80, 96 exist to resume from); every
+        // rebuild is healthy.
+        if factory_builds.fetch_add(1, Ordering::Relaxed) == 0 {
             Box::new(FlakyDetector {
-                inner,
-                fail_after: 50,
+                inner: fd_factory(shard),
+                fail_after: 100,
             })
         } else {
-            inner
+            fd_factory(shard)
         }
     })
     .expect("start");
 
-    // Submit enough that shard 1 is guaranteed to hit its failure point;
-    // under blocking backpressure the dead shard must turn into an error
-    // rather than an eternal block on its full queue.
-    let mut saw_submit_error = None;
-    for i in 0..10_000u64 {
-        match engine.submit(wave(i)) {
-            Ok(_) => {}
-            Err(e) => {
-                saw_submit_error = Some(e);
-                break;
-            }
-        }
+    let outcome = engine.submit_batch((0..N).map(wave)).expect("submit");
+    assert_eq!(outcome.accepted, N, "blocking policy admits everything");
+    let report = engine.finish().expect("a contained panic must not error");
+
+    assert_eq!(builds.load(Ordering::Relaxed), 2, "factory rebuilt once");
+    let shard = &report.stats.shards[0];
+    assert_eq!(shard.restarts, 1);
+    assert!(!shard.degraded);
+    assert!(
+        shard.crash_lost >= 1,
+        "the in-flight point died in the panic"
+    );
+    // Conservation: every submission landed exactly one way.
+    assert_eq!(
+        report.stats.total_processed + report.stats.total_crash_lost,
+        N,
+        "scored + crash_lost must cover every accepted point"
+    );
+    assert_eq!(report.scores.len() as u64, report.stats.total_processed);
+    for &(_, score) in &report.scores {
+        assert!(score.is_finite());
     }
-    let result = engine.finish();
-    let err = match saw_submit_error {
-        Some(e) => e,
-        None => result.expect_err("panic must fail the pipeline"),
-    };
-    match err {
-        ServeError::WorkerPanicked { shard, message } => {
-            assert_eq!(shard, 1);
-            assert!(
-                message.contains("injected detector failure"),
-                "panic payload must be preserved, got: {message}"
-            );
-        }
-        other => panic!("expected WorkerPanicked, got {other:?}"),
-    }
+    // The rebuilt detector adopted the published snapshot instead of
+    // re-warming: points scored after the restart carry real (non-zero)
+    // scores, which a fresh 64-point warmup would have zeroed.
+    let post_restart_nonzero = report
+        .scores
+        .iter()
+        .filter(|&&(seq, score)| seq > 150 && score != 0.0)
+        .count();
+    assert!(
+        post_restart_nonzero > 0,
+        "restarted worker must resume scoring from the adopted model"
+    );
 }
 
-/// Same panic containment under `DropNewest`: the producer never blocks and
-/// still learns about the dead shard.
+/// A persistently panicking detector exhausts its restart budget and the
+/// shard degrades: updates shed with exact counts, the other shard keeps
+/// scoring, and `finish` still succeeds with the damage itemised.
 #[test]
-fn worker_panic_surfaces_under_drop_policy() {
-    let config = ServeConfig::new(1)
-        .with_queue_capacity(4)
-        .with_backpressure(BackpressurePolicy::DropNewest);
+fn exhausted_restart_budget_degrades_shard_not_pipeline() {
+    const N: u64 = 6_000;
+    let config = ServeConfig::new(2)
+        .with_queue_capacity(16)
+        .with_backpressure(BackpressurePolicy::DropNewest)
+        .with_max_restarts(1);
     let mut engine = ServeEngine::start(config, |shard| {
-        Box::new(FlakyDetector {
-            inner: fd_factory(shard),
-            fail_after: 10,
-        }) as Box<dyn StreamingDetector + Send>
+        if shard == 1 {
+            // Every incarnation dies after 10 points: restart once, die
+            // again, degrade.
+            Box::new(FlakyDetector {
+                inner: fd_factory(shard),
+                fail_after: 10,
+            })
+        } else {
+            fd_factory(shard)
+        }
     })
     .expect("start");
 
-    let mut submit_err = None;
-    for i in 0..100_000u64 {
-        match engine.submit(wave(i)) {
-            Ok(_) => {}
-            Err(e) => {
-                submit_err = Some(e);
-                break;
-            }
+    let outcome = engine.submit_batch((0..N).map(wave)).expect("submit");
+    // The degrade flag is set by the worker thread; wait for it, then
+    // verify post-degradation submissions to that shard shed at submit
+    // time while the healthy shard still accepts.
+    while !engine.is_degraded(1) {
+        std::thread::yield_now();
+    }
+    let mut late = sketchad_serve::BatchOutcome::default();
+    for i in N..N + 40 {
+        match engine.submit(wave(i)).expect("submit stays infallible") {
+            sketchad_serve::SubmitOutcome::Shed => late.shed += 1,
+            sketchad_serve::SubmitOutcome::Accepted => late.accepted += 1,
+            sketchad_serve::SubmitOutcome::Dropped => late.dropped += 1,
+            sketchad_serve::SubmitOutcome::Rejected(_) => late.rejected += 1,
         }
     }
-    let err = match submit_err {
-        Some(e) => e,
-        None => engine.finish().expect_err("dead shard must fail finish"),
-    };
-    assert!(matches!(err, ServeError::WorkerPanicked { shard: 0, .. }));
+    assert_eq!(late.shed, 20, "every point routed to the degraded shard");
+    assert_eq!(late.accepted + late.dropped, 20, "healthy shard unaffected");
+    let report = engine
+        .finish()
+        .expect("degradation must not fail the pipeline");
+
+    assert_eq!(report.stats.degraded_shards, vec![1]);
+    let flaky = &report.stats.shards[1];
+    assert_eq!(flaky.restarts, 2, "budget of 1 restart, then the fatal one");
+    assert!(flaky.degraded);
+    assert!(flaky.shed > 0, "a degraded shard sheds instead of scoring");
+    // The healthy shard carried its half of the stream.
+    let healthy = &report.stats.shards[0];
+    assert!(healthy.processed > 0);
+    assert!(!healthy.degraded);
+    assert_eq!(healthy.restarts, 0);
+    // Exact conservation across the whole pipeline, faults included.
+    assert_eq!(
+        report.stats.total_processed
+            + report.stats.total_dropped
+            + report.stats.total_rejected
+            + report.stats.total_shed
+            + report.stats.total_crash_lost,
+        N + 40
+    );
+    assert_eq!(outcome.submitted(), N);
 }
 
 /// Key-hash partitioning keeps a key's points on one shard even at volume,

@@ -1,0 +1,190 @@
+//! Fault-injection suite: drives the serving engine through the seeded
+//! [`FaultPlan`] harness and asserts the fault-tolerance contracts —
+//!
+//! * **No-fault fidelity**: a benign plan on one shard produces scores
+//!   bitwise identical to driving the detector directly.
+//! * **Poison isolation**: quarantined rows never touch the sketch; the
+//!   scores of the surviving rows are bitwise identical to a run that was
+//!   never shown the poison at all.
+//! * **Panic recovery**: an injected detector panic restarts the worker
+//!   from its last published snapshot and the pipeline finishes cleanly.
+//! * **Conservation**: under every fault mix,
+//!   `scored + dropped + rejected + shed + crash_lost == submitted`.
+
+use proptest::prelude::*;
+use sketchad_serve::BackpressurePolicy;
+use sketchad_system_tests::{base_detector, clean_point, poisoned_point, FaultPlan, FaultRun};
+
+/// One shard, blocking backpressure, no faults: the engine is a
+/// deterministic pipeline around the detector, so its scores must be
+/// bitwise identical to calling `process` directly.
+#[test]
+fn no_fault_path_is_bitwise_identical_to_direct_processing() {
+    const N: u64 = 500;
+    let plan = FaultPlan::benign(11);
+    let run = FaultRun::execute(&plan, N, 1, BackpressurePolicy::Block);
+    assert!(run.conservation_holds());
+    assert_eq!(run.outcome.accepted, N);
+    assert_eq!(run.panics_fired, 0);
+    assert_eq!(run.report.quarantine.total(), 0);
+
+    let mut direct = base_detector(plan.seed);
+    let direct_bits: Vec<u64> = (0..N)
+        .map(|i| direct.process(&clean_point(plan.seed, i)).to_bits())
+        .collect();
+    let engine_bits: Vec<u64> = run
+        .report
+        .scores
+        .iter()
+        .map(|&(_, s)| s.to_bits())
+        .collect();
+    assert_eq!(
+        engine_bits, direct_bits,
+        "engine must be a transparent wrapper on the no-fault path"
+    );
+}
+
+/// Poisoned rows are quarantined before the detector ever sees them: the
+/// scores of the surviving (clean) rows are bitwise identical to a control
+/// run whose stream contained only those clean rows.
+#[test]
+fn quarantined_poison_leaves_detector_state_bitwise_unchanged() {
+    const N: u64 = 600;
+    let poisoned_plan = FaultPlan::benign(23).with_poison_every(9);
+    let poisoned_run = FaultRun::execute(&poisoned_plan, N, 1, BackpressurePolicy::Block);
+    assert!(poisoned_run.conservation_holds());
+    assert!(
+        poisoned_run.injected_poison > 0,
+        "the fault must actually fire"
+    );
+    assert_eq!(
+        poisoned_run.report.stats.total_rejected, poisoned_run.injected_poison,
+        "every poisoned row is rejected, nothing else is"
+    );
+    assert_eq!(
+        poisoned_run.report.quarantine.total(),
+        poisoned_run.injected_poison
+    );
+
+    // Control: the same detector fed only the clean rows, in order.
+    let mut control = base_detector(poisoned_plan.seed);
+    let control_bits: Vec<u64> = (0..N)
+        .filter(|&i| poisoned_point(&poisoned_plan, i).is_none())
+        .map(|i| {
+            control
+                .process(&clean_point(poisoned_plan.seed, i))
+                .to_bits()
+        })
+        .collect();
+    let run_bits: Vec<u64> = poisoned_run
+        .report
+        .scores
+        .iter()
+        .map(|&(_, s)| s.to_bits())
+        .collect();
+    assert_eq!(
+        run_bits, control_bits,
+        "poison must not perturb the sketch: surviving scores diverged"
+    );
+}
+
+/// An injected detector panic is recovered by the shard supervisor: the
+/// worker restarts from its last published snapshot, the stream finishes,
+/// loss is bounded to the in-flight points, and accounting stays exact.
+#[test]
+fn injected_panic_recovers_with_bounded_loss() {
+    const N: u64 = 400;
+    let plan = FaultPlan::benign(5).with_panic_after(120);
+    let run = FaultRun::execute(&plan, N, 2, BackpressurePolicy::Block);
+    assert!(run.panics_fired >= 1, "the injected panic must fire");
+    assert!(run.conservation_holds());
+    let stats = &run.report.stats;
+    assert_eq!(stats.total_restarts, run.panics_fired);
+    assert!(stats.degraded_shards.is_empty(), "budget covers the faults");
+    // Loss is bounded: at most one micro-batch per panic died in flight.
+    assert!(stats.total_crash_lost >= run.panics_fired);
+    assert!(stats.total_crash_lost <= run.panics_fired * 64);
+    // Shard 1 (no fault injected) lost nothing.
+    assert_eq!(stats.shards[1].restarts, 0);
+    assert_eq!(stats.shards[1].crash_lost, 0);
+    for &(_, score) in &run.report.scores {
+        assert!(score.is_finite());
+    }
+}
+
+/// Queue saturation under the shedding policies: producers never block,
+/// nothing hangs, and the loss accounting is exact whichever way each
+/// point went.
+#[test]
+fn queue_saturation_sheds_with_exact_accounting() {
+    const N: u64 = 3_000;
+    let plan = FaultPlan::benign(17).with_queue_capacity(2);
+    for policy in [
+        BackpressurePolicy::DropNewest,
+        BackpressurePolicy::ShedOldest,
+    ] {
+        let run = FaultRun::execute(&plan, N, 1, policy);
+        assert!(run.conservation_holds(), "policy {policy:?}");
+        let stats = &run.report.stats;
+        assert_eq!(run.report.scores.len() as u64, stats.total_processed);
+        match policy {
+            // ShedOldest admits everything; losses are evictions (shed).
+            BackpressurePolicy::ShedOldest => {
+                assert_eq!(run.outcome.accepted, N);
+                assert_eq!(stats.total_dropped, 0);
+            }
+            // DropNewest refuses at the full queue; losses are drops.
+            _ => {
+                assert_eq!(stats.total_shed, 0);
+                assert_eq!(run.outcome.accepted, stats.total_processed);
+            }
+        }
+    }
+}
+
+/// The full seeded mix — poison, panics, and tiny queues at once — across
+/// several seeds: whatever combination a seed derives, the pipeline
+/// finishes, every score is finite, and every point is accounted for.
+#[test]
+fn seeded_fault_mixes_always_conserve_and_stay_finite() {
+    for seed in [1u64, 2, 3, 77, 2024] {
+        let plan = FaultPlan::from_seed(seed);
+        let run = FaultRun::execute(&plan, 500, 2, BackpressurePolicy::ShedOldest);
+        assert!(run.conservation_holds(), "seed {seed}: conservation broke");
+        assert!(run.injected_poison > 0, "seed {seed}: no poison injected");
+        assert_eq!(
+            run.report.stats.total_rejected, run.injected_poison,
+            "seed {seed}: rejection accounting"
+        );
+        for &(_, score) in &run.report.scores {
+            assert!(score.is_finite(), "seed {seed}: non-finite score leaked");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: whatever the poison cadence and seed, an engine fed
+    /// randomly interleaved poison rows never emits a non-finite score and
+    /// never loses track of a point.
+    #[test]
+    fn poison_interleaving_never_leaks_nonfinite_scores(
+        seed in 0u64..10_000,
+        every in 2u64..12,
+        shards in 1usize..4,
+    ) {
+        let plan = FaultPlan::benign(seed).with_poison_every(every);
+        let run = FaultRun::execute(&plan, 160, shards, BackpressurePolicy::Block);
+        prop_assert!(run.conservation_holds());
+        prop_assert!(run.injected_poison > 0);
+        prop_assert_eq!(run.report.stats.total_rejected, run.injected_poison);
+        prop_assert_eq!(
+            run.report.stats.total_processed,
+            run.submitted - run.injected_poison
+        );
+        for &(_, score) in &run.report.scores {
+            prop_assert!(score.is_finite());
+        }
+    }
+}

@@ -130,6 +130,22 @@ pub fn __field<T: Deserialize>(
     }
 }
 
+/// Derive-internal helper for `#[serde(default)]` fields: a field absent
+/// from the object deserializes as `Default::default()` instead of erroring,
+/// so artifacts written before the field existed stay readable.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    field: &str,
+    in_type: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::custom(format!("{in_type}.{field}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

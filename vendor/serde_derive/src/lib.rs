@@ -7,7 +7,10 @@
 //!
 //! * structs with named fields,
 //! * enums with unit variants and struct (named-field) variants,
-//! * the `#[serde(try_from = "Type")]` container attribute on `Deserialize`.
+//! * the `#[serde(try_from = "Type")]` container attribute on `Deserialize`,
+//! * the `#[serde(default)]` field attribute on `Deserialize` (a missing
+//!   field falls back to `Default::default()`, which is how versioned
+//!   artifacts stay readable across schema growth).
 //!
 //! Anything else (tuple structs, generics, other serde attributes) is
 //! rejected with a `compile_error!` naming the unsupported feature, so a
@@ -28,43 +31,61 @@ struct Input {
     try_from: Option<String>,
 }
 
+/// One named field plus its parsed serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing field as
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 enum Shape {
     /// Named fields of a struct.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     /// Enum variants: `(name, fields)` where unit variants have no fields.
-    Enum(Vec<(String, Vec<String>)>),
+    Enum(Vec<(String, Vec<Field>)>),
+}
+
+/// A recognized `#[serde(...)]` attribute.
+enum SerdeAttr {
+    /// Container-level `try_from = "Type"`.
+    TryFrom(String),
+    /// Field-level `default`.
+    Default,
 }
 
 fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().expect("error tokens")
 }
 
-/// Extracts `try_from = "Type"` from the tokens inside a `#[serde(...)]`
-/// attribute group; errors on any other serde attribute.
-fn parse_serde_attr(tokens: &[TokenTree]) -> Result<Option<String>, String> {
-    // Expected: `try_from = "Type"`.
+/// Parses the tokens inside a `#[serde(...)]` attribute group; errors on
+/// any serde attribute outside the supported subset.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Result<SerdeAttr, String> {
     match tokens {
+        // `try_from = "Type"`.
         [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
             if key.to_string() == "try_from" && eq.as_char() == '=' =>
         {
             let raw = lit.to_string();
             let inner = raw.trim_matches('"');
-            Ok(Some(inner.to_string()))
+            Ok(SerdeAttr::TryFrom(inner.to_string()))
         }
+        // `default`.
+        [TokenTree::Ident(key)] if key.to_string() == "default" => Ok(SerdeAttr::Default),
         _ => {
             let rendered: String = tokens.iter().map(|t| t.to_string()).collect();
-            Err(format!("unsupported #[serde({rendered})] attribute (stand-in derive supports only try_from)"))
+            Err(format!("unsupported #[serde({rendered})] attribute (stand-in derive supports only try_from and default)"))
         }
     }
 }
 
-/// Consumes leading attributes from `iter`, returning any `try_from` target
-/// found in a `#[serde(...)]` attribute.
+/// Consumes leading attributes from `trees`, returning every recognized
+/// `#[serde(...)]` attribute found.
 fn skip_attributes(
     trees: &[TokenTree],
     mut pos: usize,
-) -> Result<(usize, Option<String>), String> {
-    let mut try_from = None;
+) -> Result<(usize, Vec<SerdeAttr>), String> {
+    let mut attrs = Vec::new();
     loop {
         match (trees.get(pos), trees.get(pos + 1)) {
             (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
@@ -76,14 +97,12 @@ fn skip_attributes(
                 {
                     if name.to_string() == "serde" {
                         let args: Vec<TokenTree> = args.stream().into_iter().collect();
-                        if let Some(t) = parse_serde_attr(&args)? {
-                            try_from = Some(t);
-                        }
+                        attrs.push(parse_serde_attr(&args)?);
                     }
                 }
                 pos += 2;
             }
-            _ => return Ok((pos, try_from)),
+            _ => return Ok((pos, attrs)),
         }
     }
 }
@@ -106,14 +125,20 @@ fn skip_visibility(trees: &[TokenTree], mut pos: usize) -> usize {
 /// Parses the named fields inside a brace group, returning field names.
 /// Skips per-field attributes, visibility and types (types are never needed:
 /// generated code relies on inference through the struct constructor).
-fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
     let trees: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < trees.len() {
-        let (next, attr) = skip_attributes(&trees, pos)?;
-        if attr.is_some() {
-            return Err("field-level #[serde(...)] attributes are unsupported".into());
+        let (next, attrs) = skip_attributes(&trees, pos)?;
+        let mut default = false;
+        for attr in attrs {
+            match attr {
+                SerdeAttr::Default => default = true,
+                SerdeAttr::TryFrom(_) => {
+                    return Err("field-level #[serde(try_from)] is unsupported".into());
+                }
+            }
         }
         pos = skip_visibility(&trees, next);
         let name = match trees.get(pos) {
@@ -141,13 +166,13 @@ fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> 
             }
             pos += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
 
 /// Parses enum variants from a brace group.
-fn parse_variants(group: &proc_macro::Group) -> Result<Vec<(String, Vec<String>)>, String> {
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<(String, Vec<Field>)>, String> {
     let trees: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut variants = Vec::new();
     let mut pos = 0;
@@ -185,7 +210,16 @@ fn parse_variants(group: &proc_macro::Group) -> Result<Vec<(String, Vec<String>)
 
 fn parse_input(input: TokenStream) -> Result<Input, String> {
     let trees: Vec<TokenTree> = input.into_iter().collect();
-    let (pos, try_from) = skip_attributes(&trees, 0)?;
+    let (pos, attrs) = skip_attributes(&trees, 0)?;
+    let mut try_from = None;
+    for attr in attrs {
+        match attr {
+            SerdeAttr::TryFrom(t) => try_from = Some(t),
+            SerdeAttr::Default => {
+                return Err("container-level #[serde(default)] is unsupported".into());
+            }
+        }
+    }
     let mut pos = skip_visibility(&trees, pos);
     let kind = match trees.get(pos) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -230,6 +264,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                     )
@@ -246,10 +281,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     if fields.is_empty() {
                         format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
                     } else {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let pushes: String = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"
                                 )
@@ -296,12 +336,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         );
         return out.parse().expect("generated try_from Deserialize impl parses");
     }
+    let field_init = |f: &Field| {
+        let helper = if f.default {
+            "__field_or_default"
+        } else {
+            "__field"
+        };
+        let f = &f.name;
+        format!("{f}: ::serde::{helper}(entries, {f:?}, {name:?})?,\n")
+    };
     let body = match &parsed.shape {
         Shape::Struct(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__field(entries, {f:?}, {name:?})?,\n"))
-                .collect();
+            let inits: String = fields.iter().map(field_init).collect();
             format!(
                 "let entries = value.as_object().ok_or_else(|| \
                  ::serde::DeError::custom(::std::format!(\"expected object for struct {name}\")))?;\n\
@@ -318,10 +364,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter(|(_, f)| !f.is_empty())
                 .map(|(v, fields)| {
-                    let inits: String = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::__field(entries, {f:?}, {name:?})?,\n"))
-                        .collect();
+                    let inits: String = fields.iter().map(field_init).collect();
                     format!(
                         "{v:?} => {{\n\
                          let entries = inner.as_object().ok_or_else(|| \
