@@ -1,0 +1,198 @@
+//! End-to-end smoke test of the live telemetry exporters, run as a CI
+//! gate: launches the real `sketchad` CLI binary with `pipeline
+//! --metrics-addr 127.0.0.1:0 --telemetry-out …` on a synthetic stream,
+//! scrapes the Prometheus endpoint once over raw TCP while the run holds
+//! it open, then validates the flight-recorder JSONL it left behind.
+//!
+//! ```text
+//! cargo run -p sketchad-bench --bin exporter_smoke [-- --keep] [-- --out FILE.jsonl]
+//! ```
+//!
+//! `--out` pins the flight-recording path (and implies `--keep`), so CI
+//! can hand the surviving file to `schema_check` as a second, independent
+//! validator.
+//!
+//! The CLI binary is located via `SKETCHAD_BIN` when set, falling back to
+//! a `sketchad` binary sitting next to this executable (the normal cargo
+//! target-dir layout when both are built with the same profile). Exits
+//! non-zero on the first failed expectation.
+
+use sketchad_obs::{TelemetryRecord, TELEMETRY_SCHEMA};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exporter_smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The `sketchad` CLI binary: `SKETCHAD_BIN` override, else a sibling of
+/// this executable.
+fn cli_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("SKETCHAD_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    path.set_file_name(format!("sketchad{}", std::env::consts::EXE_SUFFIX));
+    if !path.is_file() {
+        fail(&format!(
+            "CLI binary not found at {} — build it first (cargo build -p sketchad-cli) \
+             or point SKETCHAD_BIN at it",
+            path.display()
+        ));
+    }
+    path
+}
+
+/// Kills the child on drop so a failed expectation never leaks a process.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let keep = args.iter().any(|a| a == "--keep") || out.is_some();
+    let telemetry = out.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "sketchad-exporter-smoke-{}.jsonl",
+            std::process::id()
+        ))
+    });
+
+    let bin = cli_binary();
+    println!("exporter_smoke: launching {}", bin.display());
+    let child = Command::new(&bin)
+        .args([
+            "pipeline",
+            "--dataset",
+            "synth-lowrank",
+            "--small",
+            "--shards",
+            "2",
+            "--warmup",
+            "100",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--telemetry-out",
+            telemetry.to_str().unwrap(),
+            "--telemetry-every-ms",
+            "5",
+            // Keep the endpoint up after the (fast) run so the scrape
+            // below cannot lose the race with the stream ending.
+            "--metrics-hold-ms",
+            "30000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn {}: {e}", bin.display())));
+    let mut child = Reaper(child);
+
+    // The CLI prints the bound (ephemeral) address as its first output.
+    let stdout = child.0.stdout.take().unwrap_or_else(|| fail("no stdout"));
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let Some(line) = lines.next() else {
+            fail("CLI exited before printing the metrics endpoint");
+        };
+        let line = line.unwrap_or_else(|e| fail(&format!("read CLI stdout: {e}")));
+        println!("  cli: {line}");
+        if let Some(rest) = line.strip_prefix("metrics endpoint: http://") {
+            let Some(addr) = rest.strip_suffix("/metrics") else {
+                fail(&format!("malformed endpoint line {line:?}"));
+            };
+            break addr.to_string();
+        }
+    };
+
+    // Scrape it. Retry briefly: the endpoint is up, but the first frames
+    // may still be in flight.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let body = loop {
+        let body = scrape(&addr);
+        match body {
+            Some(body) if body.contains("sketchad_processed_total") => break body,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(100)),
+            Some(body) => fail(&format!("no sketchad_processed_total in scrape:\n{body}")),
+            None => fail("endpoint never became scrapeable"),
+        }
+    };
+    if !body.starts_with("HTTP/1.1 200 OK") {
+        fail(&format!("expected 200 OK, got:\n{body}"));
+    }
+    for family in ["sketchad_processed_total", "sketchad_conservation_ok"] {
+        if !body.contains(family) {
+            fail(&format!("scrape is missing {family}:\n{body}"));
+        }
+    }
+    println!("exporter_smoke: scraped http://{addr}/metrics OK");
+
+    // Wait for the pipeline to finish and flush the JSONL (the CLI then
+    // idles in its --metrics-hold-ms sleep, which the kill cuts short).
+    loop {
+        let Some(line) = lines.next() else {
+            fail("CLI exited before confirming the telemetry file");
+        };
+        let line = line.unwrap_or_else(|e| fail(&format!("read CLI stdout: {e}")));
+        println!("  cli: {line}");
+        if line.starts_with("wrote telemetry to ") {
+            break;
+        }
+    }
+    drop(child);
+
+    let raw = std::fs::read_to_string(&telemetry)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", telemetry.display())));
+    let mut frames = 0usize;
+    let mut last_step = None;
+    for (i, line) in raw.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let record: TelemetryRecord = serde_json::from_str(line)
+            .unwrap_or_else(|e| fail(&format!("telemetry line {}: {e}", i + 1)));
+        if record.schema != TELEMETRY_SCHEMA {
+            fail(&format!(
+                "telemetry line {}: schema {:?}",
+                i + 1,
+                record.schema
+            ));
+        }
+        if last_step.is_some_and(|prev| record.step <= prev) {
+            fail(&format!("telemetry line {}: step did not advance", i + 1));
+        }
+        last_step = Some(record.step);
+        frames += 1;
+    }
+    if frames == 0 {
+        fail("flight recorder wrote no frames");
+    }
+    println!("exporter_smoke: {frames} telemetry frame(s) validated");
+    if keep {
+        println!("exporter_smoke: kept {}", telemetry.display());
+    } else {
+        let _ = std::fs::remove_file(&telemetry);
+    }
+    println!("exporter_smoke OK");
+}
+
+/// One raw-TCP GET of `/metrics`; `None` when the connection is refused.
+fn scrape(addr: &str) -> Option<String> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let mut body = String::new();
+    conn.read_to_string(&mut body).ok()?;
+    Some(body)
+}

@@ -14,12 +14,15 @@
 //! * experiment artifacts (`f*.json`, `t*.json`, `a*.json`) — `id`
 //!   matching the file stem, `description`, and a non-empty `results`
 //!   array whose entries are objects.
+//! * `*.jsonl` telemetry flight recordings — at least one line, every line
+//!   a valid `TelemetryRecord` carrying the `sketchad-telemetry/v1` schema
+//!   tag, with strictly increasing sample steps.
 //!
 //! Exits non-zero listing every violation (not just the first), so one CI
 //! run shows the full damage.
 
 use serde::Value;
-use sketchad_obs::{ObsArtifact, OBS_SCHEMA};
+use sketchad_obs::{ObsArtifact, TelemetryRecord, OBS_SCHEMA, TELEMETRY_SCHEMA};
 use std::path::Path;
 
 fn get<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
@@ -51,6 +54,44 @@ fn check_file(path: &Path) -> Vec<String> {
             return violations;
         }
     };
+
+    if path.extension().is_some_and(|x| x == "jsonl") {
+        // Telemetry flight recording: one TelemetryRecord per line,
+        // strictly increasing steps (the sampler's monotone counter).
+        let mut last_step: Option<u64> = None;
+        let mut frames = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            frames += 1;
+            match serde_json::from_str::<TelemetryRecord>(line) {
+                Ok(record) => {
+                    if record.schema != TELEMETRY_SCHEMA {
+                        violation(format!(
+                            "line {}: schema tag {:?} (expected {TELEMETRY_SCHEMA:?})",
+                            i + 1,
+                            record.schema
+                        ));
+                    }
+                    if last_step.is_some_and(|prev| record.step <= prev) {
+                        violation(format!(
+                            "line {}: step {} does not advance past {}",
+                            i + 1,
+                            record.step,
+                            last_step.unwrap_or(0)
+                        ));
+                    }
+                    last_step = Some(record.step);
+                }
+                Err(e) => violation(format!("line {}: not a valid TelemetryRecord: {e}", i + 1)),
+            }
+        }
+        if frames == 0 {
+            violation("no telemetry frames".to_string());
+        }
+        return violations;
+    }
 
     if name.starts_with("OBS_") {
         // The strongest check available: the real deserializer.
@@ -144,7 +185,7 @@ fn main() {
         Ok(entries) => entries
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .filter(|p| p.extension().is_some_and(|x| x == "json" || x == "jsonl"))
             .collect(),
         Err(e) => {
             eprintln!("schema_check: cannot read {}: {e}", root.display());
@@ -251,12 +292,44 @@ mod tests {
         let mut checked = 0;
         for entry in std::fs::read_dir(results).unwrap() {
             let path = entry.unwrap().path();
-            if path.extension().is_some_and(|x| x == "json") {
+            if path
+                .extension()
+                .is_some_and(|x| x == "json" || x == "jsonl")
+            {
                 let violations = check_file(&path);
                 assert!(violations.is_empty(), "{violations:?}");
                 checked += 1;
             }
         }
         assert!(checked > 0, "no committed artifacts found");
+    }
+
+    #[test]
+    fn telemetry_jsonl_rule() {
+        let dir = tmpdir("jsonl");
+        let good = write(
+            &dir,
+            "TELEMETRY_ok.jsonl",
+            "{\"schema\":\"sketchad-telemetry/v1\",\"step\":0,\"elapsed_ms\":0,\"counters\":{\"processed\":1},\"gauges\":{}}\n\
+             {\"schema\":\"sketchad-telemetry/v1\",\"step\":1,\"elapsed_ms\":100,\"counters\":{\"processed\":9},\"gauges\":{}}\n",
+        );
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+        let stale_step = write(
+            &dir,
+            "TELEMETRY_stale.jsonl",
+            "{\"schema\":\"sketchad-telemetry/v1\",\"step\":1,\"elapsed_ms\":0}\n\
+             {\"schema\":\"sketchad-telemetry/v1\",\"step\":1,\"elapsed_ms\":1}\n",
+        );
+        assert!(check_file(&stale_step)[0].contains("does not advance"));
+        let wrong_schema = write(
+            &dir,
+            "TELEMETRY_schema.jsonl",
+            "{\"schema\":\"sketchad-telemetry/v0\",\"step\":0,\"elapsed_ms\":0}\n",
+        );
+        assert!(check_file(&wrong_schema)[0].contains("schema tag"));
+        let empty = write(&dir, "TELEMETRY_empty.jsonl", "\n");
+        assert!(check_file(&empty)[0].contains("no telemetry frames"));
+        let garbage = write(&dir, "TELEMETRY_garbage.jsonl", "not json\n");
+        assert!(check_file(&garbage)[0].contains("not a valid TelemetryRecord"));
     }
 }

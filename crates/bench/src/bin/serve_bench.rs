@@ -2,11 +2,13 @@
 //! versus shard count, recorded as `results/BENCH_serve.json`. A final
 //! instrumented pass re-runs the 4-shard configuration with per-shard
 //! `MetricsRecorder`s and exports the merged per-stage span timings and
-//! refresh/snapshot events as `results/OBS_serve.json`.
+//! refresh/snapshot events as `results/OBS_serve.json`, plus a live
+//! telemetry flight recording (`sketchad-telemetry/v1` JSONL, one line per
+//! sample) as `results/TELEMETRY_serve.jsonl`.
 //!
 //! ```text
 //! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--out FILE]
-//!     [--metrics-out FILE]
+//!     [--metrics-out FILE] [--telemetry-out FILE]
 //! ```
 //!
 //! Numbers are measured on whatever hardware runs this — the artifact
@@ -17,7 +19,7 @@
 use serde::Serialize;
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_obs::{ObsArtifact, RecorderHandle};
-use sketchad_serve::{ServeConfig, ServeEngine};
+use sketchad_serve::{ServeConfig, ServeEngine, TelemetryConfig};
 use sketchad_streams::{generate_low_rank_stream, AnomalyKind, LowRankStreamConfig};
 use std::time::Instant;
 
@@ -79,6 +81,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::to_string)
         .unwrap_or_else(|| "results/OBS_serve.json".to_string());
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry-out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::to_string)
+        .unwrap_or_else(|| "results/TELEMETRY_serve.jsonl".to_string());
 
     let n = if small { 20_000 } else { 100_000 };
     let d = 48;
@@ -184,8 +192,19 @@ fn main() {
         build_instrumented(d, recorder)
     })
     .expect("engine start");
+    // Live telemetry rides along: a fast sampler flight-records the whole
+    // instrumented pass (committed as the reference telemetry artifact).
+    let telemetry = engine
+        .start_telemetry(
+            &TelemetryConfig::new()
+                .with_sample_every(std::time::Duration::from_millis(25))
+                .with_flight_recorder(&telemetry_path),
+        )
+        .expect("start telemetry");
     engine.submit_batch(points.iter().cloned()).expect("submit");
     let report = engine.finish().expect("drain");
+    drop(telemetry);
+    println!("wrote {telemetry_path}");
     let obs = report
         .stats
         .obs

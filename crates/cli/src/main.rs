@@ -32,7 +32,7 @@ use sketchad_eval::{fmt_opt, roc_auc};
 use sketchad_obs::{MetricsRecorder, ObsArtifact, Recorder, RecorderHandle};
 use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
 
-const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [options]
+const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|watch|datasets> [options]
   generate --dataset NAME --output FILE [--small]
   score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
            [--score rel-proj|proj|leverage|blended] [--warmup N]
@@ -44,7 +44,10 @@ const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|datasets> [o
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
            [--max-batch N] [--max-restarts N] [--output FILE]
-           [--stats-json FILE] [--metrics-out FILE] [--quiet]
+           [--stats-json FILE] [--metrics-out FILE]
+           [--metrics-addr HOST:PORT] [--telemetry-out FILE.jsonl]
+           [--telemetry-every-ms N] [--metrics-hold-ms N] [--watch] [--quiet]
+  watch    --input FILE.jsonl [--follow] [--for-ms N] [--every-ms N]
   datasets";
 
 /// Points scored per batched call in `score`/`apply` — large enough to
@@ -82,6 +85,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "score" => cmd_score(&parsed),
         "apply" => cmd_apply(&parsed),
         "pipeline" => cmd_pipeline(&parsed),
+        "watch" => cmd_watch(&parsed),
         "datasets" => {
             for name in dataset_names() {
                 println!("{name}");
@@ -385,7 +389,9 @@ fn cmd_apply(p: &ParsedArgs) -> Result<(), String> {
 /// stream across worker shards, reports throughput and latency quantiles,
 /// and optionally dumps scores and the stats JSON artifact.
 fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
-    use sketchad_serve::{BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine};
+    use sketchad_serve::{
+        BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine, TelemetryConfig,
+    };
 
     // Input: a CSV file or a named builtin dataset.
     let stream = match (p.options.get("input"), p.options.get("dataset")) {
@@ -474,6 +480,18 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .with_max_batch(max_batch)
         .with_max_restarts(max_restarts);
     let metrics_out = p.options.get("metrics-out").cloned();
+    // Live telemetry: any of these turns on the background sampler (and
+    // forces the instrumented engine so recorder-tier series exist too).
+    let metrics_addr = p.options.get("metrics-addr").cloned();
+    let telemetry_out = p.options.get("telemetry-out").cloned();
+    let telemetry_every_ms: u64 = p
+        .get_parse_or("telemetry-every-ms", 100, "positive integer milliseconds")
+        .map_err(|e| e.to_string())?;
+    let metrics_hold_ms: u64 = p
+        .get_parse_or("metrics-hold-ms", 0, "integer milliseconds")
+        .map_err(|e| e.to_string())?;
+    let watch = p.has_flag("watch");
+    let telemetry_wanted = metrics_addr.is_some() || telemetry_out.is_some() || watch;
     // Validate up front: the factory also rebuilds detectors after worker
     // panics (on the worker thread), so it must be infallible — and
     // `Send + 'static`, hence the owned captures below.
@@ -501,12 +519,58 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
             _ => build_detector!(build_rs),
         }
     };
-    let mut engine = if metrics_out.is_some() {
+    let mut engine = if metrics_out.is_some() || telemetry_wanted {
         ServeEngine::start_instrumented(serve_config, move |_shard, recorder| build(Some(recorder)))
     } else {
         ServeEngine::start(serve_config, move |_shard| build(None))
     }
     .map_err(|e| e.to_string())?;
+
+    // Telemetry session: sampler (plus Prometheus endpoint / JSONL flight
+    // recorder) over the running engine. The sampler stops inside
+    // `finish()`; the handle keeps the HTTP endpoint alive until dropped.
+    let telemetry_handle = if telemetry_wanted {
+        let mut tcfg = TelemetryConfig::new()
+            .with_sample_every(std::time::Duration::from_millis(telemetry_every_ms.max(1)));
+        if let Some(addr) = &metrics_addr {
+            tcfg = tcfg.with_metrics_addr(addr.clone());
+        }
+        if let Some(path) = &telemetry_out {
+            tcfg = tcfg.with_flight_recorder(path);
+        }
+        let handle = engine.start_telemetry(&tcfg).map_err(|e| e.to_string())?;
+        if let Some(addr) = handle.metrics_addr() {
+            // Printed even under --quiet: with port 0 this line is the only
+            // way to learn where the endpoint landed.
+            println!("metrics endpoint: http://{addr}/metrics");
+        }
+        Some(handle)
+    } else {
+        None
+    };
+    // --watch: a terminal ticker over the live series while the run goes.
+    let watch_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watch_join = telemetry_handle.as_ref().filter(|_| watch).map(|handle| {
+        let store = handle.store();
+        let stop = Arc::clone(&watch_stop);
+        std::thread::spawn(move || {
+            use std::io::IsTerminal;
+            let tty = std::io::stderr().is_terminal();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(line) = watch_status_line(&store) {
+                    if tty {
+                        eprint!("\r{line}\x1b[K");
+                    } else {
+                        eprintln!("{line}");
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            if tty {
+                eprintln!();
+            }
+        })
+    });
 
     let started = std::time::Instant::now();
     let batch = engine
@@ -514,6 +578,10 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let report = engine.finish().map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
+    watch_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(join) = watch_join {
+        let _ = join.join();
+    }
     let stats = &report.stats;
 
     if !p.has_flag("quiet") {
@@ -597,7 +665,160 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
             println!("wrote metrics to {path}");
         }
     }
+    if let Some(path) = &telemetry_out {
+        println!("wrote telemetry to {path}");
+    }
+    // Keep the Prometheus endpoint (serving the final, quiesced frame)
+    // alive for scrapers that arrive after the stream ends.
+    if metrics_hold_ms > 0 && telemetry_handle.is_some() {
+        std::thread::sleep(std::time::Duration::from_millis(metrics_hold_ms));
+    }
+    drop(telemetry_handle);
     Ok(())
+}
+
+/// One line of live pipeline status from the sampled series, for `--watch`.
+fn watch_status_line(store: &sketchad_obs::SeriesStore) -> Option<String> {
+    let frame = store.latest()?;
+    let rate = store
+        .rate_per_sec("processed")
+        .map(|r| format!("{r:.0}"))
+        .unwrap_or_else(|| "-".into());
+    let p99 = frame
+        .gauge("submit_latency_p99_us")
+        .map(|v| format!("{v:.0}"))
+        .unwrap_or_else(|| "-".into());
+    let conserved = if frame.gauge("conservation_ok") == Some(1.0) {
+        "ok"
+    } else {
+        "LAG"
+    };
+    Some(format!(
+        "step {:>4} | {:>8} pts/s | depth {:>5} | p99 {:>6} us | shed {} crash {} restarts {} | conservation {}",
+        frame.step,
+        rate,
+        frame.gauge("queue_depth").unwrap_or(0.0) as u64,
+        p99,
+        frame.counter("shed"),
+        frame.counter("crash_lost"),
+        frame.counter("restarts"),
+        conserved,
+    ))
+}
+
+/// Offline/tailing viewer over a telemetry JSONL file (the pipeline's
+/// `--telemetry-out` flight recording): replays the frames into a
+/// [`sketchad_obs::SeriesStore`] and renders a summary table, refreshing
+/// while `--follow`ing a live file.
+fn cmd_watch(p: &ParsedArgs) -> Result<(), String> {
+    use sketchad_obs::{SeriesStore, TelemetryRecord};
+
+    let input = p.require("input").map_err(|e| e.to_string())?;
+    let follow = p.has_flag("follow");
+    let for_ms: u64 = p
+        .get_parse_or("for-ms", 2_000, "integer milliseconds")
+        .map_err(|e| e.to_string())?;
+    let every_ms: u64 = p
+        .get_parse_or("every-ms", 250, "positive integer milliseconds")
+        .map_err(|e| e.to_string())?;
+    let quiet = p.has_flag("quiet");
+    let started = std::time::Instant::now();
+    let store = SeriesStore::new(4096);
+    let mut consumed = 0usize;
+    let mut malformed = 0usize;
+    loop {
+        // Flight recordings are small (one line per sample period); re-read
+        // in full and skip lines already ingested rather than tracking file
+        // offsets across truncations.
+        let raw = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+        for line in raw.lines().skip(consumed) {
+            consumed += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<TelemetryRecord>(line) {
+                Ok(record) => store.ingest(&record.into_frame()),
+                Err(_) => malformed += 1,
+            }
+        }
+        if !quiet {
+            render_watch(&store, input, malformed);
+        }
+        if !follow || started.elapsed().as_millis() as u64 >= for_ms {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(every_ms.max(10)));
+    }
+    if store.frames() == 0 {
+        return Err(format!(
+            "{input}: no telemetry frames (malformed lines: {malformed})"
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the watch table for the current store state. On a terminal the
+/// screen is cleared between refreshes; otherwise each refresh appends.
+fn render_watch(store: &sketchad_obs::SeriesStore, source: &str, malformed: usize) {
+    use std::io::IsTerminal;
+    let Some(frame) = store.latest() else {
+        println!("{source}: no frames yet");
+        return;
+    };
+    let mut out = String::new();
+    if std::io::stdout().is_terminal() {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    out.push_str(&format!(
+        "watching {source} — step {} at {:.1}s ({} frames{})\n",
+        frame.step,
+        frame.elapsed_ms as f64 / 1e3,
+        store.frames(),
+        if malformed > 0 {
+            format!(", {malformed} malformed lines")
+        } else {
+            String::new()
+        }
+    ));
+    let rate = store
+        .rate_per_sec("processed")
+        .map(|r| format!("{r:.0}/s"))
+        .unwrap_or_else(|| "-".into());
+    out.push_str(&format!(
+        "  submitted {:>10}  processed {:>10} ({rate})\n",
+        frame.counter("submitted"),
+        frame.counter("processed"),
+    ));
+    out.push_str(&format!(
+        "  queue depth {:>7}  high water {:>9}  degraded shards {}\n",
+        frame.gauge("queue_depth").unwrap_or(0.0) as u64,
+        frame.gauge("queue_high_water").unwrap_or(0.0) as u64,
+        frame.gauge("degraded_shards").unwrap_or(0.0) as u64,
+    ));
+    if let Some(p99) = frame.gauge("submit_latency_p99_us") {
+        out.push_str(&format!(
+            "  submit latency p50 {:.1} us  p99 {:.1} us  p999 {:.1} us\n",
+            frame.gauge("submit_latency_p50_us").unwrap_or(0.0),
+            p99,
+            frame.gauge("submit_latency_p999_us").unwrap_or(0.0),
+        ));
+    }
+    out.push_str(&format!(
+        "  dropped {}  rejected {}  shed {}  crash_lost {}  restarts {}  events_dropped {}\n",
+        frame.counter("dropped"),
+        frame.counter("rejected"),
+        frame.counter("shed"),
+        frame.counter("crash_lost"),
+        frame.counter("restarts"),
+        frame.counter("events_dropped"),
+    ));
+    let lag = frame.gauge("conservation_lag").unwrap_or(0.0);
+    let ok = frame.gauge("conservation_ok") == Some(1.0);
+    out.push_str(&format!(
+        "  conservation lag {lag:+.0} ({})\n",
+        if ok { "within slack" } else { "VIOLATED" }
+    ));
+    print!("{out}");
 }
 
 /// Threshold wrapper over a boxed detector (ThresholdedDetector is generic
@@ -969,6 +1190,117 @@ mod tests {
         assert!(artifact.report.span("sketch_update").unwrap().count > 0);
         assert!(artifact.report.span("model_refresh").unwrap().count > 0);
         assert!(artifact.report.event_count("refresh_fired") > 0);
+    }
+
+    #[test]
+    fn pipeline_telemetry_out_produces_valid_jsonl_and_watch_reads_it() {
+        use sketchad_obs::{TelemetryRecord, TELEMETRY_SCHEMA};
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let telemetry = dir.join(format!("sketchad-pipeline-telemetry-{pid}.jsonl"));
+        run(&[
+            "pipeline".into(),
+            "--dataset".into(),
+            "synth-lowrank".into(),
+            "--small".into(),
+            "--shards".into(),
+            "2".into(),
+            "--warmup".into(),
+            "100".into(),
+            "--telemetry-out".into(),
+            telemetry.to_str().unwrap().into(),
+            "--telemetry-every-ms".into(),
+            "5".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let raw = std::fs::read_to_string(&telemetry).unwrap();
+        let frames: Vec<_> = raw
+            .lines()
+            .map(|line| {
+                let record: TelemetryRecord = serde_json::from_str(line).unwrap();
+                assert_eq!(record.schema, TELEMETRY_SCHEMA);
+                record.into_frame()
+            })
+            .collect();
+        assert!(!frames.is_empty(), "flight recorder wrote no frames");
+        for pair in frames.windows(2) {
+            assert!(pair[0].step < pair[1].step, "steps must increase");
+        }
+        // The final frame is taken after the workers quiesce: the
+        // conservation identity holds exactly there.
+        let last = frames.last().unwrap();
+        assert_eq!(last.gauge("conservation_lag"), Some(0.0));
+        assert_eq!(last.gauge("conservation_ok"), Some(1.0));
+        let expected = dataset_by_name("synth-lowrank", DatasetScale::Small)
+            .unwrap()
+            .len() as u64;
+        assert_eq!(last.counter("processed"), expected);
+        assert_eq!(last.counter("submitted"), expected);
+
+        // The watch subcommand replays the same file without error …
+        run(&[
+            "watch".into(),
+            "--input".into(),
+            telemetry.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        // … and a missing file is a clean error.
+        assert!(run(&[
+            "watch".into(),
+            "--input".into(),
+            "/nonexistent/telemetry.jsonl".into(),
+            "--quiet".into(),
+        ])
+        .is_err());
+        std::fs::remove_file(&telemetry).ok();
+    }
+
+    #[test]
+    fn pipeline_metrics_addr_serves_prometheus_endpoint() {
+        // End-to-end: run a pipeline with the exporter bound to an
+        // ephemeral port and scrape it while the endpoint is held open.
+        // Library-level (not subprocess) so we reach the handle directly.
+        use sketchad_serve::{ServeConfig, ServeEngine, TelemetryConfig};
+        let mut engine = ServeEngine::start_instrumented(
+            ServeConfig::new(2).with_snapshot_every(64),
+            |_shard, recorder| {
+                Box::new(
+                    DetectorConfig::new(5, 32)
+                        .with_warmup(100)
+                        .with_seed(1234)
+                        .build_fd(16)
+                        .with_recorder(recorder),
+                )
+            },
+        )
+        .unwrap();
+        let handle = engine
+            .start_telemetry(
+                &TelemetryConfig::new()
+                    .with_sample_every(std::time::Duration::from_millis(5))
+                    .with_metrics_addr("127.0.0.1:0"),
+            )
+            .unwrap();
+        let addr = handle.metrics_addr().expect("endpoint bound");
+        for i in 0..500u64 {
+            let t = i as f64 * 0.05;
+            engine
+                .submit((0..16).map(|j| (t + j as f64).sin()).collect())
+                .unwrap();
+        }
+        engine.finish().unwrap();
+        // Scrape after quiesce: the final frame is still served.
+        use std::io::{Read as _, Write as _};
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.contains("sketchad_processed_total 500"), "{body}");
+        assert!(body.contains("sketchad_conservation_ok 1"), "{body}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `O(ℓ²·d / period)` share of the model rebuild — constant per point and
 //! independent of the stream length.
 
-use sketchad_obs::{Counter, Event, Gauge, RecorderHandle, Stage};
+use sketchad_obs::{Counter, Event, Gauge, Hist, RecorderHandle, Stage};
 use sketchad_sketch::MatrixSketch;
 use std::time::Instant;
 
@@ -311,7 +311,14 @@ impl<S: MatrixSketch> SketchDetector<S> {
         let started = self.span_start();
         match SubspaceModel::from_matrix(&b, self.k, self.sketch.rows_seen()) {
             Ok(m) => {
-                self.span_end(Stage::ModelRefresh, started);
+                // The refresh duration feeds both the span aggregate and
+                // the quantile histogram (refreshes are rare but heavy —
+                // their tail is what live telemetry wants to see).
+                if let Some(t0) = started {
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    self.recorder.record_span(Stage::ModelRefresh, nanos);
+                    self.recorder.record_hist(Hist::RefreshDuration, nanos);
+                }
                 if self.recorder.enabled() {
                     // First build fires at warmup end; later ones are policy
                     // decisions — the reason string names which.
@@ -324,10 +331,16 @@ impl<S: MatrixSketch> SketchDetector<S> {
                         processed: self.processed,
                         reason,
                     });
-                    self.recorder
-                        .gauge(Gauge::SketchEnergy, self.sketch.stream_frobenius_sq());
+                    let stream_energy = self.sketch.stream_frobenius_sq();
+                    self.recorder.gauge(Gauge::SketchEnergy, stream_energy);
                     self.recorder
                         .gauge(Gauge::ModelEnergyCaptured, m.energy_captured());
+                    // Energy the k-dim model does *not* explain — the
+                    // drift signal change-point monitors watch.
+                    self.recorder.gauge(
+                        Gauge::ResidualEnergy,
+                        stream_energy * (1.0 - m.energy_captured()),
+                    );
                 }
                 self.model = Some(m);
                 self.since_refresh = 0;

@@ -1,0 +1,385 @@
+//! Log-bucketed (HDR-style) duration histograms with quantile estimation.
+//!
+//! [`LogHistogram`] refines the serve layer's original power-of-two latency
+//! histogram: each octave `[2^m, 2^(m+1))` is split into `2^sub_bits`
+//! equal-width sub-buckets, so quantile estimates carry a bounded
+//! *relative* error of `1 / 2^sub_bits` (≈3% at the default `sub_bits = 5`)
+//! instead of the old "at most 2× off". Recording stays O(1) and
+//! allocation-free; merging stays element-wise, so each worker keeps a
+//! private histogram and the engine folds them together at shutdown.
+//!
+//! Two compatibility properties are deliberate:
+//!
+//! * `sub_bits == 0` reproduces the legacy scheme exactly — bucket `i`
+//!   covers `[2^i, 2^(i+1))` ns — so pre-v3 `PipelineStats` artifacts
+//!   (`{"counts": [...], "total": n}`) deserialize *and* are interpreted
+//!   identically (the missing fields default to the legacy scheme).
+//! * Out-of-range observations land in an explicit [`overflow`] counter
+//!   instead of being silently folded into the last bucket.
+//!
+//! [`overflow`]: LogHistogram::overflow
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Sub-bucket resolution bits used by [`LogHistogram::new`]: 2^5 = 32
+/// sub-buckets per octave, a ≤ 1/32 ≈ 3.1% relative quantile error.
+pub const DEFAULT_SUB_BITS: u32 = 5;
+
+/// Highest octave any scheme covers: values below `2^(MAX_OCTAVE + 1)` ns
+/// (≈ 2.4 hours) are bucketed; anything larger counts as overflow.
+const MAX_OCTAVE: u32 = 42;
+
+/// Log-bucketed duration histogram with per-octave linear sub-buckets.
+///
+/// See the [module docs](self) for the bucketing scheme and the
+/// compatibility contract with legacy (`sub_bits == 0`) artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Raw bucket counts; the index scheme depends on `sub_bits`.
+    counts: Vec<u64>,
+    /// Total observations, including overflow.
+    total: u64,
+    /// Observations beyond the covered range (legacy artifacts: 0).
+    #[serde(default)]
+    overflow: u64,
+    /// Sub-bucket resolution bits; 0 selects the legacy one-bucket-per-octave
+    /// scheme (and is what legacy artifacts without the field deserialize to).
+    #[serde(default)]
+    sub_bits: u32,
+    /// Saturating sum of recorded nanoseconds, for mean estimation
+    /// (legacy artifacts: 0, which reports no mean).
+    #[serde(default)]
+    sum_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram at the default resolution ([`DEFAULT_SUB_BITS`]).
+    pub fn new() -> Self {
+        Self::with_sub_bits(DEFAULT_SUB_BITS)
+    }
+
+    /// An empty histogram with `2^sub_bits` sub-buckets per octave
+    /// (`sub_bits` is clamped to `0..=8`; 0 is the legacy scheme).
+    pub fn with_sub_bits(sub_bits: u32) -> Self {
+        let sub_bits = sub_bits.min(8);
+        let len = if sub_bits == 0 {
+            // Legacy layout: one bucket per octave, indices 0..MAX_OCTAVE.
+            MAX_OCTAVE as usize
+        } else {
+            // Linear region [1, 2*SUB) uses indices 1..2*SUB; octave m in
+            // (sub_bits, MAX_OCTAVE] contributes SUB buckets starting at
+            // SUB * (m - sub_bits + 1).
+            let sub = 1usize << sub_bits;
+            sub * (MAX_OCTAVE - sub_bits + 2) as usize
+        };
+        Self {
+            counts: vec![0; len],
+            total: 0,
+            overflow: 0,
+            sub_bits,
+            sum_ns: 0,
+        }
+    }
+
+    /// Bucket index for `nanos`, or `None` when the value overflows the
+    /// covered range.
+    fn bucket_index(&self, nanos: u64) -> Option<usize> {
+        let v = nanos.max(1);
+        let octave = 63 - v.leading_zeros();
+        let idx = if self.sub_bits == 0 {
+            octave as usize
+        } else if octave <= self.sub_bits {
+            // Linear region: unit-width buckets, exact up to 2*SUB - 1.
+            v as usize
+        } else {
+            let exp = octave - self.sub_bits;
+            let sub = 1usize << self.sub_bits;
+            let offset = ((v >> exp) as usize) & (sub - 1);
+            sub * (octave - self.sub_bits + 1) as usize + offset
+        };
+        (idx < self.counts.len()).then_some(idx)
+    }
+
+    /// Largest value (inclusive, in ns) that bucket `idx` covers.
+    fn bucket_upper_ns(&self, idx: usize) -> u64 {
+        if self.sub_bits == 0 {
+            // Legacy semantics: report the exclusive octave upper bound,
+            // exactly as the original serve histogram did.
+            return 1u64 << (idx as u32 + 1).min(63);
+        }
+        let sub = 1u64 << self.sub_bits;
+        if (idx as u64) < 2 * sub {
+            return idx as u64; // exact-value bucket
+        }
+        let exp = (idx as u64 / sub - 1) as u32;
+        let offset = idx as u64 % sub;
+        ((sub + offset) << exp) + (1u64 << exp) - 1
+    }
+
+    /// Largest nanosecond value the bucket range covers; observations above
+    /// it are counted in [`overflow`](Self::overflow).
+    pub fn max_covered_ns(&self) -> u64 {
+        match self.counts.len() {
+            0 => 0,
+            n => self.bucket_upper_ns(n - 1),
+        }
+    }
+
+    /// Records one observation of `nanos` nanoseconds.
+    pub fn record_ns(&mut self, nanos: u64) {
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(nanos);
+        match self.bucket_index(nanos) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Adds every observation of `other` into `self`. Same-scheme merges are
+    /// element-wise; mismatched schemes re-bucket `other` by each bucket's
+    /// representative (upper-bound) value, preserving totals exactly and
+    /// positions within the schemes' resolution.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.total += other.total;
+        self.overflow += other.overflow;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        if self.sub_bits == other.sub_bits && self.counts.len() == other.counts.len() {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+            return;
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let representative = other.bucket_upper_ns(i);
+            match self.bucket_index(representative) {
+                Some(j) => self.counts[j] += c,
+                None => self.overflow += c,
+            }
+        }
+    }
+
+    /// Number of observations (overflow included).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Observations that exceeded the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Sub-bucket resolution bits (0 = legacy one-bucket-per-octave scheme).
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// Mean observation in nanoseconds, or `None` when empty or when the
+    /// histogram predates `sum_ns` (legacy artifacts).
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.total > 0 && self.sum_ns > 0).then(|| self.sum_ns as f64 / self.total as f64)
+    }
+
+    /// Upper bound (ns) of the bucket holding the `q`-quantile observation,
+    /// or `None` for an empty histogram. Ranks landing in the overflow
+    /// region report [`max_covered_ns`](Self::max_covered_ns) — an honest
+    /// "at least this much".
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bucket_upper_ns(i));
+            }
+        }
+        Some(self.max_covered_ns())
+    }
+
+    /// [`quantile_ns`](Self::quantile_ns) as a `Duration`.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        self.quantile_ns(q).map(Duration::from_nanos)
+    }
+
+    /// [`quantile_ns`](Self::quantile_ns) in microseconds (0.0 when empty),
+    /// the unit dashboards and the telemetry frames use.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile_ns(q).map(|ns| ns as f64 / 1e3).unwrap_or(0.0)
+    }
+
+    /// The raw bucket counts (interpretation depends on
+    /// [`sub_bits`](Self::sub_bits); see the module docs).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in 1..=63u64 {
+            h.record_ns(v);
+        }
+        // Every value below 2*SUB = 64 has its own bucket: quantile(1.0)
+        // with a single top value is exact.
+        let mut top = LogHistogram::new();
+        top.record_ns(63);
+        assert_eq!(top.quantile_ns(1.0), Some(63));
+        assert_eq!(h.count(), 63);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut values = Vec::new();
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1 + (state >> 20) % 50_000_000; // up to 50ms
+            values.push(v);
+            h.record_ns(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1] as f64;
+            let est = h.quantile_ns(q).unwrap() as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= 1.0 / 32.0 + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+            assert!(est >= exact, "bucket upper bound never underestimates");
+        }
+    }
+
+    #[test]
+    fn overflow_is_explicit_not_folded() {
+        let mut h = LogHistogram::new();
+        h.record_ns(u64::MAX);
+        h.record_ns(1000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 1);
+        // A rank landing in the overflow region reports the covered max.
+        assert_eq!(h.quantile_ns(1.0), Some(h.max_covered_ns()));
+    }
+
+    #[test]
+    fn legacy_scheme_matches_original_histogram() {
+        // sub_bits = 0 must reproduce the pre-v3 serve histogram bit for
+        // bit: index = floor(log2 v), quantile = exclusive octave upper.
+        let mut h = LogHistogram::with_sub_bits(0);
+        for _ in 0..99 {
+            h.record_ns(100); // bucket 6: [64, 128)
+        }
+        h.record_ns(100_000); // bucket 16: [65536, 131072)
+        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(128)));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_nanos(128)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(131_072)));
+        assert_eq!(h.buckets()[6], 99);
+        assert_eq!(h.buckets()[16], 1);
+    }
+
+    #[test]
+    fn legacy_json_without_new_fields_parses_as_legacy_scheme() {
+        let legacy = r#"{"counts": [0, 2, 5], "total": 7}"#;
+        let h: LogHistogram = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.sub_bits(), 0, "missing sub_bits means legacy scheme");
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.count(), 7);
+        // Bucket 2 covers [4, 8): quantile upper bound 8ns.
+        assert_eq!(h.quantile_ns(1.0), Some(8));
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut h = LogHistogram::new();
+        for v in [1, 77, 4096, 123_456_789, u64::MAX] {
+            h.record_ns(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn same_scheme_merge_is_elementwise() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_ns(10);
+        b.record_ns(10);
+        b.record_ns(5_000);
+        b.record_ns(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.quantile_ns(0.25), Some(10));
+    }
+
+    #[test]
+    fn cross_scheme_merge_preserves_totals_and_positions() {
+        let mut legacy = LogHistogram::with_sub_bits(0);
+        legacy.record_ns(100);
+        legacy.record_ns(100);
+        let mut fine = LogHistogram::new();
+        fine.record_ns(1_000_000);
+        fine.merge(&legacy);
+        assert_eq!(fine.count(), 3);
+        // The legacy bucket's representative (128ns) lands near 100ns.
+        let p33 = fine.quantile_ns(0.34).unwrap();
+        assert!(p33 <= 256, "legacy observations stay in the fast buckets");
+    }
+
+    #[test]
+    fn mean_uses_exact_sum() {
+        let mut h = LogHistogram::new();
+        h.record_ns(100);
+        h.record_ns(300);
+        assert_eq!(h.mean_ns(), Some(200.0));
+        assert_eq!(LogHistogram::new().mean_ns(), None);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_continuous() {
+        let h = LogHistogram::new();
+        let mut last = 0usize;
+        for v in 1..100_000u64 {
+            let idx = h.bucket_index(v).unwrap();
+            assert!(idx >= last, "index regressed at v={v}");
+            assert!(idx <= last + 1, "index skipped a bucket at v={v}");
+            assert!(h.bucket_upper_ns(idx) >= v, "upper bound below value");
+            last = idx;
+        }
+    }
+}

@@ -25,6 +25,21 @@
 //!   (refresh fired, snapshot published, queue blocked/dropped, sketch
 //!   shrink) with drop-oldest overflow, so post-hoc analysis can see *when*
 //!   things happened without unbounded memory.
+//! * **Histograms** ([`Hist`] / [`LogHistogram`]) — HDR-style log-bucketed
+//!   duration distributions (submit→score latency, refresh SVD time) with
+//!   p50/p90/p99/p999 estimation at bounded relative error.
+//!
+//! ## The live tier
+//!
+//! End-of-run reports are blind to transients, so [`timeseries`] adds a
+//! background [`Sampler`] that snapshots recorders into bounded
+//! [`TimeSeries`] ring buffers while the pipeline runs, and [`export`]
+//! ships those samples out with zero dependencies: Prometheus text
+//! exposition over a tiny `std::net` HTTP endpoint ([`MetricsServer`]) and
+//! a versioned JSONL flight recorder ([`FlightRecorder`],
+//! [`TELEMETRY_SCHEMA`]). Sampling is a pure read — scores stay
+//! bit-identical with the sampler running, just like with the recorder
+//! itself.
 //!
 //! ## Recording, reporting, exporting
 //!
@@ -59,11 +74,19 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod export;
+pub mod hist;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod timeseries;
 
 pub use event::Event;
+pub use export::{
+    render_prometheus, FlightRecorder, MetricsServer, TelemetryRecord, TELEMETRY_SCHEMA,
+};
+pub use hist::LogHistogram;
 pub use metrics::MetricsRecorder;
-pub use recorder::{Counter, Gauge, NoopRecorder, Recorder, RecorderHandle, Stage};
+pub use recorder::{Counter, Gauge, Hist, NoopRecorder, Recorder, RecorderHandle, Stage};
 pub use report::{GaugeStats, ObsArtifact, ObsReport, SpanStats, OBS_SCHEMA};
+pub use timeseries::{FrameSink, Sampler, SamplerConfig, SeriesStore, TelemetryFrame, TimeSeries};

@@ -2,7 +2,8 @@
 //! implementation.
 
 use crate::event::Event;
-use crate::recorder::{Counter, Gauge, Recorder, Stage};
+use crate::hist::LogHistogram;
+use crate::recorder::{Counter, Gauge, Hist, Recorder, Stage};
 use crate::report::{GaugeStats, ObsReport, SpanStats};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -28,12 +29,15 @@ const COUNTERS: [Counter; 7] = [
     Counter::WorkerRestarts,
 ];
 
-const GAUGES: [Gauge; 4] = [
+const GAUGES: [Gauge; 5] = [
     Gauge::FdErrorBound,
     Gauge::SketchEnergy,
     Gauge::ModelEnergyCaptured,
     Gauge::QueueDepth,
+    Gauge::ResidualEnergy,
 ];
+
+const HISTS: [Hist; 2] = [Hist::SubmitLatency, Hist::RefreshDuration];
 
 fn stage_index(stage: Stage) -> usize {
     match stage {
@@ -63,6 +67,14 @@ fn gauge_index(gauge: Gauge) -> usize {
         Gauge::SketchEnergy => 1,
         Gauge::ModelEnergyCaptured => 2,
         Gauge::QueueDepth => 3,
+        Gauge::ResidualEnergy => 4,
+    }
+}
+
+fn hist_index(hist: Hist) -> usize {
+    match hist {
+        Hist::SubmitLatency => 0,
+        Hist::RefreshDuration => 1,
     }
 }
 
@@ -86,7 +98,8 @@ struct GaugeAgg {
 struct Inner {
     spans: [SpanAgg; 5],
     counters: [u64; 7],
-    gauges: [Option<GaugeAgg>; 4],
+    gauges: [Option<GaugeAgg>; 5],
+    hists: [LogHistogram; 2],
     events: VecDeque<Event>,
     event_capacity: usize,
     events_dropped: u64,
@@ -125,7 +138,8 @@ impl MetricsRecorder {
             inner: Mutex::new(Inner {
                 spans: [SpanAgg::default(); 5],
                 counters: [0; 7],
-                gauges: [None; 4],
+                gauges: [None; 5],
+                hists: [LogHistogram::new(), LogHistogram::new()],
                 events: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
                 event_capacity: capacity,
                 events_dropped: 0,
@@ -169,6 +183,13 @@ impl MetricsRecorder {
                         samples: agg.samples,
                     },
                 );
+            }
+        }
+        for (i, hist) in HISTS.iter().enumerate() {
+            if !inner.hists[i].is_empty() {
+                report
+                    .hists
+                    .insert(hist.label().to_string(), inner.hists[i].clone());
             }
         }
         report.events = inner.events.iter().cloned().collect();
@@ -228,6 +249,11 @@ impl Recorder for MetricsRecorder {
             inner.events_dropped += 1;
         }
         inner.events.push_back(event);
+    }
+
+    fn record_hist(&self, hist: Hist, nanos: u64) {
+        let mut inner = self.inner.lock().expect("obs recorder poisoned");
+        inner.hists[hist_index(hist)].record_ns(nanos);
     }
 }
 
@@ -299,5 +325,18 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(rec.snapshot().counter("snapshots_published"), 400);
+    }
+
+    #[test]
+    fn histograms_snapshot_only_when_recorded() {
+        let rec = MetricsRecorder::new();
+        assert!(rec.snapshot().hists.is_empty());
+        rec.record_hist(Hist::SubmitLatency, 1_500);
+        rec.record_hist(Hist::SubmitLatency, 3_000);
+        let report = rec.snapshot();
+        assert_eq!(report.hists.len(), 1);
+        let h = report.hist("submit_latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(report.hist("refresh_duration").is_none());
     }
 }

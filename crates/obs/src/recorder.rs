@@ -94,6 +94,12 @@ pub enum Gauge {
     ModelEnergyCaptured,
     /// Shard queue depth sampled at dequeue time.
     QueueDepth,
+    /// Absolute sketch energy the rank-k model does *not* explain at its
+    /// last rebuild: `‖B‖_F² · (1 − energy_captured)`. The windowed series
+    /// of this gauge is the raw signal for sketch-based change-point
+    /// detection (Cao et al.), which is why the telemetry sampler exports
+    /// it per tick rather than only at shutdown.
+    ResidualEnergy,
 }
 
 impl Gauge {
@@ -104,6 +110,29 @@ impl Gauge {
             Gauge::SketchEnergy => "sketch_energy",
             Gauge::ModelEnergyCaptured => "model_energy_captured",
             Gauge::QueueDepth => "queue_depth",
+            Gauge::ResidualEnergy => "residual_energy",
+        }
+    }
+}
+
+/// Duration distributions recorded observation-by-observation into
+/// log-bucketed histograms (`LogHistogram`), for quantile estimation over
+/// a run rather than just min/mean/max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hist {
+    /// End-to-end submit → scored latency of one point through a shard
+    /// (enqueue timestamp to score completion).
+    SubmitLatency,
+    /// Wall-clock duration of one model refresh (the top-k SVD rebuild).
+    RefreshDuration,
+}
+
+impl Hist {
+    /// Stable identifier used as the key in reports and JSON artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hist::SubmitLatency => "submit_latency",
+            Hist::RefreshDuration => "refresh_duration",
         }
     }
 }
@@ -142,6 +171,11 @@ pub trait Recorder: Send + Sync {
     /// Appends `event` to the bounded event log.
     fn event(&self, event: Event) {
         let _ = event;
+    }
+
+    /// Records one `nanos` observation into the `hist` distribution.
+    fn record_hist(&self, hist: Hist, nanos: u64) {
+        let _ = (hist, nanos);
     }
 }
 
@@ -212,6 +246,11 @@ impl RecorderHandle {
         self.0.event(event);
     }
 
+    /// Records one `nanos` observation into the `hist` distribution.
+    pub fn record_hist(&self, hist: Hist, nanos: u64) {
+        self.0.record_hist(hist, nanos);
+    }
+
     /// Runs `f`, timing it as one `stage` span when enabled. When disabled
     /// this is exactly a call to `f` — no clock reads.
     #[inline]
@@ -239,6 +278,7 @@ mod tests {
         h.record_span(Stage::Score, 42);
         h.incr(Counter::UpdatesSkipped, 1);
         h.gauge(Gauge::QueueDepth, 3.0);
+        h.record_hist(Hist::SubmitLatency, 17);
         h.event(Event::RefreshFired {
             processed: 1,
             reason: "test".into(),
@@ -294,5 +334,9 @@ mod tests {
         assert_eq!(Counter::PointsShed.label(), "points_shed");
         assert_eq!(Counter::WorkerRestarts.label(), "worker_restarts");
         assert_eq!(Gauge::FdErrorBound.label(), "fd_error_bound");
+        assert_eq!(Gauge::ResidualEnergy.label(), "residual_energy");
+        assert_eq!(Hist::SubmitLatency.label(), "submit_latency");
+        assert_eq!(Hist::RefreshDuration.label(), "refresh_duration");
+        assert_ne!(Hist::SubmitLatency.label(), Hist::RefreshDuration.label());
     }
 }

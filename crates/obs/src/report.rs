@@ -1,6 +1,7 @@
 //! Aggregated observation reports and the versioned JSON export artifact.
 
 use crate::event::Event;
+use crate::hist::LogHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -94,6 +95,11 @@ pub struct ObsReport {
     pub events: Vec<Event>,
     /// Events discarded because the log was full (drop-oldest).
     pub events_dropped: u64,
+    /// Log-bucketed duration histograms, keyed by
+    /// [`Hist`](crate::Hist) label. Additive to the v1 schema: artifacts
+    /// written before this field existed deserialize with an empty map.
+    #[serde(default)]
+    pub hists: BTreeMap<String, LogHistogram>,
 }
 
 impl ObsReport {
@@ -112,6 +118,11 @@ impl ObsReport {
         self.gauges.get(label)
     }
 
+    /// The duration histogram for `label`, if anything was recorded.
+    pub fn hist(&self, label: &str) -> Option<&LogHistogram> {
+        self.hists.get(label)
+    }
+
     /// How many logged events have the given [`Event::kind`].
     pub fn event_count(&self, kind: &str) -> usize {
         self.events.iter().filter(|e| e.kind() == kind).count()
@@ -124,6 +135,7 @@ impl ObsReport {
             && self.gauges.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
+            && self.hists.is_empty()
     }
 
     /// Folds `other` into this report: span and gauge aggregates combine,
@@ -141,6 +153,14 @@ impl ObsReport {
                 Some(existing) => existing.merge(stats),
                 None => {
                     self.gauges.insert(label.clone(), *stats);
+                }
+            }
+        }
+        for (label, hist) in &other.hists {
+            match self.hists.get_mut(label) {
+                Some(existing) => existing.merge(hist),
+                None => {
+                    self.hists.insert(label.clone(), hist.clone());
                 }
             }
         }
@@ -190,6 +210,25 @@ impl ObsReport {
                     out,
                     "{:<22} {:>12.4} {:>12.4} {:>12.4} {:>10}",
                     label, g.last, g.min, g.max, g.samples
+                );
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50_us", "p99_us", "p999_us", "overflow"
+            );
+            for (label, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>10} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+                    label,
+                    h.count(),
+                    h.quantile_us(0.50),
+                    h.quantile_us(0.99),
+                    h.quantile_us(0.999),
+                    h.overflow(),
                 );
             }
         }
@@ -301,6 +340,10 @@ mod tests {
             processed: 64,
             reason: "periodic(64)".into(),
         });
+        let mut hist = LogHistogram::new();
+        hist.record_ns(1_000);
+        hist.record_ns(2_000);
+        report.hists.insert("submit_latency".into(), hist);
         report
     }
 
@@ -333,6 +376,7 @@ mod tests {
         assert_eq!(g.samples, 14);
         assert_eq!(a.events.len(), 2);
         assert_eq!(a.event_count("refresh_fired"), 2);
+        assert_eq!(a.hist("submit_latency").unwrap().count(), 4);
     }
 
     #[test]
@@ -369,7 +413,24 @@ mod tests {
         assert!(table.contains("score"), "{table}");
         assert!(table.contains("updates_skipped"), "{table}");
         assert!(table.contains("queue_depth"), "{table}");
+        assert!(table.contains("submit_latency"), "{table}");
         assert!(table.contains("refresh_fired x1"), "{table}");
+    }
+
+    #[test]
+    fn v1_report_json_without_hists_still_parses() {
+        // Artifacts written before the `hists` field existed must stay
+        // readable: the field is additive, defaulting to an empty map.
+        let v1 = r#"{
+            "spans": {},
+            "counters": {"points_shed": 2},
+            "gauges": {},
+            "events": [],
+            "events_dropped": 0
+        }"#;
+        let report: ObsReport = serde_json::from_str(v1).unwrap();
+        assert!(report.hists.is_empty());
+        assert_eq!(report.counter("points_shed"), 2);
     }
 
     #[test]

@@ -7,9 +7,10 @@ use crate::queue::{DeathWatch, JobQueue, PushError};
 use crate::shard::{run_supervised, Job, ShardShared, WorkerConfig};
 use crate::snapshot::SnapshotScorer;
 use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
+use crate::telemetry::{EngineProbe, TelemetryConfig, TelemetryHandle};
 use sketchad_core::{validate_point, InputViolation, ScoreKind, StreamingDetector, SubspaceModel};
-use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle};
-use std::sync::atomic::Ordering::Relaxed;
+use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle, Sampler};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -133,14 +134,21 @@ type SharedFactory =
 pub struct ServeEngine {
     shards: Vec<ShardHandle>,
     dim: usize,
-    submitted: u64,
+    /// Global submission counter. Atomic (not plain `u64`) so the telemetry
+    /// sampler can read it live; submission itself stays single-writer.
+    submitted: Arc<AtomicU64>,
     backpressure: BackpressurePolicy,
     partition: PartitionStrategy,
+    max_batch: usize,
     read_only: bool,
     quarantine: Quarantine,
     /// Errors from shards discovered dead during submission; reported again
     /// (first one) by `finish` so they cannot be silently lost.
     dead: Vec<ServeError>,
+    /// The live telemetry sampler, when [`start_telemetry`]
+    /// (Self::start_telemetry) is active; stopped by `finish` after the
+    /// workers join so the final frame records the quiesced state.
+    telemetry: Option<Sampler>,
 }
 
 impl ServeEngine {
@@ -281,13 +289,57 @@ impl ServeEngine {
         Ok(Self {
             shards,
             dim: dim.expect("validated shards >= 1"),
-            submitted: 0,
+            submitted: Arc::new(AtomicU64::new(0)),
             backpressure: config.backpressure,
             partition: config.partition,
+            max_batch: config.max_batch,
             read_only: false,
             quarantine: Quarantine::new(config.quarantine_capacity),
             dead: Vec::new(),
+            telemetry: None,
         })
+    }
+
+    /// Starts live telemetry: a background sampler snapshots every shard's
+    /// counters (and, on instrumented engines, their recorders) into
+    /// bounded time series at the configured period, optionally exporting
+    /// them over a Prometheus HTTP endpoint and/or a JSONL flight recorder.
+    ///
+    /// Sampling is a pure read — scores stay bitwise identical with the
+    /// sampler running. The sampler stops inside [`finish`](Self::finish),
+    /// *after* the workers join, so the final frame (and the last flight-
+    /// recorder line) records the quiesced terminal state, where the
+    /// conservation identity holds exactly.
+    ///
+    /// Errors with [`std::io::ErrorKind::AlreadyExists`] when telemetry is
+    /// already running, and passes through exporter I/O errors (bind
+    /// failure, unwritable flight path).
+    pub fn start_telemetry(
+        &mut self,
+        config: &TelemetryConfig,
+    ) -> std::io::Result<TelemetryHandle> {
+        if self.telemetry.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "telemetry sampler already running",
+            ));
+        }
+        let probe = EngineProbe {
+            shards: self.shards.iter().map(|s| Arc::clone(&s.shared)).collect(),
+            recorders: self
+                .shards
+                .iter()
+                .map(|s| s.recorder.as_ref().map(Arc::clone))
+                .collect(),
+            submitted: Arc::clone(&self.submitted),
+            started: Instant::now(),
+            // One in-flight micro-batch per worker, one reserved slot per
+            // shard, one mid-flight submission.
+            slack_limit: (self.shards.len() * (self.max_batch + 1) + 1) as i64,
+        };
+        let (sampler, handle) = config.launch(probe)?;
+        self.telemetry = Some(sampler);
+        Ok(handle)
     }
 
     /// Ambient dimensionality every submitted point must have.
@@ -302,7 +354,7 @@ impl ServeEngine {
 
     /// Global submission counter (also the next point's sequence number).
     pub fn submitted(&self) -> u64 {
-        self.submitted
+        self.submitted.load(Relaxed)
     }
 
     /// Switches the engine into (or out of) read-only mode. While read-only,
@@ -329,7 +381,7 @@ impl ServeEngine {
         match (self.partition, key) {
             (PartitionStrategy::KeyHash, Some(k)) => (stable_hash(k) % n) as usize,
             // Round-robin, and the keyless fallback under KeyHash.
-            _ => (self.submitted % n) as usize,
+            _ => (self.submitted.load(Relaxed) % n) as usize,
         }
     }
 
@@ -350,11 +402,11 @@ impl ServeEngine {
         point: Vec<f64>,
     ) -> Result<SubmitOutcome, ServeError> {
         let shard = self.route(key);
-        let seq = self.submitted;
+        let seq = self.submitted.load(Relaxed);
         // Input hygiene first: a poison row is quarantined whatever the
         // overload state, so it can never reach (and corrupt) a detector.
         if let Err(violation) = validate_point(&point, self.dim) {
-            self.submitted += 1;
+            self.submitted.fetch_add(1, Relaxed);
             let handle = &self.shards[shard];
             handle.shared.rejected.fetch_add(1, Relaxed);
             if handle.obs.enabled() {
@@ -372,7 +424,7 @@ impl ServeEngine {
         // refuses the update but the submission still succeeds — reads stay
         // up, accounting stays exact.
         if self.read_only || self.shards[shard].shared.degraded.load(Relaxed) {
-            self.submitted += 1;
+            self.submitted.fetch_add(1, Relaxed);
             let handle = &self.shards[shard];
             handle.shared.shed.fetch_add(1, Relaxed);
             if handle.obs.enabled() {
@@ -469,7 +521,7 @@ impl ServeEngine {
         };
         // A dropped point still consumes a sequence number: scores report
         // the submission index, and round-robin keeps rotating.
-        self.submitted += 1;
+        self.submitted.fetch_add(1, Relaxed);
         Ok(outcome)
     }
 
@@ -595,6 +647,14 @@ impl ServeEngine {
                     first_error.get_or_insert(err);
                 }
             }
+        }
+        // Workers are quiesced (joined or already harvested): stop the
+        // telemetry sampler now so its final frame — and the last flight-
+        // recorder line — captures the terminal state, where the
+        // conservation identity holds exactly. Happens before the error
+        // check so a failed pipeline still flushes its telemetry.
+        if let Some(mut sampler) = self.telemetry.take() {
+            sampler.stop();
         }
         if let Some(err) = first_error {
             return Err(err);

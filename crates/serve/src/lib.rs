@@ -56,6 +56,10 @@
 //! * [`quarantine`] — [`Quarantine`] / [`QuarantinedRow`] for refused input.
 //! * [`snapshot`] — [`SnapshotCell`] / [`SnapshotScorer`] read path.
 //! * [`stats`] — [`PipelineStats`], [`LatencyHistogram`], serializable.
+//! * [`telemetry`] — live sampling of a running engine into bounded time
+//!   series, with optional Prometheus and JSONL flight-recorder export
+//!   ([`TelemetryConfig`] / [`TelemetryHandle`], started via
+//!   [`ServeEngine::start_telemetry`]).
 //! * [`error`] — [`ServeError`].
 //!
 //! [`Block`]: BackpressurePolicy::Block
@@ -73,6 +77,7 @@ mod queue;
 mod shard;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{BackpressurePolicy, PartitionStrategy, ServeConfig};
 pub use engine::{BatchOutcome, PipelineReport, ServeEngine, SubmitOutcome};
@@ -80,3 +85,4 @@ pub use error::ServeError;
 pub use quarantine::{Quarantine, QuarantinedRow};
 pub use snapshot::{SnapshotCell, SnapshotScorer};
 pub use stats::{LatencyHistogram, PipelineStats, ShardStats, STATS_VERSION};
+pub use telemetry::{TelemetryConfig, TelemetryHandle};

@@ -15,7 +15,7 @@ use crate::queue::JobQueue;
 use crate::snapshot::SnapshotCell;
 use crate::stats::LatencyHistogram;
 use sketchad_core::StreamingDetector;
-use sketchad_obs::{Counter, Event, Gauge, RecorderHandle, Stage};
+use sketchad_obs::{Counter, Event, Gauge, Hist, RecorderHandle, Stage};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -212,10 +212,12 @@ fn drain(
             let score = detector.process(&job.point);
             state.in_flight = 0;
             let processed = shared.processed.fetch_add(1, Ordering::Relaxed) + 1;
-            state.latency.record(job.enqueued.elapsed());
+            let waited = job.enqueued.elapsed();
+            state.latency.record(waited);
             state.scores.push((job.seq, score));
             if observing {
                 recorder.gauge(Gauge::QueueDepth, depth_after as f64);
+                recorder.record_hist(Hist::SubmitLatency, waited.as_nanos() as u64);
             }
             if cfg.snapshot_every > 0 && processed.is_multiple_of(cfg.snapshot_every) {
                 publish_snapshot(cfg.shard, detector, shared, recorder);

@@ -1,95 +1,17 @@
-//! Pipeline observability: per-shard counters and a fixed-bucket latency
+//! Pipeline observability: per-shard counters and a log-bucketed latency
 //! histogram, all serializable for dashboards and benchmark artifacts.
 
 use serde::{Deserialize, Serialize};
 use sketchad_obs::ObsReport;
-use std::time::Duration;
 
-/// Number of power-of-two latency buckets. Bucket `i` counts latencies in
-/// `[2^i, 2^(i+1))` nanoseconds; 42 buckets reach ~73 minutes, far beyond
-/// any sane per-point latency, so the last bucket is an overflow catch-all.
-pub const LATENCY_BUCKET_COUNT: usize = 42;
-
-/// Fixed-bucket (power-of-two, nanosecond) latency histogram.
-///
-/// Recording is O(1) with no allocation; merging is element-wise addition,
-/// so each worker keeps a private histogram and the engine folds them
-/// together at shutdown without cross-thread contention. Quantiles are
-/// bucket upper bounds — at most 2× off, which is plenty for p50/p99
-/// monitoring.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    /// `counts[i]` = observations in `[2^i, 2^(i+1))` ns.
-    counts: Vec<u64>,
-    /// Total observations.
-    total: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            counts: vec![0; LATENCY_BUCKET_COUNT],
-            total: 0,
-        }
-    }
-
-    fn bucket_index(nanos: u128) -> usize {
-        let n = nanos.max(1) as u64;
-        let idx = 63 - n.leading_zeros() as usize; // floor(log2(n))
-        idx.min(LATENCY_BUCKET_COUNT - 1)
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, latency: Duration) {
-        self.counts[Self::bucket_index(latency.as_nanos())] += 1;
-        self.total += 1;
-    }
-
-    /// Adds every observation of `other` into `self`.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`), or `None` for an empty histogram.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the target observation, 1-based.
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper_ns = 1u128 << (i + 1);
-                return Some(Duration::from_nanos(upper_ns.min(u64::MAX as u128) as u64));
-            }
-        }
-        unreachable!("total is the sum of counts");
-    }
-
-    /// The raw bucket counts (index `i` covers `[2^i, 2^(i+1))` ns).
-    pub fn buckets(&self) -> &[u64] {
-        &self.counts
-    }
-}
+/// The end-to-end latency histogram is the obs crate's HDR-style
+/// [`LogHistogram`](sketchad_obs::LogHistogram) as of stats v3: per-octave
+/// sub-buckets give p50/p90/p99/p999 at ≤3% relative error, and
+/// out-of-range observations land in an explicit `overflow` field instead
+/// of being folded into the last bucket. Legacy (v≤2) artifacts — plain
+/// `{"counts": [...], "total": n}` — deserialize into the same type and
+/// are interpreted under the original one-bucket-per-octave scheme.
+pub type LatencyHistogram = sketchad_obs::LogHistogram;
 
 /// Schema version written into [`PipelineStats::stats_version`]. Artifacts
 /// predating the field deserialize with version `0` (every new field is
@@ -98,7 +20,10 @@ impl LatencyHistogram {
 /// * `0` — legacy artifacts, before versioning existed.
 /// * `2` — fault-tolerance accounting: per-shard and total
 ///   `rejected` / `shed` / `crash_lost` / `restarts`, `degraded` flags.
-pub const STATS_VERSION: u32 = 2;
+/// * `3` — log-bucketed latency histogram with sub-octave resolution and
+///   an explicit `overflow` count; `latency_p90_us` / `latency_p999_us`
+///   summary quantiles.
+pub const STATS_VERSION: u32 = 3;
 
 /// Final counters for one shard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,9 +89,17 @@ pub struct PipelineStats {
     /// Median end-to-end latency in microseconds (bucket upper bound;
     /// 0 when nothing was processed).
     pub latency_p50_us: f64,
+    /// 90th-percentile end-to-end latency in microseconds (bucket upper
+    /// bound; 0 when nothing was processed; absent in pre-v3 artifacts).
+    #[serde(default)]
+    pub latency_p90_us: f64,
     /// 99th-percentile end-to-end latency in microseconds (bucket upper
     /// bound; 0 when nothing was processed).
     pub latency_p99_us: f64,
+    /// 99.9th-percentile end-to-end latency in microseconds (bucket upper
+    /// bound; 0 when nothing was processed; absent in pre-v3 artifacts).
+    #[serde(default)]
+    pub latency_p999_us: f64,
     /// Merged per-shard observability report (spans, counters, gauges,
     /// events). `None` for engines started without instrumentation
     /// (`ServeEngine::start`); populated by
@@ -195,7 +128,8 @@ impl PipelineStats {
                 .map(|d| d.as_secs_f64() * 1e6)
                 .unwrap_or(0.0)
         };
-        let (latency_p50_us, latency_p99_us) = (us(0.50), us(0.99));
+        let (latency_p50_us, latency_p90_us, latency_p99_us, latency_p999_us) =
+            (us(0.50), us(0.90), us(0.99), us(0.999));
         Self {
             stats_version: STATS_VERSION,
             shards,
@@ -208,7 +142,9 @@ impl PipelineStats {
             degraded_shards,
             latency,
             latency_p50_us,
+            latency_p90_us,
             latency_p99_us,
+            latency_p999_us,
             obs: None,
         }
     }
@@ -225,44 +161,7 @@ impl PipelineStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bucket_index_is_log2() {
-        assert_eq!(LatencyHistogram::bucket_index(1), 0);
-        assert_eq!(LatencyHistogram::bucket_index(2), 1);
-        assert_eq!(LatencyHistogram::bucket_index(3), 1);
-        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
-        // Overflow clamps to the last bucket.
-        assert_eq!(
-            LatencyHistogram::bucket_index(u128::MAX),
-            LATENCY_BUCKET_COUNT - 1
-        );
-    }
-
-    #[test]
-    fn quantiles_walk_cumulative_counts() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
-        }
-        h.record(Duration::from_micros(100)); // bucket 16: [65536, 131072)
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(128)));
-        assert_eq!(h.quantile(0.99), Some(Duration::from_nanos(128)));
-        // The single slow observation is exactly the max.
-        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(131_072)));
-        assert_eq!(LatencyHistogram::new().quantile(0.5), None);
-    }
-
-    #[test]
-    fn merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_nanos(10));
-        b.record(Duration::from_nanos(10));
-        b.record(Duration::from_micros(5));
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-    }
+    use std::time::Duration;
 
     fn shard_stats(shard: usize, processed: u64, dropped: u64) -> ShardStats {
         ShardStats {
@@ -290,7 +189,9 @@ mod tests {
         assert_eq!(stats.total_processed, 30);
         assert_eq!(stats.total_dropped, 1);
         assert!(stats.latency_p50_us > 0.0);
-        assert!(stats.latency_p99_us >= stats.latency_p50_us);
+        assert!(stats.latency_p90_us >= stats.latency_p50_us);
+        assert!(stats.latency_p99_us >= stats.latency_p90_us);
+        assert!(stats.latency_p999_us >= stats.latency_p99_us);
     }
 
     #[test]
@@ -342,6 +243,17 @@ mod tests {
         let stats: PipelineStats = serde_json::from_str(legacy).unwrap();
         assert_eq!(stats.stats_version, 0, "legacy artifacts read as v0");
         assert_eq!(stats.total_processed, 7);
+        // The histogram parsed into the v3 type under the legacy scheme:
+        // counts interpreted as one bucket per octave, no overflow.
+        assert_eq!(stats.latency.sub_bits(), 0);
+        assert_eq!(stats.latency.overflow(), 0);
+        assert_eq!(stats.latency.count(), 7);
+        assert_eq!(
+            stats.latency.quantile(1.0),
+            Some(Duration::from_nanos(8)),
+            "legacy bucket 2 covers [4, 8)"
+        );
+        assert_eq!(stats.latency_p90_us, 0.0, "pre-v3 quantiles default");
         assert_eq!(stats.total_rejected, 0);
         assert_eq!(stats.total_shed, 0);
         assert_eq!(stats.total_crash_lost, 0);

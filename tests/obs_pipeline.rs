@@ -5,7 +5,7 @@
 
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_obs::{ObsArtifact, ObsReport, OBS_SCHEMA};
-use sketchad_serve::{PipelineReport, ServeConfig, ServeEngine};
+use sketchad_serve::{PipelineReport, ServeConfig, ServeEngine, TelemetryConfig};
 use sketchad_streams::{standard_datasets, DatasetScale, LabeledStream};
 
 fn detector_config() -> DetectorConfig {
@@ -74,7 +74,8 @@ fn obs_artifact_round_trips_from_a_real_run() {
 }
 
 /// Observability must be a pure read: the instrumented engine emits scores
-/// bit-identical to the uninstrumented one on the same stream.
+/// bit-identical to the uninstrumented one on the same stream — and so
+/// does the instrumented engine with a live sampler attached on top.
 #[test]
 fn instrumentation_leaves_pipeline_scores_bit_identical() {
     let stream = standard_datasets(DatasetScale::Small).remove(0);
@@ -91,6 +92,28 @@ fn instrumentation_leaves_pipeline_scores_bit_identical() {
     assert_eq!(plain.len(), metered.len());
     for (i, (a, b)) in plain.iter().zip(&metered).enumerate() {
         assert_eq!(a.to_bits(), b.to_bits(), "score {i}: {a} vs {b}");
+    }
+
+    // Third arm: instrumentation plus the telemetry sampler, sampling as
+    // fast as the clock allows. Still bit-identical.
+    let config = ServeConfig::new(2).with_snapshot_every(128);
+    let mut sampled_engine = ServeEngine::start_instrumented(config, move |_shard, recorder| {
+        Box::new(detector_config().build_fd(dim).with_recorder(recorder))
+            as Box<dyn StreamingDetector + Send>
+    })
+    .expect("engine start");
+    sampled_engine
+        .start_telemetry(
+            &TelemetryConfig::new().with_sample_every(std::time::Duration::from_millis(1)),
+        )
+        .expect("start telemetry");
+    sampled_engine
+        .submit_batch(stream.iter().map(|(v, _)| v.to_vec()))
+        .expect("submit");
+    let sampled = sampled_engine.finish().expect("drain").scores_in_order();
+    assert_eq!(plain.len(), sampled.len());
+    for (i, (a, b)) in plain.iter().zip(&sampled).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "sampled score {i}: {a} vs {b}");
     }
 }
 
