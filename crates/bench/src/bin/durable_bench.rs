@@ -1,0 +1,248 @@
+//! Durable-tier microbenchmarks, recorded as `results/BENCH_durable.json`:
+//! snapshot encode/write/read throughput, WAL append throughput under each
+//! fsync policy, and end-to-end warm-restart recovery time (recover +
+//! restore + WAL replay through a real detector).
+//!
+//! ```text
+//! cargo run -p sketchad-bench --release --bin durable_bench -- [--small] [--out FILE]
+//! ```
+//!
+//! Numbers are wall-clock on whatever filesystem backs the temp dir; the
+//! artifact records the row/payload sizes so throughput is interpretable.
+
+use serde::Serialize;
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_durable::{
+    read_snapshot, recover, shard_dir, write_snapshot, FsyncPolicy, Snapshot, StateStore,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Case {
+    case: String,
+    detail: String,
+    rows: u64,
+    bytes_per_row: usize,
+    seconds: f64,
+    rows_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    id: String,
+    description: String,
+    dim: usize,
+    snapshot_payload_bytes: usize,
+    cases: Vec<Case>,
+    note: String,
+}
+
+/// Deterministic pseudo-random row (xorshift64*; no RNG state to carry).
+fn row(i: u64, dim: usize) -> Vec<f64> {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..dim)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skad-durable-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn detector(dim: usize) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(4, 32)
+            .with_warmup(200)
+            .with_seed(7)
+            .build_fd(dim),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::to_string)
+        .unwrap_or_else(|| "results/BENCH_durable.json".to_string());
+
+    let dim = 48usize;
+    let bytes_per_row = dim * 8;
+    let mut cases = Vec::new();
+
+    // Snapshot payload: a warmed detector's full serialized state.
+    let mut det = detector(dim);
+    let train = if small { 2_000u64 } else { 10_000 };
+    for i in 0..train {
+        det.process(&row(i, dim));
+    }
+    let mut payload = Vec::new();
+    assert!(det.save_state(&mut payload), "FD detector must persist");
+    let payload_bytes = payload.len();
+    println!("snapshot payload: {payload_bytes} bytes (dim {dim}, {train} rows trained)");
+
+    // Snapshot write (atomic temp-file + rename + fsync) and read-back.
+    let dir = tmpdir("snap");
+    let writes = if small { 50u64 } else { 200 };
+    let started = Instant::now();
+    for g in 0..writes {
+        let snap = Snapshot {
+            generation: g + 1,
+            shard: 0,
+            seq: train,
+            payload: payload.clone(),
+        };
+        write_snapshot(&dir, &snap, true).expect("write snapshot");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    cases.push(Case {
+        case: "snapshot_write".into(),
+        detail: "encode + temp file + fsync + atomic rename, per snapshot".into(),
+        rows: writes,
+        bytes_per_row: payload_bytes,
+        seconds: secs,
+        rows_per_sec: writes as f64 / secs,
+        mb_per_sec: (writes as usize * payload_bytes) as f64 / secs / 1e6,
+    });
+    let path = dir.join(format!("snapshot-{:012}.skad", writes));
+    let reads = writes * 10;
+    let started = Instant::now();
+    for _ in 0..reads {
+        std::hint::black_box(read_snapshot(&path).expect("read snapshot"));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    cases.push(Case {
+        case: "snapshot_read".into(),
+        detail: "read + checksum-verify + decode, per snapshot".into(),
+        rows: reads,
+        bytes_per_row: payload_bytes,
+        seconds: secs,
+        rows_per_sec: reads as f64 / secs,
+        mb_per_sec: (reads as usize * payload_bytes) as f64 / secs / 1e6,
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // WAL appends under each fsync policy.
+    for (policy, name, rows) in [
+        (
+            FsyncPolicy::Always,
+            "always",
+            if small { 500 } else { 2_000 },
+        ),
+        (
+            FsyncPolicy::EveryN(64),
+            "every:64",
+            if small { 20_000 } else { 100_000 },
+        ),
+        (
+            FsyncPolicy::Never,
+            "never",
+            if small { 20_000 } else { 200_000 },
+        ),
+    ] {
+        let root = tmpdir(&format!("wal-{}", name.replace(':', "-")));
+        let mut store =
+            StateStore::open(&shard_dir(&root, 0), 0, policy).expect("open state store");
+        let started = Instant::now();
+        for i in 0..rows {
+            store.append_row(&row(i, dim)).expect("append");
+        }
+        store.flush().expect("flush");
+        let secs = started.elapsed().as_secs_f64();
+        let case = Case {
+            case: "wal_append".into(),
+            detail: format!("log-before-process row appends, fsync {name}"),
+            rows,
+            bytes_per_row,
+            seconds: secs,
+            rows_per_sec: rows as f64 / secs,
+            mb_per_sec: (rows as usize * bytes_per_row) as f64 / secs / 1e6,
+        };
+        println!(
+            "wal_append fsync {name}: {rows} rows in {secs:.3}s — {:.0} rows/s",
+            case.rows_per_sec
+        );
+        cases.push(case);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    // Warm-restart recovery: snapshot halfway, WAL tail for the rest, then
+    // time recover + restore_state + replay into a fresh detector.
+    let root = tmpdir("recover");
+    let total = if small { 4_000u64 } else { 20_000 };
+    let half = total / 2;
+    {
+        let shard = shard_dir(&root, 0);
+        let mut store = StateStore::open(&shard, 0, FsyncPolicy::Never).expect("open");
+        let mut det = detector(dim);
+        for i in 0..total {
+            store.append_row(&row(i, dim)).expect("append");
+            det.process(&row(i, dim));
+            if i + 1 == half {
+                let mut payload = Vec::new();
+                assert!(det.save_state(&mut payload));
+                store.checkpoint(&payload).expect("checkpoint");
+            }
+        }
+        store.flush().expect("flush");
+    }
+    let started = Instant::now();
+    let recovered = recover(&shard_dir(&root, 0)).expect("recover");
+    let mut det = detector(dim);
+    let snap = recovered.snapshot.as_ref().expect("snapshot present");
+    det.restore_state(&snap.payload)
+        .expect("decode")
+        .then_some(())
+        .expect("restore supported");
+    for rec in &recovered.replay {
+        det.process(&rec.row);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(det.processed(), total, "recovery must cover every row");
+    let replayed = recovered.replay.len() as u64;
+    println!(
+        "recovery: snapshot through {half} + {replayed} replayed rows in {:.1} ms",
+        secs * 1e3
+    );
+    cases.push(Case {
+        case: "warm_restart".into(),
+        detail: format!("recover dir + restore snapshot (row {half}) + replay {replayed} WAL rows"),
+        rows: replayed,
+        bytes_per_row,
+        seconds: secs,
+        rows_per_sec: replayed as f64 / secs,
+        mb_per_sec: (replayed as usize * bytes_per_row) as f64 / secs / 1e6,
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    let report = BenchReport {
+        id: "BENCH_durable".into(),
+        description: "durable state tier: snapshot write/read, WAL append per fsync policy, \
+                      warm-restart recovery time"
+            .into(),
+        dim,
+        snapshot_payload_bytes: payload_bytes,
+        cases,
+        note: "wall-clock on the temp filesystem of the measuring host; fsync cost dominates \
+               the `always` policy, so compare rows/sec across policies rather than across hosts"
+            .into(),
+    };
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,225 @@
+//! Kill-and-restart smoke test of the durable state tier, run as a CI
+//! gate: launches the real `sketchad` CLI with `pipeline --state-dir …`,
+//! SIGKILLs it mid-stream once durable state has reached disk (no clean
+//! shutdown, so the WAL tail is whatever the crash left), inspects the
+//! damage with `sketchad recover`, then reruns the pipeline over the same
+//! directory and demands a warm restart: recovered shards in the stats
+//! artifact and structurally valid snapshot/WAL files throughout.
+//!
+//! ```text
+//! cargo run -p sketchad-bench --bin kill_restart_smoke [-- --keep] [-- --state-dir DIR]
+//! ```
+//!
+//! `--state-dir` pins the durable directory (and implies `--keep`), so CI
+//! can hand the surviving state to `schema_check` as a second, independent
+//! validator of the on-disk format.
+//!
+//! The CLI binary is located via `SKETCHAD_BIN` when set, falling back to
+//! a `sketchad` binary sitting next to this executable. Exits non-zero on
+//! the first failed expectation.
+
+use sketchad_durable::{self as durable, snapshot, wal};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("kill_restart_smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The `sketchad` CLI binary: `SKETCHAD_BIN` override, else a sibling of
+/// this executable.
+fn cli_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("SKETCHAD_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    path.set_file_name(format!("sketchad{}", std::env::consts::EXE_SUFFIX));
+    if !path.is_file() {
+        fail(&format!(
+            "CLI binary not found at {} — build it first (cargo build -p sketchad-cli) \
+             or point SKETCHAD_BIN at it",
+            path.display()
+        ));
+    }
+    path
+}
+
+/// Kills the child on drop so a failed expectation never leaks a process.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn pipeline_command(bin: &Path, state: &Path, stats: Option<&Path>) -> Command {
+    let mut cmd = Command::new(bin);
+    cmd.args([
+        "pipeline",
+        "--dataset",
+        "synth-lowrank", // full scale: 20k × d=200, long enough to kill mid-stream
+        "--shards",
+        "2",
+        "--warmup",
+        "200",
+        "--state-dir",
+        state.to_str().unwrap(),
+        "--checkpoint-every",
+        "500",
+        "--fsync",
+        "every:16",
+        "--quiet",
+    ]);
+    if let Some(stats) = stats {
+        cmd.args(["--stats-json", stats.to_str().unwrap()]);
+    }
+    cmd.stdout(Stdio::inherit()).stderr(Stdio::inherit());
+    cmd
+}
+
+/// True once every shard has at least one snapshot on disk (so the kill
+/// lands after durable state exists but — given the dataset size — well
+/// before the stream ends).
+fn snapshots_on_disk(state: &Path, shards: u32) -> bool {
+    (0..shards).all(|s| {
+        snapshot::list_snapshots(&durable::shard_dir(state, s))
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pinned_state = args
+        .iter()
+        .position(|a| a == "--state-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let keep = args.iter().any(|a| a == "--keep") || pinned_state.is_some();
+    let pid = std::process::id();
+    let state = pinned_state
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("sketchad-kill-restart-{pid}")));
+    let stats = std::env::temp_dir().join(format!("sketchad-kill-restart-{pid}.json"));
+    let _ = std::fs::remove_dir_all(&state);
+
+    let bin = cli_binary();
+    println!("kill_restart_smoke: launching {}", bin.display());
+    let child = pipeline_command(&bin, &state, None)
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn {}: {e}", bin.display())));
+    let mut child = Reaper(child);
+
+    // Wait for durable state, then kill without ceremony (SIGKILL: no
+    // drop handlers, no shutdown checkpoint — a genuine crash).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if snapshots_on_disk(&state, 2) {
+            break;
+        }
+        match child.0.try_wait() {
+            Ok(None) => {}
+            Ok(Some(status)) => fail(&format!(
+                "pipeline finished (status {status}) before any snapshot reached disk — \
+                 cannot test a mid-stream kill"
+            )),
+            Err(e) => fail(&format!("try_wait: {e}")),
+        }
+        if Instant::now() > deadline {
+            fail("no snapshot appeared within 120s");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Let the stream run on past the checkpoint so the kill leaves a WAL
+    // tail for replay, not just a snapshot (the stream is 20k rows with
+    // per-row fsync batching — 150ms is far from the end).
+    std::thread::sleep(Duration::from_millis(150));
+    child
+        .0
+        .kill()
+        .unwrap_or_else(|e| fail(&format!("kill: {e}")));
+    let _ = child.0.wait();
+    drop(child);
+    println!("kill_restart_smoke: killed pipeline mid-stream");
+
+    // Every durable file the crash left must still be structurally sound:
+    // snapshots fully checksum-valid, WAL headers valid (a torn tail on
+    // the active segment is legitimate crash damage that recovery drops).
+    let mut snapshots = 0usize;
+    let mut segments = 0usize;
+    let mut wal_rows = 0u64;
+    for shard in 0..2u32 {
+        let dir = durable::shard_dir(&state, shard);
+        for (generation, path) in
+            snapshot::list_snapshots(&dir).unwrap_or_else(|e| fail(&format!("list: {e}")))
+        {
+            let snap = durable::read_snapshot(&path)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            if snap.generation != generation {
+                fail(&format!("{}: name/generation mismatch", path.display()));
+            }
+            snapshots += 1;
+        }
+        for (_, path) in
+            wal::list_segments(&dir).unwrap_or_else(|e| fail(&format!("list segments: {e}")))
+        {
+            let (_, records, _) = wal::read_segment(&path)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())));
+            wal_rows += records.len() as u64;
+            segments += 1;
+        }
+    }
+    if snapshots == 0 {
+        fail("no valid snapshots survived the kill");
+    }
+    println!(
+        "kill_restart_smoke: {snapshots} snapshot(s), {segments} WAL segment(s) \
+         ({wal_rows} replayable rows) validated post-crash"
+    );
+
+    // The inspection subcommand must read the damaged state without error.
+    let status = Command::new(&bin)
+        .args(["recover", "--state-dir", state.to_str().unwrap()])
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawn recover: {e}")));
+    if !status.success() {
+        fail(&format!("`sketchad recover` failed with {status}"));
+    }
+
+    // Rerun to completion over the same directory: a warm restart.
+    let status = pipeline_command(&bin, &state, Some(&stats))
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawn rerun: {e}")));
+    if !status.success() {
+        fail(&format!("post-crash pipeline rerun failed with {status}"));
+    }
+    let raw = std::fs::read_to_string(&stats)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", stats.display())));
+    let parsed: sketchad_serve::PipelineStats =
+        serde_json::from_str(&raw).unwrap_or_else(|e| fail(&format!("stats json: {e}")));
+    let mut recovered = parsed.recovered_shards.clone();
+    recovered.sort_unstable();
+    if recovered != vec![0, 1] {
+        fail(&format!(
+            "rerun did not warm-restart both shards (recovered {recovered:?}, \
+             replayed {})",
+            parsed.total_replayed
+        ));
+    }
+    println!(
+        "kill_restart_smoke: warm restart recovered shards {recovered:?}, \
+         replayed {} row(s), processed {} point(s)",
+        parsed.total_replayed, parsed.total_processed
+    );
+
+    if keep {
+        println!("kill_restart_smoke: kept {}", state.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&state);
+        let _ = std::fs::remove_file(&stats);
+    }
+    println!("kill_restart_smoke OK");
+}

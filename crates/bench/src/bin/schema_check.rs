@@ -17,11 +17,18 @@
 //! * `*.jsonl` telemetry flight recordings — at least one line, every line
 //!   a valid `TelemetryRecord` carrying the `sketchad-telemetry/v1` schema
 //!   tag, with strictly increasing sample steps.
+//! * `*.skad` durable snapshots — magic, format version, and whole-file
+//!   checksum verified by the real `sketchad-durable` reader.
+//! * `*.skwl` WAL segments — header magic/version valid and every complete
+//!   record checksum-verified; a torn tail is legitimate crash damage (the
+//!   reader reports it and recovery drops it), not a violation.
 //!
-//! Exits non-zero listing every violation (not just the first), so one CI
-//! run shows the full damage.
+//! Artifacts are found recursively (durable state dirs nest per-shard
+//! subdirectories). Exits non-zero listing every violation (not just the
+//! first), so one CI run shows the full damage.
 
 use serde::Value;
+use sketchad_durable::{read_snapshot, snapshot::parse_snapshot_name, wal, TailStatus};
 use sketchad_obs::{ObsArtifact, TelemetryRecord, OBS_SCHEMA, TELEMETRY_SCHEMA};
 use std::path::Path;
 
@@ -46,6 +53,48 @@ fn check_file(path: &Path) -> Vec<String> {
     let stem = path.file_stem().unwrap_or_default().to_string_lossy();
     let mut violations = Vec::new();
     let mut violation = |msg: String| violations.push(format!("{name}: {msg}"));
+
+    if path.extension().is_some_and(|x| x == "skad") {
+        // Durable snapshot: the real reader verifies magic, version, and
+        // the trailing whole-file checksum.
+        match read_snapshot(path) {
+            Ok(snap) => {
+                if parse_snapshot_name(&name).is_some_and(|g| g != snap.generation) {
+                    violation(format!(
+                        "file name generation does not match encoded generation {}",
+                        snap.generation
+                    ));
+                }
+                if snap.payload.is_empty() {
+                    violation("empty detector payload".to_string());
+                }
+            }
+            Err(e) => violation(format!("invalid snapshot: {e}")),
+        }
+        return violations;
+    }
+    if path.extension().is_some_and(|x| x == "skwl") {
+        // WAL segment: header magic/version plus per-record checksums. A
+        // torn tail is expected crash damage — reported, not a violation.
+        match wal::read_segment(path) {
+            Ok((header, records, tail)) => {
+                if let Some(rec) = records.iter().find(|r| r.seq <= header.start_seq) {
+                    violation(format!(
+                        "record seq {} does not advance past segment start {}",
+                        rec.seq, header.start_seq
+                    ));
+                }
+                if let TailStatus::Torn { bytes_dropped } = tail {
+                    println!(
+                        "schema_check: note: {name} has a torn tail ({bytes_dropped} bytes) — \
+                         valid crash damage, recovery drops it"
+                    );
+                }
+            }
+            Err(e) => violation(format!("invalid WAL segment: {e}")),
+        }
+        return violations;
+    }
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -174,6 +223,23 @@ fn check_file(path: &Path) -> Vec<String> {
     violations
 }
 
+/// Recursively gathers checkable artifacts (durable state dirs nest
+/// `shard-NNNN` subdirectories under the root handed to us).
+fn collect_artifacts(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_artifacts(&path, out)?;
+        } else if path
+            .extension()
+            .is_some_and(|x| x == "json" || x == "jsonl" || x == "skad" || x == "skwl")
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let root = std::env::args().nth(1).unwrap_or_else(|| "results".into());
     let root = Path::new(&root);
@@ -181,17 +247,11 @@ fn main() {
         eprintln!("schema_check: {} is not a directory", root.display());
         std::process::exit(2);
     }
-    let mut paths: Vec<_> = match std::fs::read_dir(root) {
-        Ok(entries) => entries
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "json" || x == "jsonl"))
-            .collect(),
-        Err(e) => {
-            eprintln!("schema_check: cannot read {}: {e}", root.display());
-            std::process::exit(2);
-        }
-    };
+    let mut paths = Vec::new();
+    if let Err(e) = collect_artifacts(root, &mut paths) {
+        eprintln!("schema_check: cannot read {}: {e}", root.display());
+        std::process::exit(2);
+    }
     paths.sort();
     if paths.is_empty() {
         eprintln!("schema_check: no JSON artifacts under {}", root.display());
@@ -302,6 +362,49 @@ mod tests {
             }
         }
         assert!(checked > 0, "no committed artifacts found");
+    }
+
+    #[test]
+    fn durable_artifact_rules() {
+        use sketchad_durable::{snapshot::write_snapshot, FsyncPolicy, Snapshot, StateStore};
+        let dir = tmpdir("durable");
+
+        // A real snapshot passes; flipping any byte fails the checksum.
+        let snap = Snapshot {
+            generation: 3,
+            shard: 0,
+            seq: 17,
+            payload: vec![1, 2, 3, 4],
+        };
+        let path = write_snapshot(&dir, &snap, false).unwrap();
+        assert!(check_file(&path).is_empty(), "{:?}", check_file(&path));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let bad = dir.join("snapshot-000000000004.skad");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(
+            check_file(&bad)[0].contains("invalid snapshot"),
+            "{:?}",
+            check_file(&bad)
+        );
+
+        // A real WAL segment passes, even with a torn tail; garbage fails.
+        let wal_dir = dir.join("wal");
+        let mut store = StateStore::open(&wal_dir, 0, FsyncPolicy::Never).unwrap();
+        store.append_row(&[1.0, 2.0]).unwrap();
+        store.flush().unwrap();
+        let seg = sketchad_durable::wal::list_segments(&wal_dir).unwrap()[0]
+            .1
+            .clone();
+        assert!(check_file(&seg).is_empty(), "{:?}", check_file(&seg));
+        let mut torn = std::fs::read(&seg).unwrap();
+        torn.extend_from_slice(&[9, 9, 9]);
+        std::fs::write(&seg, &torn).unwrap();
+        assert!(check_file(&seg).is_empty(), "torn tail is not a violation");
+        let garbage = dir.join("wal-000000000009.skwl");
+        std::fs::write(&garbage, b"not a wal segment at all").unwrap();
+        assert!(check_file(&garbage)[0].contains("invalid WAL segment"));
     }
 
     #[test]

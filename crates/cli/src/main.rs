@@ -32,7 +32,8 @@ use sketchad_eval::{fmt_opt, roc_auc};
 use sketchad_obs::{MetricsRecorder, ObsArtifact, Recorder, RecorderHandle};
 use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
 
-const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|watch|datasets> [options]
+const USAGE: &str =
+    "usage: sketchad <generate|score|apply|pipeline|recover|watch|datasets> [options]
   generate --dataset NAME --output FILE [--small]
   score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
            [--score rel-proj|proj|leverage|blended] [--warmup N]
@@ -44,9 +45,12 @@ const USAGE: &str = "usage: sketchad <generate|score|apply|pipeline|watch|datase
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
            [--max-batch N] [--max-restarts N] [--output FILE]
-           [--stats-json FILE] [--metrics-out FILE]
-           [--metrics-addr HOST:PORT] [--telemetry-out FILE.jsonl]
-           [--telemetry-every-ms N] [--metrics-hold-ms N] [--watch] [--quiet]
+           [--state-dir DIR] [--checkpoint-every N]
+           [--fsync always|never|every:N] [--stats-json FILE]
+           [--metrics-out FILE] [--metrics-addr HOST:PORT]
+           [--telemetry-out FILE.jsonl] [--telemetry-every-ms N]
+           [--metrics-hold-ms N] [--watch] [--quiet]
+  recover  --state-dir DIR [--quiet]
   watch    --input FILE.jsonl [--follow] [--for-ms N] [--every-ms N]
   datasets";
 
@@ -85,6 +89,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "score" => cmd_score(&parsed),
         "apply" => cmd_apply(&parsed),
         "pipeline" => cmd_pipeline(&parsed),
+        "recover" => cmd_recover(&parsed),
         "watch" => cmd_watch(&parsed),
         "datasets" => {
             for name in dataset_names() {
@@ -472,13 +477,25 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         .with_score(score)
         .with_refresh(RefreshPolicy::Periodic { period: 64 });
 
-    let serve_config = ServeConfig::new(shards)
+    let mut serve_config = ServeConfig::new(shards)
         .with_queue_capacity(queue)
         .with_backpressure(policy)
         .with_partition(partition)
         .with_snapshot_every(snapshot_every)
         .with_max_batch(max_batch)
         .with_max_restarts(max_restarts);
+    // Durable state: WAL + periodic checkpoints per shard, warm restart on
+    // reopen against the same directory.
+    let state_dir = p.options.get("state-dir").cloned();
+    if let Some(dir) = &state_dir {
+        let checkpoint_every: u64 = p
+            .get_parse_or("checkpoint-every", 4096, "integer")
+            .map_err(|e| e.to_string())?;
+        serve_config = serve_config
+            .with_state_dir(dir)
+            .with_checkpoint_every(checkpoint_every)
+            .with_fsync(parse_fsync(p.get_or("fsync", "every:64"))?);
+    }
     let metrics_out = p.options.get("metrics-out").cloned();
     // Live telemetry: any of these turns on the background sampler (and
     // forces the instrumented engine so recorder-tier series exist too).
@@ -602,6 +619,12 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
             stats.latency_p50_us,
             stats.latency_p99_us
         );
+        if stats.total_replayed > 0 || !stats.recovered_shards.is_empty() {
+            println!(
+                "recovery: warm restart replayed {} row(s) on shard(s) {:?}",
+                stats.total_replayed, stats.recovered_shards
+            );
+        }
         if stats.total_restarts > 0 || !stats.degraded_shards.is_empty() {
             println!(
                 "faults: {} worker restart(s), {} point(s) lost in crashes, degraded shards {:?}",
@@ -674,6 +697,93 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_millis(metrics_hold_ms));
     }
     drop(telemetry_handle);
+    Ok(())
+}
+
+/// Parses `--fsync always|never|every:N` into a [`sketchad_serve::FsyncPolicy`].
+fn parse_fsync(raw: &str) -> Result<sketchad_serve::FsyncPolicy, String> {
+    use sketchad_serve::FsyncPolicy;
+    match raw {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        other => {
+            let n = other
+                .strip_prefix("every:")
+                .and_then(|n| n.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("unknown fsync policy {other:?} (always|never|every:N)"))?;
+            Ok(FsyncPolicy::EveryN(n))
+        }
+    }
+}
+
+/// Inspects a durable state directory without opening it for writing:
+/// per shard, the newest valid snapshot, the WAL tail that would be
+/// replayed on warm restart, and any damage (corrupt snapshots, torn
+/// tails) recovery would route around.
+fn cmd_recover(p: &ParsedArgs) -> Result<(), String> {
+    use sketchad_durable as durable;
+
+    let root = p.require("state-dir").map_err(|e| e.to_string())?;
+    let root = Path::new(root);
+    if !root.is_dir() {
+        return Err(format!("{}: not a directory", root.display()));
+    }
+    // Shard directories are `shard-NNNN`; anything else is ignored.
+    let mut shard_ids: Vec<u32> = std::fs::read_dir(root)
+        .map_err(|e| e.to_string())?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            name.to_str()?.strip_prefix("shard-")?.parse().ok()
+        })
+        .collect();
+    shard_ids.sort_unstable();
+    if shard_ids.is_empty() {
+        return Err(format!(
+            "{}: no shard-NNNN state directories found",
+            root.display()
+        ));
+    }
+
+    let mut damaged = false;
+    for shard in &shard_ids {
+        let dir = durable::shard_dir(root, *shard);
+        let recovered = durable::recover(&dir)
+            .map_err(|e| format!("shard {shard} ({}): {e}", dir.display()))?;
+        let stats = &recovered.stats;
+        damaged |= stats.snapshots_corrupt > 0
+            || stats.wal_segments_corrupt > 0
+            || stats.torn_tail_bytes > 0;
+        if p.has_flag("quiet") {
+            continue;
+        }
+        match &recovered.snapshot {
+            Some(snap) => println!(
+                "shard {shard}: snapshot generation {} (through row {}), {} WAL row(s) to replay",
+                snap.generation,
+                snap.seq,
+                recovered.replay.len()
+            ),
+            None => println!(
+                "shard {shard}: no snapshot, {} WAL row(s) to replay from scratch",
+                recovered.replay.len()
+            ),
+        }
+        println!(
+            "  scanned {} snapshot(s) ({} corrupt), {} WAL segment(s) ({} corrupt), \
+             {} record(s) seen, torn tail {} byte(s)",
+            stats.snapshots_scanned,
+            stats.snapshots_corrupt,
+            stats.wal_segments,
+            stats.wal_segments_corrupt,
+            stats.wal_records_seen,
+            stats.torn_tail_bytes
+        );
+        println!("  warm restart resumes at row {}", recovered.last_seq());
+    }
+    if !p.has_flag("quiet") && damaged {
+        println!("damage detected: recovery will fall back past it (see counts above)");
+    }
     Ok(())
 }
 
@@ -1301,6 +1411,80 @@ mod tests {
         assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
         assert!(body.contains("sketchad_processed_total 500"), "{body}");
         assert!(body.contains("sketchad_conservation_ok 1"), "{body}");
+    }
+
+    #[test]
+    fn pipeline_state_dir_persists_and_recover_inspects() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let state = dir.join(format!("sketchad-pipeline-state-{pid}"));
+        let stats = dir.join(format!("sketchad-pipeline-state-stats-{pid}.json"));
+        let _ = std::fs::remove_dir_all(&state);
+        let run_pipeline = || {
+            run(&[
+                "pipeline".into(),
+                "--dataset".into(),
+                "synth-lowrank".into(),
+                "--small".into(),
+                "--shards".into(),
+                "2".into(),
+                "--warmup".into(),
+                "100".into(),
+                "--state-dir".into(),
+                state.to_str().unwrap().into(),
+                "--checkpoint-every".into(),
+                "200".into(),
+                "--fsync".into(),
+                "every:32".into(),
+                "--stats-json".into(),
+                stats.to_str().unwrap().into(),
+                "--quiet".into(),
+            ])
+        };
+        // First run: cold start, leaves snapshots + WAL segments behind.
+        run_pipeline().unwrap();
+        for shard in 0..2u32 {
+            let shard_dir = sketchad_durable::shard_dir(&state, shard);
+            assert!(shard_dir.is_dir(), "missing {}", shard_dir.display());
+        }
+        let first: sketchad_serve::PipelineStats =
+            serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        assert!(first.recovered_shards.is_empty(), "cold start recovered");
+
+        // Second run over the same directory: a warm restart.
+        run_pipeline().unwrap();
+        let second: sketchad_serve::PipelineStats =
+            serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        let mut recovered = second.recovered_shards.clone();
+        recovered.sort_unstable();
+        assert_eq!(recovered, vec![0, 1], "warm restart must recover");
+
+        // The inspection subcommand reads the same state without writing.
+        run(&[
+            "recover".into(),
+            "--state-dir".into(),
+            state.to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        assert!(run(&[
+            "recover".into(),
+            "--state-dir".into(),
+            "/nonexistent/state".into(),
+        ])
+        .is_err());
+        let _ = std::fs::remove_dir_all(&state);
+        std::fs::remove_file(&stats).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        use sketchad_serve::FsyncPolicy;
+        assert_eq!(parse_fsync("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(parse_fsync("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(parse_fsync("every:8").unwrap(), FsyncPolicy::EveryN(8));
+        assert!(parse_fsync("every:0").is_err());
+        assert!(parse_fsync("sometimes").is_err());
     }
 
     #[test]

@@ -61,6 +61,31 @@ pub trait StreamingDetector {
         false
     }
 
+    /// Serializes the detector's complete dynamic state — sketch contents,
+    /// trained model, counters, calibration state — into `out`, returning
+    /// `true` when this detector kind supports persistence. The default
+    /// writes nothing and returns `false`.
+    ///
+    /// Contract (relied on by the durable state tier): a detector rebuilt
+    /// with the same configuration, restored via
+    /// [`restore_state`](Self::restore_state), and fed the same subsequent
+    /// points produces **bitwise identical** scores and state to the
+    /// original.
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// freshly-built detector of the same configuration. Returns `Ok(true)`
+    /// on success, `Ok(false)` when this detector kind does not support
+    /// persistence, and `Err` when the bytes are malformed or belong to a
+    /// detector of a different shape.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<bool, sketchad_sketch::wire::WireError> {
+        let _ = bytes;
+        Ok(false)
+    }
+
     /// Scores a batch of points, folding each into the detector state, and
     /// appends the scores to `out` (after clearing it).
     ///

@@ -7,7 +7,9 @@
 //! `O(ℓ²·d / period)` share of the model rebuild — constant per point and
 //! independent of the stream length.
 
+use sketchad_linalg::Matrix;
 use sketchad_obs::{Counter, Event, Gauge, Hist, RecorderHandle, Stage};
+use sketchad_sketch::wire::{ByteReader, ByteWriter, WireError};
 use sketchad_sketch::MatrixSketch;
 use std::time::Instant;
 
@@ -16,6 +18,11 @@ use crate::refresh::RefreshPolicy;
 use crate::score::ScoreKind;
 use crate::subspace::{ScoreScratch, SubspaceModel};
 use crate::threshold::QuantileEstimator;
+
+/// Leading byte of a serialized [`SketchDetector`] state blob.
+const DETECTOR_STATE_TAG: u8 = 0x10;
+/// Detector state layout version (bump on incompatible layout changes).
+const DETECTOR_STATE_VERSION: u8 = 1;
 
 /// Whether anomalous-looking points are folded into the sketch.
 ///
@@ -424,6 +431,117 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
         self.warmup = 0;
         self.since_refresh = 0;
         true
+    }
+
+    /// Full dynamic-state serialization for the durable tier: counters,
+    /// trained model (persisted bitwise — not rebuilt from the sketch,
+    /// because the live model reflects the sketch *at its last refresh*,
+    /// not now), quantile calibration state, and the sketch itself. Returns
+    /// `false` — writing nothing — when the underlying sketch kind has no
+    /// persistent form.
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let mut w = ByteWriter::new();
+        w.put_u8(DETECTOR_STATE_TAG);
+        w.put_u8(DETECTOR_STATE_VERSION);
+        w.put_u64(self.k as u64);
+        w.put_u64(self.warmup as u64);
+        w.put_u64(self.processed);
+        w.put_u64(self.since_refresh as u64);
+        w.put_f64(self.energy_at_refresh);
+        w.put_u64(self.refresh_count);
+        w.put_u64(self.skipped_updates);
+        match &self.model {
+            Some(m) => {
+                w.put_u8(1);
+                let vt = m.basis();
+                w.put_u64(vt.rows() as u64);
+                w.put_u64(vt.cols() as u64);
+                for &v in vt.as_slice() {
+                    w.put_f64(v);
+                }
+                w.put_f64_slice(m.sigma());
+                w.put_f64(m.total_energy());
+                w.put_u64(m.rows_represented());
+            }
+            None => w.put_u8(0),
+        }
+        match &self.score_quantile {
+            Some(est) => {
+                w.put_u8(1);
+                est.encode_wire(&mut w);
+            }
+            None => w.put_u8(0),
+        }
+        if !self.sketch.encode_state(&mut w) {
+            return false;
+        }
+        out.extend_from_slice(&w.into_vec());
+        true
+    }
+
+    /// Restores state saved by [`save_state`](StreamingDetector::save_state)
+    /// into a detector freshly built with the same configuration.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<bool, WireError> {
+        let ctx = "SketchDetector state";
+        let mut r = ByteReader::new(bytes);
+        if r.get_u8(ctx)? != DETECTOR_STATE_TAG
+            || r.get_u8(ctx)? != DETECTOR_STATE_VERSION
+            || r.get_u64(ctx)? != self.k as u64
+        {
+            return Err(WireError { context: ctx });
+        }
+        let warmup = r.get_u64(ctx)? as usize;
+        let processed = r.get_u64(ctx)?;
+        let since_refresh = r.get_u64(ctx)? as usize;
+        let energy_at_refresh = r.get_f64(ctx)?;
+        let refresh_count = r.get_u64(ctx)?;
+        let skipped_updates = r.get_u64(ctx)?;
+        let model = if r.get_u8(ctx)? == 1 {
+            let rows = r.get_u64(ctx)? as usize;
+            let cols = r.get_u64(ctx)? as usize;
+            if cols != self.dim() || rows > cols.max(self.k) {
+                return Err(WireError { context: ctx });
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(r.get_f64(ctx)?);
+            }
+            let vt = Matrix::from_vec(rows, cols, data).map_err(|_| WireError { context: ctx })?;
+            let sigma = r.get_f64_vec(ctx)?;
+            if sigma.len() != rows {
+                return Err(WireError { context: ctx });
+            }
+            let total_energy = r.get_f64(ctx)?;
+            let rows_represented = r.get_u64(ctx)?;
+            Some(SubspaceModel::from_parts(
+                vt,
+                sigma,
+                total_energy,
+                rows_represented,
+            ))
+        } else {
+            None
+        };
+        let score_quantile = if r.get_u8(ctx)? == 1 {
+            Some(QuantileEstimator::decode_wire(&mut r)?)
+        } else {
+            None
+        };
+        if !self.sketch.decode_state(&mut r)? {
+            return Ok(false);
+        }
+        if !r.is_exhausted() {
+            return Err(WireError { context: ctx });
+        }
+        self.warmup = warmup;
+        self.processed = processed;
+        self.since_refresh = since_refresh;
+        self.energy_at_refresh = energy_at_refresh;
+        self.refresh_count = refresh_count;
+        self.skipped_updates = skipped_updates;
+        self.model = model;
+        self.score_quantile = score_quantile;
+        Ok(true)
     }
 
     /// Batched processing: scores run through `SubspaceModel`'s blocked

@@ -121,6 +121,32 @@ impl SubspaceModel {
         }
     }
 
+    /// Reassembles a model from its stored parts (the persistence path:
+    /// the durable tier snapshots `basis`/`sigma`/`total_energy`/
+    /// `rows_represented` and must restore the model **bitwise**, which a
+    /// rebuild via SVD would not guarantee).
+    ///
+    /// # Panics
+    /// Panics when `sigma.len() != vt.rows()`.
+    pub fn from_parts(
+        vt: Matrix,
+        sigma: Vec<f64>,
+        total_energy: f64,
+        rows_represented: u64,
+    ) -> Self {
+        assert_eq!(
+            sigma.len(),
+            vt.rows(),
+            "singular value count must match basis rows"
+        );
+        Self {
+            vt,
+            sigma,
+            total_energy,
+            rows_represented,
+        }
+    }
+
     /// Model rank k.
     pub fn k(&self) -> usize {
         self.sigma.len()
@@ -144,6 +170,12 @@ impl SubspaceModel {
     /// Number of stream rows summarized by this model.
     pub fn rows_represented(&self) -> u64 {
         self.rows_represented
+    }
+
+    /// Total squared Frobenius mass of the matrix the model was built from
+    /// (the denominator of [`energy_captured`](Self::energy_captured)).
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy
     }
 
     /// Fraction of total energy captured by the k directions

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sketchad_core::{
-    DetectorConfig, QuantileEstimator, ScoreKind, StreamingDetector, SubspaceModel,
+    DetectorConfig, QuantileEstimator, ScoreKind, StreamingDetector, SubspaceModel, UpdatePolicy,
 };
 use sketchad_linalg::vecops;
 use sketchad_linalg::Matrix;
@@ -242,6 +242,75 @@ proptest! {
         }
         prop_assert_eq!(d1.processed(), d2.processed());
         prop_assert_eq!(d1.refresh_count(), d2.refresh_count());
+    }
+
+    /// Persistence round-trip: a detector saved mid-stream and restored into
+    /// a freshly built detector of the same configuration continues with
+    /// bitwise-identical scores and counters. This is the contract the
+    /// durable state tier's snapshot + WAL replay depends on.
+    #[test]
+    fn save_restore_roundtrip_is_bitwise(
+        rows in prop::collection::vec(point(6), 20..80),
+        split_frac in 0.1f64..0.9,
+        seed in 0u64..1000,
+        policy_skip in proptest::bool::ANY,
+    ) {
+        let split = ((rows.len() as f64 * split_frac) as usize).min(rows.len());
+        let cfg = DetectorConfig::new(2, 8).with_warmup(4).with_seed(seed);
+        let cfg = if policy_skip {
+            // Exercises the quantile-estimator persistence path too.
+            cfg.with_update_policy(UpdatePolicy::SkipAnomalous { quantile: 0.9 })
+        } else {
+            cfg
+        };
+
+        // FD-backed detector.
+        let mut orig = cfg.build_fd(6);
+        for r in &rows[..split] {
+            orig.process(r);
+        }
+        let mut bytes = Vec::new();
+        prop_assert!(orig.save_state(&mut bytes));
+        let mut restored = cfg.build_fd(6);
+        prop_assert!(restored.restore_state(&bytes).unwrap());
+        prop_assert_eq!(orig.processed(), restored.processed());
+        for r in &rows[split..] {
+            let s1 = orig.process(r);
+            let s2 = restored.process(r);
+            prop_assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+        prop_assert_eq!(orig.processed(), restored.processed());
+        prop_assert_eq!(orig.refresh_count(), restored.refresh_count());
+
+        // RP-backed detector (exercises the RNG-replay restore path).
+        let mut orig = cfg.build_rp(6);
+        for r in &rows[..split] {
+            orig.process(r);
+        }
+        let mut bytes = Vec::new();
+        prop_assert!(orig.save_state(&mut bytes));
+        let mut restored = cfg.build_rp(6);
+        prop_assert!(restored.restore_state(&bytes).unwrap());
+        for r in &rows[split..] {
+            let s1 = orig.process(r);
+            let s2 = restored.process(r);
+            prop_assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+
+        // CountSketch-backed detector.
+        let mut orig = cfg.build_cs(6);
+        for r in &rows[..split] {
+            orig.process(r);
+        }
+        let mut bytes = Vec::new();
+        prop_assert!(orig.save_state(&mut bytes));
+        let mut restored = cfg.build_cs(6);
+        prop_assert!(restored.restore_state(&bytes).unwrap());
+        for r in &rows[split..] {
+            let s1 = orig.process(r);
+            let s2 = restored.process(r);
+            prop_assert_eq!(s1.to_bits(), s2.to_bits());
+        }
     }
 
     /// Quantile monotonicity: a higher q never yields a smaller estimate on

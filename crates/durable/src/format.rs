@@ -1,0 +1,116 @@
+//! On-disk format constants, checksumming, and the error type.
+//!
+//! Two artifact kinds share the framing conventions defined here:
+//!
+//! * `snapshot-<generation>.skad` — a full checkpoint of one shard's
+//!   detector state (magic `SKAD`).
+//! * `wal-<segment>.skwl` — an append-only log of ingested rows since the
+//!   last checkpoint (magic `SKWL`).
+//!
+//! Both start with a 4-byte magic, a format-version byte, and end every
+//! integrity-protected region with a 64-bit FNV-1a checksum of the bytes
+//! that precede it. The format is self-contained: no external serializer,
+//! fixed-width little-endian fields only (see `sketchad_sketch::wire`).
+
+use sketchad_sketch::wire::WireError;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC_SNAPSHOT: [u8; 4] = *b"SKAD";
+
+/// Magic bytes opening every WAL segment file.
+pub const MAGIC_WAL: [u8; 4] = *b"SKWL";
+
+/// Version of the on-disk format. Bump on any incompatible layout change;
+/// readers reject files whose version they do not understand.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// File extension for snapshot files.
+pub const SNAPSHOT_EXT: &str = "skad";
+
+/// File extension for WAL segment files.
+pub const WAL_EXT: &str = "skwl";
+
+/// 64-bit FNV-1a over `bytes`. Chosen for zero dependencies and good
+/// corruption detection on the short, structured records we write; this is
+/// an integrity check against torn/bit-rotted files, not an adversarial MAC.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything that can go wrong reading or writing durable state.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file is structurally invalid: bad magic, unsupported version,
+    /// checksum mismatch, or an implausible field.
+    Corrupt {
+        /// What the reader was validating when it failed.
+        context: &'static str,
+    },
+    /// A wire-level decode ran out of bytes or hit a hostile length.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable state I/O error: {e}"),
+            DurableError::Corrupt { context } => {
+                write!(f, "corrupt durable state file: {context}")
+            }
+            DurableError::Wire(e) => write!(f, "durable state decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            DurableError::Wire(e) => Some(e),
+            DurableError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<WireError> for DurableError {
+    fn from(e: WireError) -> Self {
+        DurableError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(checksum64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = vec![0u8; 128];
+        let base = checksum64(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(checksum64(&flipped), base, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Snapshot files: a full checkpoint of one shard's detector state.
+//!
+//! Layout of `snapshot-<generation>.skad` (all integers little-endian):
+//!
+//! ```text
+//! magic       [u8; 4]   "SKAD"
+//! version     u8        FORMAT_VERSION
+//! generation  u64       monotone checkpoint counter (matches the filename)
+//! shard       u32       shard index that wrote this snapshot
+//! seq         u64       stream sequence covered: rows 1..=seq are inside
+//! payload     u64 len + bytes   opaque detector state (save_state bytes)
+//! checksum    u64       FNV-1a over every byte above
+//! ```
+//!
+//! Snapshots are written to a temporary file, flushed, then atomically
+//! renamed into place, so a crash mid-write never leaves a half snapshot
+//! under the final name — at worst a stale `.tmp` that is ignored (and
+//! cleaned up) by readers.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sketchad_sketch::wire::{ByteReader, ByteWriter};
+
+use crate::format::{checksum64, DurableError, FORMAT_VERSION, MAGIC_SNAPSHOT, SNAPSHOT_EXT};
+
+/// A decoded snapshot: header fields plus the opaque detector payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotone checkpoint counter; higher is newer.
+    pub generation: u64,
+    /// Shard index that wrote this snapshot.
+    pub shard: u32,
+    /// Stream sequence covered by the payload: rows `1..=seq` are folded in.
+    pub seq: u64,
+    /// Opaque detector state produced by `StreamingDetector::save_state`.
+    pub payload: Vec<u8>,
+}
+
+/// Filename for generation `gen`, e.g. `snapshot-000000000042.skad`.
+pub fn snapshot_file_name(generation: u64) -> String {
+    format!("snapshot-{generation:012}.{SNAPSHOT_EXT}")
+}
+
+/// Parses a generation number out of a snapshot filename; `None` when the
+/// name does not follow the `snapshot-<gen>.skad` convention.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let stem = name
+        .strip_prefix("snapshot-")?
+        .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    stem.parse().ok()
+}
+
+/// Encodes a snapshot into its on-disk byte representation.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC_SNAPSHOT);
+    w.put_u8(FORMAT_VERSION);
+    w.put_u64(snap.generation);
+    w.put_u32(snap.shard);
+    w.put_u64(snap.seq);
+    w.put_len_bytes(&snap.payload);
+    let mut bytes = w.into_vec();
+    let sum = checksum64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Decodes and validates snapshot bytes: magic, version, and checksum must
+/// all hold or the file is reported corrupt.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, DurableError> {
+    if bytes.len() < 8 {
+        return Err(DurableError::Corrupt {
+            context: "snapshot shorter than its checksum",
+        });
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(DurableError::Corrupt {
+            context: "snapshot checksum mismatch",
+        });
+    }
+    let mut r = ByteReader::new(body);
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = r.get_u8("snapshot magic")?;
+    }
+    if magic != MAGIC_SNAPSHOT {
+        return Err(DurableError::Corrupt {
+            context: "snapshot magic mismatch",
+        });
+    }
+    let version = r.get_u8("snapshot version")?;
+    if version != FORMAT_VERSION {
+        return Err(DurableError::Corrupt {
+            context: "unsupported snapshot format version",
+        });
+    }
+    let generation = r.get_u64("snapshot generation")?;
+    let shard = r.get_u32("snapshot shard")?;
+    let seq = r.get_u64("snapshot seq")?;
+    let payload = r.get_len_bytes("snapshot payload")?.to_vec();
+    if !r.is_exhausted() {
+        return Err(DurableError::Corrupt {
+            context: "trailing bytes after snapshot payload",
+        });
+    }
+    Ok(Snapshot {
+        generation,
+        shard,
+        seq,
+        payload,
+    })
+}
+
+/// Writes `snap` into `dir` under its canonical filename, atomically:
+/// temp file → flush (+ fsync when `sync` is set) → rename.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot, sync: bool) -> Result<PathBuf, DurableError> {
+    let bytes = encode_snapshot(snap);
+    let final_path = dir.join(snapshot_file_name(snap.generation));
+    let tmp_path = dir.join(format!(".{}.tmp", snapshot_file_name(snap.generation)));
+    {
+        let mut f = fs::File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        if sync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    if sync {
+        // Persist the rename itself.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(final_path)
+}
+
+/// Reads and validates the snapshot at `path`.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, DurableError> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+/// Lists snapshot files in `dir`, sorted by generation ascending. Files that
+/// do not match the naming convention (including `.tmp` leftovers) are
+/// skipped.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(gen) = parse_snapshot_name(name) {
+            out.push((gen, entry.path()));
+        }
+    }
+    out.sort_by_key(|(gen, _)| *gen);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            generation: 7,
+            shard: 2,
+            seq: 1234,
+            payload: vec![1, 2, 3, 250, 0, 99],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let bytes = encode_snapshot(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "corruption at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn filename_roundtrip() {
+        assert_eq!(snapshot_file_name(42), "snapshot-000000000042.skad");
+        assert_eq!(parse_snapshot_name("snapshot-000000000042.skad"), Some(42));
+        assert_eq!(parse_snapshot_name("wal-000000000001.skwl"), None);
+        assert_eq!(parse_snapshot_name(".snapshot-000000000001.skad.tmp"), None);
+    }
+
+    #[test]
+    fn write_read_atomic() {
+        let dir = std::env::temp_dir().join(format!("skad-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = sample();
+        let path = write_snapshot(&dir, &snap, false).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), snap);
+        let listed = list_snapshots(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,432 @@
+//! Write-ahead log segments: an append-only record of ingested rows.
+//!
+//! Layout of `wal-<segment>.skwl`:
+//!
+//! ```text
+//! header:
+//!   magic      [u8; 4]  "SKWL"
+//!   version    u8       FORMAT_VERSION
+//!   shard      u32      shard index that owns this segment
+//!   start_seq  u64      stream sequence of the last row BEFORE this segment
+//!   checksum   u64      FNV-1a over the header bytes above
+//! records (repeated until EOF):
+//!   len        u32      byte length of the record body
+//!   body       [u8]     seq u64, dim u32, dim × f64 row values
+//!   checksum   u64      FNV-1a over the record body
+//! ```
+//!
+//! Records are framed individually so a crash mid-append leaves at most one
+//! torn record at the tail. Readers stop at the first frame that is
+//! incomplete or fails its checksum and report how many bytes they dropped —
+//! everything before the torn frame is intact and replayable.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sketchad_sketch::wire::{ByteReader, ByteWriter};
+
+use crate::format::{checksum64, DurableError, FORMAT_VERSION, MAGIC_WAL, WAL_EXT};
+
+/// One logged row: its global stream sequence number and the values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// 1-based stream sequence of this row within the shard.
+    pub seq: u64,
+    /// The row values, `dim` wide.
+    pub row: Vec<f64>,
+}
+
+/// Decoded segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalHeader {
+    /// Shard index that owns this segment.
+    pub shard: u32,
+    /// Sequence of the last row before this segment; the segment's first
+    /// record carries `start_seq + 1`.
+    pub start_seq: u64,
+}
+
+/// What the reader found at the end of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailStatus {
+    /// Every frame parsed and checksummed cleanly.
+    Clean,
+    /// The final frame was incomplete or corrupt — the classic crash tail.
+    Torn {
+        /// Bytes past the last valid frame that were ignored.
+        bytes_dropped: usize,
+    },
+}
+
+/// Byte offset where the first record frame starts.
+pub const WAL_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 8;
+
+/// Filename for segment `seg`, e.g. `wal-000000000003.skwl`.
+pub fn wal_file_name(segment: u64) -> String {
+    format!("wal-{segment:012}.{WAL_EXT}")
+}
+
+/// Parses a segment number out of a WAL filename.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    let stem = name
+        .strip_prefix("wal-")?
+        .strip_suffix(&format!(".{WAL_EXT}"))?;
+    stem.parse().ok()
+}
+
+/// Encodes a segment header.
+pub fn encode_wal_header(header: &WalHeader) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC_WAL);
+    w.put_u8(FORMAT_VERSION);
+    w.put_u32(header.shard);
+    w.put_u64(header.start_seq);
+    let mut bytes = w.into_vec();
+    let sum = checksum64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Encodes one record frame (length prefix + body + checksum).
+pub fn encode_wal_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    body.put_u64(record.seq);
+    body.put_u32(record.row.len() as u32);
+    for &v in &record.row {
+        body.put_f64(v);
+    }
+    let body = body.into_vec();
+    let mut w = ByteWriter::new();
+    w.put_u32(body.len() as u32);
+    w.put_bytes(&body);
+    w.put_u64(checksum64(&body));
+    w.into_vec()
+}
+
+/// Validates and decodes a segment header from the front of `bytes`.
+pub fn decode_wal_header(bytes: &[u8]) -> Result<WalHeader, DurableError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(DurableError::Corrupt {
+            context: "WAL segment shorter than its header",
+        });
+    }
+    let (body, sum_bytes) = bytes[..WAL_HEADER_LEN].split_at(WAL_HEADER_LEN - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(DurableError::Corrupt {
+            context: "WAL header checksum mismatch",
+        });
+    }
+    let mut r = ByteReader::new(body);
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = r.get_u8("WAL magic")?;
+    }
+    if magic != MAGIC_WAL {
+        return Err(DurableError::Corrupt {
+            context: "WAL magic mismatch",
+        });
+    }
+    let version = r.get_u8("WAL version")?;
+    if version != FORMAT_VERSION {
+        return Err(DurableError::Corrupt {
+            context: "unsupported WAL format version",
+        });
+    }
+    let shard = r.get_u32("WAL shard")?;
+    let start_seq = r.get_u64("WAL start_seq")?;
+    Ok(WalHeader { shard, start_seq })
+}
+
+/// Reads a whole segment: header, every intact record, and whether the tail
+/// was torn. A corrupt *header* is an error (the segment is unusable); a
+/// corrupt *tail* is expected after a crash and reported via [`TailStatus`].
+pub fn read_segment(path: &Path) -> Result<(WalHeader, Vec<WalRecord>, TailStatus), DurableError> {
+    let bytes = fs::read(path)?;
+    let header = decode_wal_header(&bytes)?;
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    let tail = loop {
+        if pos == bytes.len() {
+            break TailStatus::Clean;
+        }
+        let Some(frame) = parse_frame(&bytes[pos..]) else {
+            break TailStatus::Torn {
+                bytes_dropped: bytes.len() - pos,
+            };
+        };
+        let (record, frame_len) = frame;
+        records.push(record);
+        pos += frame_len;
+    };
+    Ok((header, records, tail))
+}
+
+/// Parses one frame from the front of `bytes`; `None` when the frame is
+/// incomplete or its checksum/body is invalid (torn tail).
+fn parse_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let frame_len = 4 + len + 8;
+    if bytes.len() < frame_len {
+        return None;
+    }
+    let body = &bytes[4..4 + len];
+    let stored = u64::from_le_bytes(bytes[4 + len..frame_len].try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    let seq = r.get_u64("WAL record seq").ok()?;
+    let dim = r.get_u32("WAL record dim").ok()? as usize;
+    if dim.checked_mul(8).is_none_or(|b| b != r.remaining()) {
+        return None;
+    }
+    let mut row = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        row.push(r.get_f64("WAL record value").ok()?);
+    }
+    Some((WalRecord { seq, row }, frame_len))
+}
+
+/// Lists WAL segment files in `dir`, sorted by segment number ascending.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seg) = parse_wal_name(name) {
+            out.push((seg, entry.path()));
+        }
+    }
+    out.sort_by_key(|(seg, _)| *seg);
+    Ok(out)
+}
+
+/// An open WAL segment accepting appends.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: fs::File,
+    path: PathBuf,
+    bytes_written: u64,
+}
+
+impl SegmentWriter {
+    /// Creates a fresh segment file with its header already written.
+    pub fn create(dir: &Path, segment: u64, header: &WalHeader) -> Result<Self, DurableError> {
+        let path = dir.join(wal_file_name(segment));
+        let mut file = fs::File::create(&path)?;
+        let bytes = encode_wal_header(header);
+        file.write_all(&bytes)?;
+        Ok(Self {
+            file,
+            path,
+            bytes_written: bytes.len() as u64,
+        })
+    }
+
+    /// Reopens an existing segment for append after truncating it to
+    /// `valid_len` bytes (discarding any torn tail found during recovery).
+    pub fn reopen(path: &Path, valid_len: u64) -> Result<Self, DurableError> {
+        let file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        use std::io::Seek as _;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            bytes_written: valid_len,
+        })
+    }
+
+    /// Appends one record frame.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        let bytes = encode_wal_record(record);
+        self.file.write_all(&bytes)?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Forces written frames to stable storage.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Bytes written so far, including the header.
+    pub fn len(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// True when the segment holds only its header.
+    pub fn is_empty(&self) -> bool {
+        self.bytes_written <= WAL_HEADER_LEN as u64
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("skad-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn records(n: u64, dim: usize) -> Vec<WalRecord> {
+        (1..=n)
+            .map(|seq| WalRecord {
+                seq,
+                row: (0..dim).map(|j| seq as f64 + 0.25 * j as f64).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let header = WalHeader {
+            shard: 1,
+            start_seq: 0,
+        };
+        let mut w = SegmentWriter::create(&dir, 0, &header).unwrap();
+        let recs = records(10, 3);
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        let (h, got, tail) = read_segment(&dir.join(wal_file_name(0))).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(got, recs);
+        assert_eq!(tail, TailStatus::Clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let header = WalHeader {
+            shard: 0,
+            start_seq: 5,
+        };
+        let mut w = SegmentWriter::create(&dir, 1, &header).unwrap();
+        let recs = records(4, 2);
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = dir.join(wal_file_name(1));
+        // Append half of a fifth record — a crash mid-write.
+        let torn = encode_wal_record(&WalRecord {
+            seq: 5,
+            row: vec![9.0, 9.0],
+        });
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, got, tail) = read_segment(&path).unwrap();
+        assert_eq!(got, recs, "intact prefix must survive");
+        assert_eq!(
+            tail,
+            TailStatus::Torn {
+                bytes_dropped: torn.len() / 2
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_body_stops_replay_at_that_frame() {
+        let dir = tmp_dir("flip");
+        let mut w = SegmentWriter::create(
+            &dir,
+            0,
+            &WalHeader {
+                shard: 0,
+                start_seq: 0,
+            },
+        )
+        .unwrap();
+        let recs = records(3, 2);
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = dir.join(wal_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's body.
+        let first_frame = encode_wal_record(&recs[0]).len();
+        let idx = WAL_HEADER_LEN + first_frame + 8;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, got, tail) = read_segment(&path).unwrap();
+        assert_eq!(got, recs[..1], "only the first record is trustworthy");
+        assert!(matches!(tail, TailStatus::Torn { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_is_fatal() {
+        let dir = tmp_dir("hdr");
+        let w = SegmentWriter::create(
+            &dir,
+            0,
+            &WalHeader {
+                shard: 3,
+                start_seq: 0,
+            },
+        )
+        .unwrap();
+        drop(w);
+        let path = dir.join(wal_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_and_appends() {
+        let dir = tmp_dir("reopen");
+        let header = WalHeader {
+            shard: 0,
+            start_seq: 0,
+        };
+        let mut w = SegmentWriter::create(&dir, 2, &header).unwrap();
+        for r in records(2, 2) {
+            w.append(&r).unwrap();
+        }
+        let valid = w.len();
+        drop(w);
+        let path = dir.join(wal_file_name(2));
+        // Simulate a torn tail, then reopen at the valid length.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xaa; 7]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut w = SegmentWriter::reopen(&path, valid).unwrap();
+        w.append(&WalRecord {
+            seq: 3,
+            row: vec![1.0, 2.0],
+        })
+        .unwrap();
+        w.sync().unwrap();
+        let (_, got, tail) = read_segment(&path).unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].seq, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -90,6 +90,18 @@ pub enum Event {
         /// Restarts consumed before degrading.
         restarts: u64,
     },
+    /// A shard warm-restarted from durable state before accepting traffic:
+    /// its detector was restored from an on-disk snapshot and the WAL tail
+    /// was replayed.
+    ShardRecovered {
+        /// The recovered shard.
+        shard: usize,
+        /// Generation of the snapshot the detector was restored from
+        /// (0 when no snapshot existed and only the WAL was replayed).
+        generation: u64,
+        /// WAL rows replayed on top of the snapshot.
+        replayed: u64,
+    },
 }
 
 impl Event {
@@ -105,6 +117,7 @@ impl Event {
             Event::QueueShed { .. } => "queue_shed",
             Event::WorkerRestarted { .. } => "worker_restarted",
             Event::ShardDegraded { .. } => "shard_degraded",
+            Event::ShardRecovered { .. } => "shard_recovered",
         }
     }
 }
@@ -150,6 +163,15 @@ impl Serialize for Event {
             | Event::ShardDegraded { shard, restarts } => {
                 entries.push(("shard".into(), shard.to_value()));
                 entries.push(("restarts".into(), restarts.to_value()));
+            }
+            Event::ShardRecovered {
+                shard,
+                generation,
+                replayed,
+            } => {
+                entries.push(("shard".into(), shard.to_value()));
+                entries.push(("generation".into(), generation.to_value()));
+                entries.push(("replayed".into(), replayed.to_value()));
             }
         }
         Value::Object(entries)
@@ -208,6 +230,11 @@ impl Deserialize for Event {
             "shard_degraded" => Ok(Event::ShardDegraded {
                 shard: field(entries, "shard")?,
                 restarts: field(entries, "restarts")?,
+            }),
+            "shard_recovered" => Ok(Event::ShardRecovered {
+                shard: field(entries, "shard")?,
+                generation: field(entries, "generation")?,
+                replayed: field(entries, "replayed")?,
             }),
             other => Err(DeError::custom(format!("unknown Event kind `{other}`"))),
         }

@@ -19,7 +19,7 @@ const STAGES: [Stage; 5] = [
     Stage::SnapshotPublish,
 ];
 
-const COUNTERS: [Counter; 7] = [
+const COUNTERS: [Counter; 9] = [
     Counter::UpdatesSkipped,
     Counter::QueueDropped,
     Counter::QueueBlocked,
@@ -27,6 +27,8 @@ const COUNTERS: [Counter; 7] = [
     Counter::PointsRejected,
     Counter::PointsShed,
     Counter::WorkerRestarts,
+    Counter::RowsReplayed,
+    Counter::CheckpointsWritten,
 ];
 
 const GAUGES: [Gauge; 5] = [
@@ -58,6 +60,8 @@ fn counter_index(counter: Counter) -> usize {
         Counter::PointsRejected => 4,
         Counter::PointsShed => 5,
         Counter::WorkerRestarts => 6,
+        Counter::RowsReplayed => 7,
+        Counter::CheckpointsWritten => 8,
     }
 }
 
@@ -97,7 +101,7 @@ struct GaugeAgg {
 #[derive(Debug)]
 struct Inner {
     spans: [SpanAgg; 5],
-    counters: [u64; 7],
+    counters: [u64; 9],
     gauges: [Option<GaugeAgg>; 5],
     hists: [LogHistogram; 2],
     events: VecDeque<Event>,
@@ -137,7 +141,7 @@ impl MetricsRecorder {
         Self {
             inner: Mutex::new(Inner {
                 spans: [SpanAgg::default(); 5],
-                counters: [0; 7],
+                counters: [0; 9],
                 gauges: [None; 5],
                 hists: [LogHistogram::new(), LogHistogram::new()],
                 events: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),

@@ -61,6 +61,10 @@ pub enum Counter {
     /// Shard workers restarted from their last published snapshot after a
     /// detector panic.
     WorkerRestarts,
+    /// WAL rows replayed into detectors during warm restart.
+    RowsReplayed,
+    /// Durable checkpoints (snapshot + WAL rotation) written by shards.
+    CheckpointsWritten,
 }
 
 impl Counter {
@@ -74,6 +78,8 @@ impl Counter {
             Counter::PointsRejected => "points_rejected",
             Counter::PointsShed => "points_shed",
             Counter::WorkerRestarts => "worker_restarts",
+            Counter::RowsReplayed => "rows_replayed",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
     }
 }
@@ -333,6 +339,12 @@ mod tests {
         assert_eq!(Counter::PointsRejected.label(), "points_rejected");
         assert_eq!(Counter::PointsShed.label(), "points_shed");
         assert_eq!(Counter::WorkerRestarts.label(), "worker_restarts");
+        assert_eq!(Counter::RowsReplayed.label(), "rows_replayed");
+        assert_eq!(Counter::CheckpointsWritten.label(), "checkpoints_written");
+        assert_ne!(
+            Counter::RowsReplayed.label(),
+            Counter::CheckpointsWritten.label()
+        );
         assert_eq!(Gauge::FdErrorBound.label(), "fd_error_bound");
         assert_eq!(Gauge::ResidualEnergy.label(), "residual_energy");
         assert_eq!(Hist::SubmitLatency.label(), "submit_latency");

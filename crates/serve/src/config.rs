@@ -1,7 +1,9 @@
-//! Engine configuration: shard count, queue bounds, backpressure and
-//! partitioning policy.
+//! Engine configuration: shard count, queue bounds, backpressure,
+//! partitioning, and durable-state policy.
 
 use crate::error::ServeError;
+use sketchad_durable::FsyncPolicy;
+use std::path::PathBuf;
 
 /// What `submit` does when a shard's bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +65,20 @@ pub struct ServeConfig {
     /// discarded beyond it; rejection *counts* are always exact). `0`
     /// counts rejections without retaining any row.
     pub quarantine_capacity: usize,
+    /// Root directory for durable state. When set, each shard write-ahead
+    /// logs every row before processing it and periodically checkpoints its
+    /// full detector state under `<state_dir>/shard-<idx>/`, and
+    /// [`crate::ServeEngine::open_or_recover`] warm-restarts from whatever
+    /// is found there. `None` (the default) disables persistence entirely.
+    pub state_dir: Option<PathBuf>,
+    /// A shard writes a durable checkpoint (snapshot + WAL rotation) after
+    /// every `checkpoint_every` processed points, plus once at clean
+    /// shutdown. `0` checkpoints only at shutdown. Ignored without
+    /// [`state_dir`](Self::state_dir).
+    pub checkpoint_every: u64,
+    /// How eagerly WAL appends reach stable storage (see
+    /// [`FsyncPolicy`]). Ignored without [`state_dir`](Self::state_dir).
+    pub fsync: FsyncPolicy,
 }
 
 impl ServeConfig {
@@ -80,6 +96,9 @@ impl ServeConfig {
             max_batch: 64,
             max_restarts: 2,
             quarantine_capacity: 64,
+            state_dir: None,
+            checkpoint_every: 4096,
+            fsync: FsyncPolicy::default(),
         }
     }
 
@@ -130,6 +149,29 @@ impl ServeConfig {
     #[must_use]
     pub fn with_quarantine_capacity(mut self, capacity: usize) -> Self {
         self.quarantine_capacity = capacity;
+        self
+    }
+
+    /// Enables durable state under `dir` (WAL + periodic checkpoints per
+    /// shard; warm restart via [`crate::ServeEngine::open_or_recover`]).
+    #[must_use]
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the durable checkpoint period in processed points per shard
+    /// (0 = only at clean shutdown).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the WAL fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
         self
     }
 

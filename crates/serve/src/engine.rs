@@ -9,6 +9,7 @@ use crate::snapshot::SnapshotScorer;
 use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
 use crate::telemetry::{EngineProbe, TelemetryConfig, TelemetryHandle};
 use sketchad_core::{validate_point, InputViolation, ScoreKind, StreamingDetector, SubspaceModel};
+use sketchad_durable::{self as durable, StateStore};
 use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle, Sampler};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -173,6 +174,45 @@ impl ServeEngine {
         )
     }
 
+    /// Opens the engine against [`ServeConfig::state_dir`], warm-restarting
+    /// every shard from its durable state before accepting traffic.
+    ///
+    /// For each shard: the newest valid on-disk snapshot (if any) is
+    /// restored into the freshly-built detector via
+    /// [`StreamingDetector::restore_state`], the WAL rows past it are
+    /// replayed through [`StreamingDetector::process`], and the recovered
+    /// model is published to the shard's snapshot cell — all before the
+    /// worker thread spawns, so readers never observe a pre-recovery blank
+    /// and the first submitted point scores against the recovered state.
+    /// Recovery is deterministic: detectors round-trip their state bitwise
+    /// and replay is ordered, so two recoveries from the same directory
+    /// produce bit-identical detectors.
+    ///
+    /// With no `state_dir` configured (or an empty/missing directory) this
+    /// behaves exactly like [`start`](Self::start) — a cold start. Recovery
+    /// counts surface in [`PipelineStats`] (`replayed`,
+    /// `recovered_generation`, `total_replayed`, `recovered_shards`).
+    ///
+    /// ```no_run
+    /// use sketchad_core::DetectorConfig;
+    /// use sketchad_serve::{ServeConfig, ServeEngine};
+    ///
+    /// let config = ServeConfig::new(2).with_state_dir("/var/lib/sketchad");
+    /// let mut engine = ServeEngine::open_or_recover(config, |_shard| {
+    ///     Box::new(DetectorConfig::new(2, 8).with_warmup(16).build_fd(4))
+    /// })
+    /// .unwrap();
+    /// engine.submit(vec![0.0; 4]).unwrap();
+    /// ```
+    pub fn open_or_recover<F>(config: ServeConfig, factory: F) -> Result<Self, ServeError>
+    where
+        F: FnMut(usize) -> Box<dyn StreamingDetector + Send> + Send + 'static,
+    {
+        // `start` already performs recovery whenever `state_dir` is set;
+        // this name is the documented entry point for that behaviour.
+        Self::start(config, factory)
+    }
+
     /// Like [`start`](Self::start), but gives every shard its own
     /// [`MetricsRecorder`], merged into [`PipelineStats::obs`] at
     /// [`finish`](Self::finish).
@@ -229,7 +269,7 @@ impl ServeEngine {
                 Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
                 None => RecorderHandle::default(),
             };
-            let detector = {
+            let mut detector = {
                 let mut build = factory.lock().unwrap_or_else(|e| e.into_inner());
                 build(idx, obs.clone())
             };
@@ -245,11 +285,70 @@ impl ServeEngine {
             }
             let queue = Arc::new(JobQueue::new(config.queue_capacity));
             let shared = Arc::new(ShardShared::default());
+            // Warm restart: restore the detector from durable state and
+            // publish its model *before* the worker spawns, so the first
+            // point this shard scores already sees the recovered model and
+            // snapshot readers never observe a pre-recovery blank.
+            let store = match &config.state_dir {
+                Some(root) => {
+                    let dir = durable::shard_dir(root, idx as u32);
+                    let durable_err = |message: String| ServeError::Durable {
+                        shard: idx,
+                        message,
+                    };
+                    let recovered =
+                        durable::recover(&dir).map_err(|e| durable_err(e.to_string()))?;
+                    let mut generation = 0;
+                    if let Some(snap) = &recovered.snapshot {
+                        match detector.restore_state(&snap.payload) {
+                            Ok(true) => generation = snap.generation,
+                            // Detector kind without a persistence path: its
+                            // checkpoints can never have been written, so an
+                            // unreadable payload here means a foreign file.
+                            Ok(false) => {
+                                return Err(durable_err(format!(
+                                    "snapshot generation {} exists but this detector \
+                                     does not support state restore",
+                                    snap.generation
+                                )));
+                            }
+                            Err(e) => {
+                                return Err(durable_err(format!("restoring snapshot: {e}")));
+                            }
+                        }
+                    }
+                    let replayed = recovered.replay.len() as u64;
+                    for rec in &recovered.replay {
+                        detector.process(&rec.row);
+                    }
+                    shared.replayed.store(replayed, Relaxed);
+                    shared.recovered_generation.store(generation, Relaxed);
+                    if let Some(model) = detector.current_model() {
+                        shared.snapshot.publish(Arc::new(model.clone()));
+                    }
+                    if obs.enabled() && (replayed > 0 || generation > 0) {
+                        obs.incr(Counter::RowsReplayed, replayed);
+                        obs.event(Event::ShardRecovered {
+                            shard: idx,
+                            generation,
+                            replayed,
+                        });
+                    }
+                    // Opening the store truncates any torn WAL tail and
+                    // positions the write cursor after the replayed rows.
+                    Some(
+                        StateStore::open(&dir, idx as u32, config.fsync)
+                            .map_err(|e| durable_err(e.to_string()))?,
+                    )
+                }
+                None => None,
+            };
             let worker_cfg = WorkerConfig {
                 shard: idx,
                 snapshot_every: config.snapshot_every,
                 max_batch: config.max_batch,
                 max_restarts: config.max_restarts,
+                checkpoint_every: config.checkpoint_every,
             };
             let rebuild = {
                 let factory = Arc::clone(&factory);
@@ -273,6 +372,7 @@ impl ServeEngine {
                         rebuild,
                         worker_shared,
                         worker_obs,
+                        store,
                     );
                     watch.disarm();
                     output
@@ -637,6 +737,8 @@ impl ServeEngine {
                         crash_lost: shard.shared.crash_lost.load(Relaxed),
                         restarts: shard.shared.restarts.load(Relaxed),
                         degraded: shard.shared.degraded.load(Relaxed),
+                        replayed: shard.shared.replayed.load(Relaxed),
+                        recovered_generation: shard.shared.recovered_generation.load(Relaxed),
                     });
                 }
                 Err(payload) => {

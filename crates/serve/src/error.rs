@@ -24,6 +24,15 @@ pub enum ServeError {
         /// Stringified panic payload (`"<non-string panic>"` if opaque).
         message: String,
     },
+    /// Durable state under the configured `state_dir` could not be opened,
+    /// recovered, or restored for a shard.
+    Durable {
+        /// Index of the shard whose state failed.
+        shard: usize,
+        /// What went wrong (stringified [`sketchad_durable::DurableError`]
+        /// or restore failure).
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +44,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorkerPanicked { shard, message } => {
                 write!(f, "worker for shard {shard} panicked: {message}")
+            }
+            ServeError::Durable { shard, message } => {
+                write!(f, "durable state for shard {shard} failed: {message}")
             }
         }
     }

@@ -83,6 +83,7 @@ pub use config::{BackpressurePolicy, PartitionStrategy, ServeConfig};
 pub use engine::{BatchOutcome, PipelineReport, ServeEngine, SubmitOutcome};
 pub use error::ServeError;
 pub use quarantine::{Quarantine, QuarantinedRow};
+pub use sketchad_durable::FsyncPolicy;
 pub use snapshot::{SnapshotCell, SnapshotScorer};
 pub use stats::{LatencyHistogram, PipelineStats, ShardStats, STATS_VERSION};
 pub use telemetry::{TelemetryConfig, TelemetryHandle};

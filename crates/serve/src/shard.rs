@@ -15,6 +15,7 @@ use crate::queue::JobQueue;
 use crate::snapshot::SnapshotCell;
 use crate::stats::LatencyHistogram;
 use sketchad_core::StreamingDetector;
+use sketchad_durable::StateStore;
 use sketchad_obs::{Counter, Event, Gauge, Hist, RecorderHandle, Stage};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -54,6 +55,12 @@ pub(crate) struct ShardShared {
     /// Set once the restart budget is exhausted: updates shed, reads keep
     /// serving the stale snapshot.
     pub degraded: AtomicBool,
+    /// WAL rows replayed into the detector during warm restart (set once at
+    /// engine startup, before the worker spawns).
+    pub replayed: AtomicU64,
+    /// Durable snapshot generation the detector was restored from (0 for
+    /// cold starts).
+    pub recovered_generation: AtomicU64,
     /// Latest published model snapshot.
     pub snapshot: Arc<SnapshotCell>,
 }
@@ -84,6 +91,9 @@ pub(crate) struct WorkerConfig {
     pub snapshot_every: u64,
     pub max_batch: usize,
     pub max_restarts: u32,
+    /// Durable checkpoint period in processed points (0 = only at clean
+    /// drain). Only meaningful when a [`StateStore`] is attached.
+    pub checkpoint_every: u64,
 }
 
 /// What a worker thread returns when its queue closes.
@@ -116,6 +126,7 @@ pub(crate) fn run_supervised(
     mut rebuild: DetectorRebuild,
     shared: Arc<ShardShared>,
     recorder: RecorderHandle,
+    mut store: Option<StateStore>,
 ) -> ShardOutput {
     let mut state = WorkerState {
         scores: Vec::new(),
@@ -131,14 +142,20 @@ pub(crate) fn run_supervised(
                 &shared,
                 &recorder,
                 &mut state,
+                &mut store,
             );
         }));
         match drained {
             Ok(()) => {
                 // Queue closed and fully drained: publish whatever the
                 // detector ended up with so post-drain readers see the
-                // freshest model.
+                // freshest model, and cut a final durable checkpoint so the
+                // next open restores without replay.
                 publish_snapshot(cfg.shard, detector.as_ref(), &shared, &recorder);
+                if let Some(s) = store.as_mut() {
+                    checkpoint(&cfg, s, detector.as_ref(), &recorder);
+                    let _ = s.flush();
+                }
                 break;
             }
             Err(_payload) => {
@@ -203,11 +220,15 @@ fn drain(
     shared: &ShardShared,
     recorder: &RecorderHandle,
     state: &mut WorkerState,
+    store: &mut Option<StateStore>,
 ) {
     let observing = recorder.enabled();
     if observing || cfg.max_batch <= 1 {
         while let Some(job) = queue.pop_block() {
             let depth_after = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            // Write-ahead: the row is on disk before the detector sees it,
+            // so a crash between log and score replays it on recovery.
+            log_row(store, &job.point);
             state.in_flight = 1;
             let score = detector.process(&job.point);
             state.in_flight = 0;
@@ -221,6 +242,11 @@ fn drain(
             }
             if cfg.snapshot_every > 0 && processed.is_multiple_of(cfg.snapshot_every) {
                 publish_snapshot(cfg.shard, detector, shared, recorder);
+            }
+            if let Some(s) = store.as_mut() {
+                if cfg.checkpoint_every > 0 && processed.is_multiple_of(cfg.checkpoint_every) {
+                    checkpoint(cfg, s, detector, recorder);
+                }
             }
         }
     } else {
@@ -245,6 +271,11 @@ fn drain(
             }
             let n = batch_points.len() as u64;
             shared.depth.fetch_sub(n as usize, Ordering::Relaxed);
+            // Write-ahead for the whole micro-batch before any scoring: a
+            // crash mid-batch replays every logged row on recovery.
+            for point in &batch_points {
+                log_row(store, point);
+            }
             state.in_flight = n;
             detector.process_batch(&batch_points, &mut batch_scores);
             state.in_flight = 0;
@@ -259,6 +290,13 @@ fn drain(
                 && before / cfg.snapshot_every != (before + n) / cfg.snapshot_every
             {
                 publish_snapshot(cfg.shard, detector, shared, recorder);
+            }
+            if let Some(s) = store.as_mut() {
+                if cfg.checkpoint_every > 0
+                    && before / cfg.checkpoint_every != (before + n) / cfg.checkpoint_every
+                {
+                    checkpoint(cfg, s, detector, recorder);
+                }
             }
         }
     }
@@ -290,6 +328,39 @@ fn degrade(
                 shard: cfg.shard,
                 seq: job.seq,
             });
+        }
+    }
+}
+
+/// Appends one row to the shard's WAL. A durable I/O failure disables
+/// persistence for the rest of the run (the store is dropped) rather than
+/// taking the shard down: serving availability outranks durability, and the
+/// on-disk state stays valid — it is merely frozen at the last good write.
+fn log_row(store: &mut Option<StateStore>, point: &[f64]) {
+    if let Some(s) = store.as_mut() {
+        if s.append_row(point).is_err() {
+            *store = None;
+        }
+    }
+}
+
+/// Serializes the detector and cuts a durable checkpoint. Detectors without
+/// a persistence path (`save_state` → `false`) simply skip checkpointing —
+/// their WAL is never rotated, so recovery replays the entire log instead.
+fn checkpoint(
+    cfg: &WorkerConfig,
+    store: &mut StateStore,
+    detector: &dyn StreamingDetector,
+    recorder: &RecorderHandle,
+) {
+    let mut payload = Vec::new();
+    if !detector.save_state(&mut payload) {
+        return;
+    }
+    if let Ok(generation) = store.checkpoint(&payload) {
+        if recorder.enabled() {
+            recorder.incr(Counter::CheckpointsWritten, 1);
+            let _ = (cfg.shard, generation);
         }
     }
 }

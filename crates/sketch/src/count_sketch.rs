@@ -14,7 +14,11 @@
 use sketchad_linalg::vecops;
 use sketchad_linalg::Matrix;
 
-use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
+use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch, MergeableSketch};
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Wire tag identifying a serialized [`CountSketch`] state blob.
+pub(crate) const CS_STATE_TAG: u8 = 3;
 
 /// Sparse-embedding (CountSketch) matrix sketch.
 #[derive(Debug, Clone)]
@@ -164,6 +168,63 @@ impl MatrixSketch for CountSketch {
 
     fn stream_frobenius_sq(&self) -> f64 {
         self.frobenius_sq
+    }
+
+    fn encode_state(&self, out: &mut ByteWriter) -> bool {
+        out.put_u8(CS_STATE_TAG);
+        out.put_u64(self.ell as u64);
+        out.put_u64(self.dim as u64);
+        out.put_u64(self.seed);
+        out.put_u64(self.rows_seen);
+        out.put_u64(self.stream_pos);
+        out.put_f64(self.frobenius_sq);
+        for &v in self.b.as_slice() {
+            out.put_f64(v);
+        }
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<bool, WireError> {
+        let ctx = "CountSketch state";
+        if r.get_u8(ctx)? != CS_STATE_TAG
+            || r.get_u64(ctx)? != self.ell as u64
+            || r.get_u64(ctx)? != self.dim as u64
+        {
+            return Err(WireError { context: ctx });
+        }
+        self.seed = r.get_u64(ctx)?;
+        self.rows_seen = r.get_u64(ctx)?;
+        self.stream_pos = r.get_u64(ctx)?;
+        self.frobenius_sq = r.get_f64(ctx)?;
+        for v in self.b.as_mut_slice() {
+            *v = r.get_f64(ctx)?;
+        }
+        Ok(true)
+    }
+}
+
+impl MergeableSketch for CountSketch {
+    /// Merging is matrix addition. The merged sketch is a valid CountSketch
+    /// of the concatenated stream when the shards hash independently: either
+    /// **independent seeds** (the sharded-serving layout — cross-shard sign
+    /// products are then mean-zero) or a **shared seed with disjoint stream
+    /// positions** ([`fork_empty`](CountSketch::fork_empty)-aligned splits),
+    /// where the merge reproduces the single-stream sketch exactly. The
+    /// merged `stream_pos` is the max of the two, so a fork-aligned parent
+    /// keeps hashing fresh positions after absorbing its fork.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            (self.ell, self.dim),
+            (other.ell, other.dim),
+            "cannot merge CountSketches of different shape"
+        );
+        for i in 0..self.ell {
+            let src = other.b.row(i).to_vec();
+            vecops::axpy(1.0, &src, self.b.row_mut(i));
+        }
+        self.rows_seen += other.rows_seen;
+        self.stream_pos = self.stream_pos.max(other.stream_pos);
+        self.frobenius_sq += other.frobenius_sq;
     }
 }
 

@@ -20,7 +20,11 @@ use sketchad_linalg::Matrix;
 use sketchad_obs::{Event, Gauge, RecorderHandle, Stage};
 use std::time::Instant;
 
-use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
+use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch, MergeableSketch};
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Wire tag identifying a serialized [`FrequentDirections`] state blob.
+pub(crate) const FD_STATE_TAG: u8 = 1;
 
 /// Deterministic frequent-directions sketch.
 #[derive(Debug, Clone)]
@@ -252,6 +256,60 @@ impl MatrixSketch for FrequentDirections {
 
     fn stream_frobenius_sq(&self) -> f64 {
         self.frobenius_sq
+    }
+
+    fn encode_state(&self, out: &mut ByteWriter) -> bool {
+        out.put_u8(FD_STATE_TAG);
+        out.put_u64(self.ell as u64);
+        out.put_u64(self.dim as u64);
+        out.put_u64(self.occupied as u64);
+        out.put_u64(self.rows_seen);
+        out.put_f64(self.frobenius_sq);
+        out.put_f64(self.total_shrink_delta);
+        for i in 0..self.occupied {
+            for &v in self.buffer.row(i) {
+                out.put_f64(v);
+            }
+        }
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<bool, WireError> {
+        let ctx = "FrequentDirections state";
+        if r.get_u8(ctx)? != FD_STATE_TAG
+            || r.get_u64(ctx)? != self.ell as u64
+            || r.get_u64(ctx)? != self.dim as u64
+        {
+            return Err(WireError { context: ctx });
+        }
+        let occupied = r.get_u64(ctx)? as usize;
+        if occupied > self.buffer.rows() {
+            return Err(WireError { context: ctx });
+        }
+        let rows_seen = r.get_u64(ctx)?;
+        let frobenius_sq = r.get_f64(ctx)?;
+        let total_shrink_delta = r.get_f64(ctx)?;
+        self.reset();
+        for i in 0..occupied {
+            for v in self.buffer.row_mut(i) {
+                *v = r.get_f64(ctx)?;
+            }
+        }
+        self.occupied = occupied;
+        self.rows_seen = rows_seen;
+        self.frobenius_sq = frobenius_sq;
+        self.total_shrink_delta = total_shrink_delta;
+        Ok(true)
+    }
+}
+
+impl MergeableSketch for FrequentDirections {
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.ell, other.ell,
+            "cannot merge FD sketches of different size ℓ"
+        );
+        self.merge(other);
     }
 }
 

@@ -20,6 +20,13 @@
 //! [`bounds`] contains the theoretical error-bound helpers used by the
 //! sketch-quality experiments.
 //!
+//! Sketches whose shard-local partial results combine into a global sketch
+//! implement [`MergeableSketch`]; [`merge::tree_merge`] aggregates N shards
+//! hierarchically. The persistence hooks
+//! ([`MatrixSketch::encode_state`] / [`MatrixSketch::decode_state`], over
+//! the [`wire`] codec) serialize a sketch's dynamic state so the durable
+//! tier (`sketchad-durable`) can checkpoint and warm-restart detectors.
+//!
 //! ## Example
 //!
 //! ```
@@ -42,17 +49,20 @@ pub mod bounds;
 pub mod count_sketch;
 pub mod frequent_directions;
 pub mod isvd;
+pub mod merge;
 pub mod random_projection;
 pub mod row_sampling;
 pub mod sparse_jl;
 pub mod traits;
 pub mod window;
+pub mod wire;
 
 pub use count_sketch::CountSketch;
 pub use frequent_directions::FrequentDirections;
 pub use isvd::IsvdTruncation;
+pub use merge::tree_merge;
 pub use random_projection::{ProjectionKind, RandomProjection};
 pub use row_sampling::RowSampling;
 pub use sparse_jl::SparseJl;
-pub use traits::MatrixSketch;
+pub use traits::{MatrixSketch, MergeableSketch};
 pub use window::BlockWindowSketch;

@@ -17,7 +17,11 @@ use sketchad_linalg::rng::{gaussian, rademacher, seeded_rng};
 use sketchad_linalg::vecops;
 use sketchad_linalg::Matrix;
 
-use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch};
+use crate::traits::{assert_row_len, assert_valid_decay, MatrixSketch, MergeableSketch};
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Wire tag identifying a serialized [`RandomProjection`] state blob.
+pub(crate) const RP_STATE_TAG: u8 = 2;
 
 /// Distribution of the random projection entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +42,11 @@ pub struct RandomProjection {
     rng: StdRng,
     b: Matrix,
     rows_seen: u64,
+    /// Projection columns drawn since the RNG was last seeded. Unlike
+    /// `rows_seen` this never decreases (`subtract` lowers `rows_seen`), so
+    /// the live RNG state is exactly "`seed`, advanced `columns_drawn`
+    /// columns" — which is how persistence restores it.
+    columns_drawn: u64,
     frobenius_sq: f64,
     /// Scratch column `s_t`, reused across updates.
     scratch: Vec<f64>,
@@ -59,6 +68,7 @@ impl RandomProjection {
             rng: seeded_rng(seed),
             b: Matrix::zeros(ell, dim),
             rows_seen: 0,
+            columns_drawn: 0,
             frobenius_sq: 0.0,
             scratch: vec![0.0; ell],
         }
@@ -92,6 +102,7 @@ impl RandomProjection {
             rng: self.rng.clone(),
             b: Matrix::zeros(self.ell, self.dim),
             rows_seen: 0,
+            columns_drawn: self.columns_drawn,
             frobenius_sq: 0.0,
             scratch: vec![0.0; self.ell],
         }
@@ -114,6 +125,7 @@ impl RandomProjection {
     }
 
     fn sample_column(&mut self) {
+        self.columns_drawn += 1;
         let inv_sqrt_ell = 1.0 / (self.ell as f64).sqrt();
         match self.kind {
             ProjectionKind::Gaussian => {
@@ -187,6 +199,7 @@ impl MatrixSketch for RandomProjection {
         self.b = Matrix::zeros(self.ell, self.dim);
         self.rng = seeded_rng(self.seed);
         self.rows_seen = 0;
+        self.columns_drawn = 0;
         self.frobenius_sq = 0.0;
     }
 
@@ -204,6 +217,84 @@ impl MatrixSketch for RandomProjection {
 
     fn stream_frobenius_sq(&self) -> f64 {
         self.frobenius_sq
+    }
+
+    fn encode_state(&self, out: &mut ByteWriter) -> bool {
+        out.put_u8(RP_STATE_TAG);
+        out.put_u64(self.ell as u64);
+        out.put_u64(self.dim as u64);
+        out.put_u8(match self.kind {
+            ProjectionKind::Gaussian => 0,
+            ProjectionKind::Rademacher => 1,
+        });
+        out.put_u64(self.seed);
+        out.put_u64(self.rows_seen);
+        out.put_u64(self.columns_drawn);
+        out.put_f64(self.frobenius_sq);
+        for &v in self.b.as_slice() {
+            out.put_f64(v);
+        }
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<bool, WireError> {
+        let ctx = "RandomProjection state";
+        let kind_byte = match self.kind {
+            ProjectionKind::Gaussian => 0u8,
+            ProjectionKind::Rademacher => 1,
+        };
+        if r.get_u8(ctx)? != RP_STATE_TAG
+            || r.get_u64(ctx)? != self.ell as u64
+            || r.get_u64(ctx)? != self.dim as u64
+            || r.get_u8(ctx)? != kind_byte
+        {
+            return Err(WireError { context: ctx });
+        }
+        let seed = r.get_u64(ctx)?;
+        let rows_seen = r.get_u64(ctx)?;
+        let columns_drawn = r.get_u64(ctx)?;
+        let frobenius_sq = r.get_f64(ctx)?;
+        let mut b = Matrix::zeros(self.ell, self.dim);
+        for v in b.as_mut_slice() {
+            *v = r.get_f64(ctx)?;
+        }
+        // Restore the live RNG by replaying the column stream from the
+        // seed: `columns_drawn` draws leave the generator exactly where the
+        // serialized sketch had it, so post-recovery columns are bitwise
+        // the ones the original would have drawn next.
+        self.seed = seed;
+        self.reset();
+        for _ in 0..columns_drawn {
+            self.sample_column();
+        }
+        self.columns_drawn = columns_drawn;
+        self.b = b;
+        self.rows_seen = rows_seen;
+        self.frobenius_sq = frobenius_sq;
+        Ok(true)
+    }
+}
+
+impl MergeableSketch for RandomProjection {
+    /// Merging is matrix addition (`B = S₁A₁ + S₂A₂`): with shards built on
+    /// **independent seeds**, the implicit projection columns of the two
+    /// shards are jointly i.i.d., so the sum is a valid random-projection
+    /// sketch of the concatenated stream (`E[BᵀB] = A₁ᵀA₁ + A₂ᵀA₂`). With a
+    /// shared seed the merge is exact only for
+    /// [`fork_empty`](RandomProjection::fork_empty)-aligned splits, where
+    /// the fork continues the parent's column stream.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            (self.ell, self.dim, self.kind),
+            (other.ell, other.dim, other.kind),
+            "cannot merge random-projection sketches of different shape/kind"
+        );
+        for i in 0..self.ell {
+            let src = other.b.row(i).to_vec();
+            vecops::axpy(1.0, &src, self.b.row_mut(i));
+        }
+        self.rows_seen += other.rows_seen;
+        self.frobenius_sq += other.frobenius_sq;
     }
 }
 

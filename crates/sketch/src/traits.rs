@@ -1,5 +1,7 @@
-//! The [`MatrixSketch`] abstraction shared by every sketching algorithm.
+//! The [`MatrixSketch`] abstraction shared by every sketching algorithm,
+//! plus [`MergeableSketch`] for distributed / recoverable deployments.
 
+use crate::wire::{ByteReader, ByteWriter, WireError};
 use sketchad_linalg::{Matrix, SparseVec};
 use sketchad_obs::RecorderHandle;
 
@@ -93,6 +95,65 @@ pub trait MatrixSketch {
     /// scaling). Implementations track this exactly; it parameterizes the
     /// deterministic error bounds.
     fn stream_frobenius_sq(&self) -> f64;
+
+    /// Serializes the sketch's **dynamic** state (buffer contents, row
+    /// counts, error certificates — everything not fixed by the
+    /// constructor) into `out`, returning `true` when the sketch supports
+    /// persistence. The default writes nothing and returns `false`;
+    /// sketches without a durable representation (e.g. combinators holding
+    /// live RNG state they cannot replay) keep that default.
+    ///
+    /// The encoding contract is: a sketch reconstructed with the *same
+    /// constructor parameters* (ℓ, d, seed, …) and fed these bytes through
+    /// [`decode_state`](MatrixSketch::decode_state) behaves **bitwise
+    /// identically** to the original from that point on.
+    fn encode_state(&self, out: &mut ByteWriter) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restores state previously produced by
+    /// [`encode_state`](MatrixSketch::encode_state) into a sketch built
+    /// with the same constructor parameters. Returns `Ok(true)` on success,
+    /// `Ok(false)` when this sketch kind does not support persistence, and
+    /// `Err` when the bytes are malformed or were written by an
+    /// incompatible sketch (different kind, ℓ, or d).
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<bool, WireError> {
+        let _ = r;
+        Ok(false)
+    }
+}
+
+/// A sketch whose partial results over disjoint stream shards can be
+/// combined into a sketch of the union stream.
+///
+/// This is the algebraic property behind both distributed aggregation
+/// (shard-local sketches tree-merged into one global model — see
+/// [`tree_merge`](crate::merge::tree_merge)) and the durable state tier's
+/// recovery math. The guarantee each implementation documents is that the
+/// merged sketch satisfies the *same family* of covariance error bounds as
+/// a single sketch fed the concatenated stream:
+///
+/// * [`FrequentDirections`](crate::FrequentDirections): the shrink masses
+///   add, so `‖AᵀA − BᵀB‖₂ ≤ Σδ₁ + Σδ₂ ≤ (‖A₁‖_F² + ‖A₂‖_F²)/ℓ` — the
+///   classic FD merge theorem (Ghashami et al.).
+/// * Linear sketches ([`RandomProjection`](crate::RandomProjection),
+///   [`CountSketch`](crate::CountSketch), [`SparseJl`](crate::SparseJl)):
+///   `B = S·A` is linear in the stream, so merging is matrix addition. When
+///   shards share a hash/projection family and cover disjoint stream
+///   positions (the sharded-serving layout), the merge *is* the
+///   single-stream sketch up to floating-point summation order; with
+///   independent families the sum remains an unbiased Gram estimator of
+///   the concatenated stream.
+pub trait MergeableSketch: MatrixSketch {
+    /// Folds `other`'s accumulated state into `self`, leaving `self`
+    /// equivalent to a sketch of both shards' streams concatenated.
+    ///
+    /// # Panics
+    /// Panics when the two sketches are structurally incompatible
+    /// (different `dim`, `capacity`, or — for hashing sketches — hash
+    /// family).
+    fn merge_from(&mut self, other: &Self);
 }
 
 /// Validates a decay factor, panicking with a uniform message otherwise.

@@ -1,10 +1,13 @@
 //! Property-based tests for the sketching substrate.
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use sketchad_linalg::power::gram_diff_spectral_norm;
 use sketchad_linalg::Matrix;
+use sketchad_sketch::wire::{ByteReader, ByteWriter};
 use sketchad_sketch::{
-    BlockWindowSketch, CountSketch, FrequentDirections, MatrixSketch, RandomProjection, RowSampling,
+    tree_merge, BlockWindowSketch, CountSketch, FrequentDirections, MatrixSketch, MergeableSketch,
+    RandomProjection, RowSampling, SparseJl,
 };
 
 /// Strategy: a stream of rows with bounded entries.
@@ -247,5 +250,215 @@ proptest! {
         recovered.subtract(&sfx);
         let diff = recovered.sketch().sub(&pre_only.sketch()).unwrap().max_abs();
         prop_assert!(diff < 1e-9, "subtraction residue {}", diff);
+    }
+
+    /// FD merge is associative *up to the error bound*: `(a⊕b)⊕c` and
+    /// `a⊕(b⊕c)` both satisfy the `‖AᵀA − BᵀB‖₂ ≤ Σδ ≤ ‖A‖_F²/ℓ` covariance
+    /// guarantee against the same concatenated stream — and so does plain
+    /// sequential insertion of the whole stream. (The sketches themselves
+    /// may differ rotation-wise; the *bound* is what merge preserves.)
+    #[test]
+    fn fd_merge_associative_up_to_error_bound(
+        a_rows in stream_strategy(30, 4),
+        b_rows in stream_strategy(30, 4),
+        c_rows in stream_strategy(30, 4),
+        ell in 2usize..6,
+    ) {
+        let build = |rows: &[Vec<f64>]| {
+            let mut fd = FrequentDirections::new(ell, 4);
+            for r in rows { fd.update(r); }
+            fd
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a_rows);
+        left.merge_from(&build(&b_rows));
+        left.merge_from(&build(&c_rows));
+        // a ⊕ (b ⊕ c)
+        let mut bc = build(&b_rows);
+        bc.merge_from(&build(&c_rows));
+        let mut right = build(&a_rows);
+        right.merge_from(&bc);
+        // sequential insertion of the same concatenated stream
+        let all_rows: Vec<Vec<f64>> = a_rows.iter()
+            .chain(b_rows.iter())
+            .chain(c_rows.iter())
+            .cloned()
+            .collect();
+        let sequential = build(&all_rows);
+
+        let all = to_matrix(&all_rows);
+        let global_bound = all.squared_frobenius_norm() / ell as f64;
+        for (label, fd) in [("(a⊕b)⊕c", &left), ("a⊕(b⊕c)", &right), ("sequential", &sequential)] {
+            prop_assert_eq!(fd.rows_seen(), all_rows.len() as u64, "{} rows_seen", label);
+            let err = gram_diff_spectral_norm(&all, &fd.sketch(), 150, 4);
+            prop_assert!(err <= fd.shrink_delta_sum() * (1.0 + 1e-6) + 1e-7,
+                "{}: err {} exceeds its Σδ certificate {}", label, err, fd.shrink_delta_sum());
+            prop_assert!(err <= global_bound * (1.0 + 1e-8) + 1e-9,
+                "{}: err {} > ‖A‖_F²/ℓ = {}", label, err, global_bound);
+        }
+    }
+
+    /// Multi-way hierarchical tree merge of N shard FDs satisfies the same
+    /// Σδ covariance guarantee as one sketch fed the whole stream.
+    #[test]
+    fn fd_tree_merge_preserves_error_bound(
+        rows in stream_strategy(96, 5),
+        ell in 2usize..6,
+        shards in 2usize..6,
+    ) {
+        let chunk = rows.len().div_ceil(shards);
+        let parts: Vec<FrequentDirections> = rows
+            .chunks(chunk)
+            .map(|c| {
+                let mut fd = FrequentDirections::new(ell, 5);
+                for r in c { fd.update(r); }
+                fd
+            })
+            .collect();
+        let merged = tree_merge(parts).unwrap();
+        prop_assert_eq!(merged.rows_seen(), rows.len() as u64);
+        let a = to_matrix(&rows);
+        let err = gram_diff_spectral_norm(&a, &merged.sketch(), 150, 5);
+        prop_assert!(err <= merged.shrink_delta_sum() * (1.0 + 1e-6) + 1e-7,
+            "tree merge err {} exceeds Σδ {}", err, merged.shrink_delta_sum());
+        let bound = a.squared_frobenius_norm() / ell as f64;
+        prop_assert!(err <= bound * (1.0 + 1e-8) + 1e-9,
+            "tree merge err {} > global bound {}", err, bound);
+    }
+
+    /// Linear-sketch merge preserves the embedding exactly on fork-aligned
+    /// splits: tree-merging shard sketches that share the hash/projection
+    /// family over disjoint stream positions reproduces the single-stream
+    /// sketch `S·A` (up to floating-point summation order), so the merged
+    /// sketch inherits the single sketch's error bound verbatim.
+    #[test]
+    fn linear_merge_matches_single_stream_sketch(
+        rows in stream_strategy(60, 4),
+        shards in 2usize..5,
+    ) {
+        let chunks: Vec<&[Vec<f64>]> = rows.chunks(rows.len().div_ceil(shards)).collect();
+
+        // CountSketch: fork_empty keeps stream_pos aligned across shards.
+        let mut cs_full = CountSketch::new(5, 4, 17);
+        let mut cs_parts: Vec<CountSketch> = Vec::new();
+        for c in &chunks {
+            let mut part = if let Some(prev) = cs_parts.last() {
+                prev.fork_empty()
+            } else {
+                cs_full.fork_empty()
+            };
+            for r in c.iter() {
+                cs_full.update(r);
+                part.update(r);
+            }
+            cs_parts.push(part);
+        }
+        let cs_merged = tree_merge(cs_parts).unwrap();
+        let scale = cs_full.sketch().max_abs().max(1.0);
+        let diff = cs_merged.sketch().sub(&cs_full.sketch()).unwrap().max_abs();
+        prop_assert!(diff <= 1e-9 * scale, "CS merge residue {}", diff);
+        prop_assert_eq!(cs_merged.rows_seen(), rows.len() as u64);
+
+        // SparseJl: same alignment story.
+        let mut jl_full = SparseJl::new(6, 4, 2, 23);
+        let mut jl_parts: Vec<SparseJl> = Vec::new();
+        for c in &chunks {
+            let mut part = if let Some(prev) = jl_parts.last() {
+                prev.fork_empty()
+            } else {
+                jl_full.fork_empty()
+            };
+            for r in c.iter() {
+                jl_full.update(r);
+                part.update(r);
+            }
+            jl_parts.push(part);
+        }
+        let jl_merged = tree_merge(jl_parts).unwrap();
+        let scale = jl_full.sketch().max_abs().max(1.0);
+        let diff = jl_merged.sketch().sub(&jl_full.sketch()).unwrap().max_abs();
+        prop_assert!(diff <= 1e-9 * scale, "SparseJL merge residue {}", diff);
+
+        // RandomProjection: forks continue the parent's RNG column stream.
+        let mut rp_full = RandomProjection::rademacher(4, 4, 31);
+        let mut rp_parts: Vec<RandomProjection> = Vec::new();
+        for c in &chunks {
+            let mut part = if let Some(prev) = rp_parts.last() {
+                prev.fork_empty()
+            } else {
+                rp_full.fork_empty()
+            };
+            for r in c.iter() {
+                rp_full.update(r);
+                part.update(r);
+            }
+            rp_parts.push(part);
+        }
+        let rp_merged = tree_merge(rp_parts).unwrap();
+        let scale = rp_full.sketch().max_abs().max(1.0);
+        let diff = rp_merged.sketch().sub(&rp_full.sketch()).unwrap().max_abs();
+        prop_assert!(diff <= 1e-9 * scale, "RP merge residue {}", diff);
+    }
+
+    /// Persistence round-trip: encode a sketch mid-stream, decode into a
+    /// fresh instance, feed both the same suffix — sketches stay **bitwise**
+    /// identical (RP's RNG replay included), which is what makes WAL replay
+    /// deterministic.
+    #[test]
+    fn state_roundtrip_is_bitwise_for_all_sketches(
+        prefix in stream_strategy(25, 4),
+        suffix in stream_strategy(25, 4),
+    ) {
+        fn roundtrip<S: MatrixSketch>(
+            mut live: S,
+            mut fresh: S,
+            prefix: &[Vec<f64>],
+            suffix: &[Vec<f64>],
+        ) -> Result<(), TestCaseError> {
+            for r in prefix {
+                live.update(r);
+            }
+            let mut w = ByteWriter::new();
+            prop_assert!(live.encode_state(&mut w), "{} must support persistence", live.name());
+            let bytes = w.into_vec();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert!(fresh.decode_state(&mut r).unwrap(), "{} decode", fresh.name());
+            prop_assert!(r.is_exhausted(), "{} left trailing bytes", fresh.name());
+            for row in suffix {
+                live.update(row);
+                fresh.update(row);
+            }
+            prop_assert_eq!(live.sketch(), fresh.sketch(), "{} diverged after restore", live.name());
+            prop_assert_eq!(live.rows_seen(), fresh.rows_seen());
+            prop_assert_eq!(
+                live.stream_frobenius_sq().to_bits(),
+                fresh.stream_frobenius_sq().to_bits()
+            );
+            Ok(())
+        }
+        roundtrip(
+            FrequentDirections::new(3, 4),
+            FrequentDirections::new(3, 4),
+            &prefix,
+            &suffix,
+        )?;
+        roundtrip(
+            RandomProjection::gaussian(3, 4, 11),
+            RandomProjection::gaussian(3, 4, 11),
+            &prefix,
+            &suffix,
+        )?;
+        roundtrip(
+            CountSketch::new(4, 4, 13),
+            CountSketch::new(4, 4, 13),
+            &prefix,
+            &suffix,
+        )?;
+        roundtrip(
+            SparseJl::new(5, 4, 2, 19),
+            SparseJl::new(5, 4, 2, 19),
+            &prefix,
+            &suffix,
+        )?;
     }
 }
