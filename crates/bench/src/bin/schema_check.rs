@@ -22,12 +22,16 @@
 //! * `*.skwl` WAL segments — header magic/version valid and every complete
 //!   record checksum-verified; a torn tail is legitimate crash damage (the
 //!   reader reports it and recovery drops it), not a violation.
+//! * `*.rows` binary row files — `sketchad-rows/v1` magic, version, and
+//!   row-count/body-length consistency verified by the real
+//!   `sketchad-core::rowfmt` reader.
 //!
 //! Artifacts are found recursively (durable state dirs nest per-shard
 //! subdirectories). Exits non-zero listing every violation (not just the
 //! first), so one CI run shows the full damage.
 
 use serde::Value;
+use sketchad_core::rowfmt::RowsView;
 use sketchad_durable::{read_snapshot, snapshot::parse_snapshot_name, wal, TailStatus};
 use sketchad_obs::{ObsArtifact, TelemetryRecord, OBS_SCHEMA, TELEMETRY_SCHEMA};
 use std::path::Path;
@@ -92,6 +96,23 @@ fn check_file(path: &Path) -> Vec<String> {
                 }
             }
             Err(e) => violation(format!("invalid WAL segment: {e}")),
+        }
+        return violations;
+    }
+
+    if path.extension().is_some_and(|x| x == "rows") {
+        // Binary row file: the real reader checks magic, version, and that
+        // the body length matches the header's row count and stride.
+        match std::fs::read(path) {
+            Ok(bytes) => match RowsView::new(&bytes) {
+                Ok(view) => {
+                    if view.dim() == 0 {
+                        violation("zero-dimensional rows".to_string());
+                    }
+                }
+                Err(e) => violation(format!("invalid rows file: {e}")),
+            },
+            Err(e) => violation(format!("unreadable: {e}")),
         }
         return violations;
     }
@@ -230,10 +251,9 @@ fn collect_artifacts(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::
         let path = entry?.path();
         if path.is_dir() {
             collect_artifacts(&path, out)?;
-        } else if path
-            .extension()
-            .is_some_and(|x| x == "json" || x == "jsonl" || x == "skad" || x == "skwl")
-        {
+        } else if path.extension().is_some_and(|x| {
+            x == "json" || x == "jsonl" || x == "skad" || x == "skwl" || x == "rows"
+        }) {
             out.push(path);
         }
     }
@@ -405,6 +425,27 @@ mod tests {
         let garbage = dir.join("wal-000000000009.skwl");
         std::fs::write(&garbage, b"not a wal segment at all").unwrap();
         assert!(check_file(&garbage)[0].contains("invalid WAL segment"));
+    }
+
+    #[test]
+    fn rows_file_rule() {
+        use sketchad_core::rowfmt::encode_rows;
+        let dir = tmpdir("rows");
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0, 2.0]).collect();
+        let good = dir.join("sample.rows");
+        std::fs::write(&good, encode_rows(&rows, None).unwrap()).unwrap();
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+
+        // Truncating the body breaks row-count/length consistency.
+        let mut bytes = std::fs::read(&good).unwrap();
+        bytes.truncate(bytes.len() - 8);
+        let torn = dir.join("torn.rows");
+        std::fs::write(&torn, &bytes).unwrap();
+        assert!(check_file(&torn)[0].contains("invalid rows file"));
+
+        let garbage = dir.join("garbage.rows");
+        std::fs::write(&garbage, b"not a rows file").unwrap();
+        assert!(check_file(&garbage)[0].contains("invalid rows file"));
     }
 
     #[test]

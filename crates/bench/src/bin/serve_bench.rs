@@ -1,15 +1,31 @@
-//! Serving-engine throughput sweep: points/second and latency quantiles
-//! versus shard count, recorded as `results/BENCH_serve.json`. A final
-//! instrumented pass re-runs the 4-shard configuration with per-shard
+//! Serving-engine throughput benchmark, two legs:
+//!
+//! 1. **Compute-bound sweep** — the historical baseline: FD at `d = 48`,
+//!    points/second and latency quantiles versus shard count.
+//! 2. **Ingest-bound dispatch comparison** — a deliberately cheap detector
+//!    (CountSketch at `d = 8`) so the submit path itself is the bottleneck,
+//!    crossed over dispatch mode (per-point `submit` vs staged
+//!    `submit_batch_rows`) and channel (lock-free SPSC ring vs the legacy
+//!    condvar queue). This is the leg that justifies the batch-submit API:
+//!    the headline `batch_speedup_ring` ratio is batch-vs-per-point on the
+//!    default ring channel.
+//!
+//! Both legs land in `results/BENCH_serve.json`. A final instrumented pass
+//! re-runs the 4-shard compute-bound configuration with per-shard
 //! `MetricsRecorder`s and exports the merged per-stage span timings and
 //! refresh/snapshot events as `results/OBS_serve.json`, plus a live
-//! telemetry flight recording (`sketchad-telemetry/v1` JSONL, one line per
-//! sample) as `results/TELEMETRY_serve.jsonl`.
+//! telemetry flight recording (`sketchad-telemetry/v1` JSONL) as
+//! `results/TELEMETRY_serve.jsonl`.
 //!
 //! ```text
-//! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--out FILE]
-//!     [--metrics-out FILE] [--telemetry-out FILE]
+//! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--smoke]
+//!     [--out FILE] [--metrics-out FILE] [--telemetry-out FILE]
 //! ```
+//!
+//! `--smoke` runs no timing sweep and writes no artifacts: it asserts the
+//! engine's bitwise contract — batch submission produces exactly the same
+//! scores as per-point submission, on the ring and on the legacy queue —
+//! and exits non-zero on any divergence. CI runs this on every push.
 //!
 //! Numbers are measured on whatever hardware runs this — the artifact
 //! records `available_parallelism` so readers can judge whether thread
@@ -23,6 +39,16 @@ use sketchad_serve::{ServeConfig, ServeEngine, TelemetryConfig};
 use sketchad_streams::{generate_low_rank_stream, AnomalyKind, LowRankStreamConfig};
 use std::time::Instant;
 
+/// Ring capacity and micro-batch ceiling for the ingest-bound leg: large
+/// enough that the producer can run far ahead of the worker between
+/// scheduler hand-offs.
+const INGEST_RING_CAPACITY: usize = 4096;
+const INGEST_MAX_BATCH: usize = 512;
+/// Caller-side chunk size for `submit_batch_rows` — models a network
+/// receive buffer's worth of rows arriving at once.
+const INGEST_CHUNK: usize = 8192;
+const INGEST_D: usize = 8;
+
 #[derive(Serialize)]
 struct ShardRun {
     shards: usize,
@@ -35,6 +61,39 @@ struct ShardRun {
 }
 
 #[derive(Serialize)]
+struct IngestRun {
+    shards: usize,
+    /// `"per_point"` (`submit` in a loop, worker scoring point by point)
+    /// or `"batch"` (`submit_batch_rows` over `chunk`-row slices, worker
+    /// scoring micro-batches).
+    dispatch: String,
+    /// `"ring"` (default SPSC channel) or `"queue"` (`legacy_ingest`).
+    channel: String,
+    /// Worker micro-batch ceiling: 1 on the per-point legs,
+    /// `max_batch` on the batched legs.
+    max_batch: usize,
+    seconds: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct IngestSection {
+    description: String,
+    n: usize,
+    d: usize,
+    sketch: String,
+    ring_capacity: usize,
+    max_batch: usize,
+    chunk: usize,
+    runs: Vec<IngestRun>,
+    /// Batch vs per-point dispatch, both on the ring, 1 shard.
+    batch_speedup_ring: f64,
+    /// New hot path (batch + ring) vs old hot path (per-point + condvar
+    /// queue), 1 shard.
+    batch_ring_vs_per_point_queue: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     id: String,
     description: String,
@@ -44,6 +103,7 @@ struct BenchReport {
     available_parallelism: usize,
     direct_baseline_points_per_sec: f64,
     runs: Vec<ShardRun>,
+    ingest: IngestSection,
     note: String,
 }
 
@@ -66,9 +126,96 @@ fn build_instrumented(d: usize, recorder: RecorderHandle) -> Box<dyn StreamingDe
     )
 }
 
+/// The ingest leg's detector: cheap on purpose, so the measured cost is the
+/// submit path, not the linear algebra.
+fn build_cheap(d: usize) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(2, 8)
+            .with_warmup(256)
+            .with_seed(7)
+            .build_rs(d),
+    )
+}
+
+/// One ingest-leg run; returns elapsed seconds and the bitwise score
+/// sequence (for the smoke-mode equality assertions). `batch` switches the
+/// whole pipeline between its two ends: per-point (`submit` in a loop, the
+/// worker scoring strictly point by point with `max_batch = 1`) and batched
+/// (`submit_batch_rows` staging plus micro-batched drain/scoring). The
+/// micro-batch setting is part of the ingest path under test — scores are
+/// bitwise identical either way, which `--smoke` asserts.
+fn run_ingest(points: &[Vec<f64>], shards: usize, batch: bool, legacy: bool) -> (f64, Vec<u64>) {
+    let config = ServeConfig::new(shards)
+        .with_queue_capacity(INGEST_RING_CAPACITY)
+        .with_max_batch(if batch { INGEST_MAX_BATCH } else { 1 })
+        .with_snapshot_every(8192)
+        .with_legacy_ingest(legacy);
+    let mut engine =
+        ServeEngine::start(config, move |_| build_cheap(INGEST_D)).expect("engine start");
+    let started = Instant::now();
+    if batch {
+        for chunk in points.chunks(INGEST_CHUNK) {
+            engine.submit_batch_rows(chunk).expect("submit");
+        }
+    } else {
+        for p in points {
+            engine.submit(p.clone()).expect("submit");
+        }
+    }
+    let report = engine.finish().expect("drain");
+    let seconds = started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.stats.total_processed as usize,
+        points.len(),
+        "Block backpressure admits every point"
+    );
+    let bits = report
+        .scores_in_order()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    (seconds, bits)
+}
+
+fn ingest_points(n: usize) -> Vec<Vec<f64>> {
+    let stream = generate_low_rank_stream(LowRankStreamConfig {
+        n,
+        d: INGEST_D,
+        k: 2,
+        anomaly_rate: 0.01,
+        seed: 1_001,
+        anomaly_kind: AnomalyKind::OffSubspace,
+        ..Default::default()
+    });
+    stream.points.iter().map(|p| p.values.clone()).collect()
+}
+
+/// `--smoke`: assert batch-vs-per-point bitwise score equality on both
+/// channels, then exit without timing anything or writing artifacts.
+fn smoke() {
+    let points = ingest_points(20_000);
+    for (legacy, channel) in [(false, "ring"), (true, "queue")] {
+        let (_, per_point) = run_ingest(&points, 2, false, legacy);
+        let (_, batch) = run_ingest(&points, 2, true, legacy);
+        assert_eq!(
+            per_point, batch,
+            "batch dispatch diverged from per-point on the {channel} channel"
+        );
+        println!(
+            "smoke: {channel}: batch == per-point bitwise over {} scores",
+            batch.len()
+        );
+    }
+    println!("smoke: OK");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -122,7 +269,9 @@ fn main() {
         let mut engine =
             ServeEngine::start(config, move |_| build_detector(d)).expect("engine start");
         let started = Instant::now();
-        engine.submit_batch(points.iter().cloned()).expect("submit");
+        for chunk in points.chunks(INGEST_CHUNK) {
+            engine.submit_batch_rows(chunk).expect("submit");
+        }
         let report = engine.finish().expect("drain");
         let seconds = started.elapsed().as_secs_f64();
         assert_eq!(report.stats.total_processed as usize, n, "no loss allowed");
@@ -155,6 +304,61 @@ fn main() {
         runs.push(run);
     }
 
+    // Ingest-bound leg: dispatch mode × channel, cheap detector.
+    let ingest_n = if small { 200_000 } else { 1_000_000 };
+    let ingest = ingest_points(ingest_n);
+    let mut ingest_runs = Vec::new();
+    for shards in [1usize, 2] {
+        for (batch, legacy) in [(false, true), (false, false), (true, true), (true, false)] {
+            let (seconds, _) = run_ingest(&ingest, shards, batch, legacy);
+            let run = IngestRun {
+                shards,
+                dispatch: if batch { "batch" } else { "per_point" }.to_string(),
+                channel: if legacy { "queue" } else { "ring" }.to_string(),
+                max_batch: if batch { INGEST_MAX_BATCH } else { 1 },
+                seconds,
+                points_per_sec: ingest_n as f64 / seconds,
+            };
+            println!(
+                "ingest shards {} {:>9}/{:<5}: {:.2}s — {:.0} points/s",
+                run.shards, run.dispatch, run.channel, run.seconds, run.points_per_sec
+            );
+            ingest_runs.push(run);
+        }
+    }
+    let rate_of = |dispatch: &str, channel: &str| {
+        ingest_runs
+            .iter()
+            .find(|r| r.shards == 1 && r.dispatch == dispatch && r.channel == channel)
+            .map(|r| r.points_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let batch_speedup_ring = rate_of("batch", "ring") / rate_of("per_point", "ring");
+    let batch_ring_vs_per_point_queue = rate_of("batch", "ring") / rate_of("per_point", "queue");
+    println!(
+        "ingest: batch vs per-point on ring {batch_speedup_ring:.2}x; \
+         batch+ring vs per-point+queue {batch_ring_vs_per_point_queue:.2}x"
+    );
+    let ingest_section = IngestSection {
+        description: "dispatch-mode and channel comparison with an ingest-bound \
+                      (deliberately cheap) detector; per_point legs run the \
+                      whole pipeline point-at-a-time (max_batch 1), batch legs \
+                      fully batched. On a single-core host producer and \
+                      consumer serialize, so the shared scoring cost dilutes \
+                      submit-side savings and caps the batch-vs-per-point \
+                      ratio well below what multi-core hosts see"
+            .to_string(),
+        n: ingest_n,
+        d: INGEST_D,
+        sketch: "rs".to_string(),
+        ring_capacity: INGEST_RING_CAPACITY,
+        max_batch: INGEST_MAX_BATCH,
+        chunk: INGEST_CHUNK,
+        runs: ingest_runs,
+        batch_speedup_ring,
+        batch_ring_vs_per_point_queue,
+    };
+
     let note = if parallelism <= 1 {
         "measured on a single available core: shard workers time-slice one CPU, so \
          multi-shard runs measure coordination overhead rather than parallel speedup; \
@@ -165,13 +369,16 @@ fn main() {
     };
     let report = BenchReport {
         id: "BENCH_serve".to_string(),
-        description: "serving-engine throughput and latency vs shard count".to_string(),
+        description: "serving-engine throughput and latency vs shard count, plus \
+                      ingest-bound dispatch/channel comparison"
+            .to_string(),
         n,
         d,
         queue_capacity,
         available_parallelism: parallelism,
         direct_baseline_points_per_sec: direct_rate,
         runs,
+        ingest: ingest_section,
         note,
     };
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
@@ -201,7 +408,9 @@ fn main() {
                 .with_flight_recorder(&telemetry_path),
         )
         .expect("start telemetry");
-    engine.submit_batch(points.iter().cloned()).expect("submit");
+    for chunk in points.chunks(INGEST_CHUNK) {
+        engine.submit_batch_rows(chunk).expect("submit");
+    }
     let report = engine.finish().expect("drain");
     drop(telemetry);
     println!("wrote {telemetry_path}");

@@ -1,11 +1,13 @@
 //! `sketchad` — command-line streaming anomaly detection.
 //!
 //! ```text
-//! # generate a benchmark stream as CSV
-//! sketchad generate --dataset synth-lowrank --output stream.csv [--small]
+//! # generate a benchmark stream (.csv for inspectable text, .rows for the
+//! # zero-parse binary replay format — chosen by the output extension)
+//! sketchad generate --dataset synth-lowrank --output stream.rows [--small]
 //!
-//! # score a CSV stream (features + trailing 0/1 label column)
-//! sketchad score --input stream.csv [--sketch fd|rp|cs|rs] [--k 10] [--ell 64]
+//! # score a stream (.csv: features + trailing 0/1 label column; .rows:
+//! # sketchad-rows/v1 with the label in the key column)
+//! sketchad score --input stream.rows [--sketch fd|rp|cs|rs] [--k 10] [--ell 64]
 //!                [--score rel-proj|proj|leverage|blended] [--warmup 256]
 //!                [--decay 0.9:100] [--fp-rate 0.01] [--output scores.csv]
 //!
@@ -139,7 +141,17 @@ fn cmd_generate(p: &ParsedArgs) -> Result<(), String> {
     };
     let stream = dataset_by_name(name, scale)
         .ok_or_else(|| format!("unknown dataset {name:?} (see `sketchad datasets`)"))?;
-    stream_io::write_csv(&stream, Path::new(output)).map_err(|e| e.to_string())?;
+    let out_path = Path::new(output);
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    // Extension picks the format: `.rows` writes the zero-parse binary
+    // sketchad-rows/v1 layout, anything else stays inspectable CSV.
+    if out_path.extension().and_then(|e| e.to_str()) == Some("rows") {
+        stream_io::write_rows(&stream, out_path).map_err(|e| e.to_string())?;
+    } else {
+        stream_io::write_csv(&stream, out_path).map_err(|e| e.to_string())?;
+    }
     println!(
         "wrote {} ({} points, d={}, {} anomalies) to {output}",
         stream.name,
@@ -174,7 +186,7 @@ fn parse_decay(raw: &str) -> Result<(f64, usize), String> {
 
 fn cmd_score(p: &ParsedArgs) -> Result<(), String> {
     let input = p.require("input").map_err(|e| e.to_string())?;
-    let stream = stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?;
+    let stream = stream_io::read_stream(Path::new(input)).map_err(|e| e.to_string())?;
 
     let k: usize = p
         .get_parse_or("k", 10, "positive integer")
@@ -341,7 +353,7 @@ fn cmd_apply(p: &ParsedArgs) -> Result<(), String> {
     let input = p.require("input").map_err(|e| e.to_string())?;
     let raw = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
     let saved: SavedModel = serde_json::from_str(&raw).map_err(|e| e.to_string())?;
-    let stream = stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?;
+    let stream = stream_io::read_stream(Path::new(input)).map_err(|e| e.to_string())?;
     if stream.dim != saved.model.dim() {
         return Err(format!(
             "model dimension {} does not match stream dimension {}",
@@ -398,9 +410,11 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
         BackpressurePolicy, PartitionStrategy, ServeConfig, ServeEngine, TelemetryConfig,
     };
 
-    // Input: a CSV file or a named builtin dataset.
+    // Input: a CSV/.rows file or a named builtin dataset.
     let stream = match (p.options.get("input"), p.options.get("dataset")) {
-        (Some(input), None) => stream_io::read_csv(Path::new(input)).map_err(|e| e.to_string())?,
+        (Some(input), None) => {
+            stream_io::read_stream(Path::new(input)).map_err(|e| e.to_string())?
+        }
         (None, Some(name)) => {
             let scale = if p.has_flag("small") {
                 DatasetScale::Small
@@ -1170,6 +1184,56 @@ mod tests {
             std::fs::remove_file(p).ok();
         }
         assert!(err.contains("dimension"), "{err}");
+    }
+
+    #[test]
+    fn rows_and_csv_inputs_score_identically() {
+        // generate the same dataset in both formats, replay each through
+        // `score`, and require bitwise-identical score dumps: the binary
+        // format must be invisible to everything downstream of the reader.
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("sketchad-cli-fmt-{pid}.csv"));
+        let rows = dir.join(format!("sketchad-cli-fmt-{pid}.rows"));
+        let out_csv = dir.join(format!("sketchad-cli-fmt-out-csv-{pid}.csv"));
+        let out_rows = dir.join(format!("sketchad-cli-fmt-out-rows-{pid}.csv"));
+        for output in [&csv, &rows] {
+            run(&[
+                "generate".into(),
+                "--dataset".into(),
+                "synth-lowrank".into(),
+                "--output".into(),
+                output.to_str().unwrap().into(),
+                "--small".into(),
+            ])
+            .unwrap();
+        }
+        // Binary file is the fixed-width layout: 20-byte header + n rows.
+        let raw = std::fs::read(&rows).unwrap();
+        assert_eq!(&raw[0..4], b"SKRW");
+        for (input, output) in [(&csv, &out_csv), (&rows, &out_rows)] {
+            run(&[
+                "score".into(),
+                "--input".into(),
+                input.to_str().unwrap().into(),
+                "--k".into(),
+                "10".into(),
+                "--ell".into(),
+                "32".into(),
+                "--warmup".into(),
+                "100".into(),
+                "--output".into(),
+                output.to_str().unwrap().into(),
+                "--quiet".into(),
+            ])
+            .unwrap();
+        }
+        let a = std::fs::read_to_string(&out_csv).unwrap();
+        let b = std::fs::read_to_string(&out_rows).unwrap();
+        for p in [&csv, &rows, &out_csv, &out_rows] {
+            std::fs::remove_file(p).ok();
+        }
+        assert_eq!(a, b, "scores differ between CSV and .rows replay");
     }
 
     #[test]

@@ -46,6 +46,9 @@
 //! * [`threshold`] — P² streaming quantile + alerting wrapper.
 //! * [`normalize`] — online z-scoring wrapper.
 //! * [`config`] — [`DetectorConfig`] builder entry point.
+//! * [`rowfmt`] — the `sketchad-rows/v1` binary row format: fixed-width
+//!   f64-LE rows with an optional key column, readable with zero parse
+//!   cost ([`rowfmt::RowsView`] / [`rowfmt::RowsWriter`]).
 //! * [`validate`] — input hygiene ([`validate_point`]) for serving layers:
 //!   non-finite and wrong-dimension rows are detected *before* they can
 //!   poison a sketch or panic a worker.
@@ -75,6 +78,7 @@ pub mod detector;
 pub mod exact;
 pub mod normalize;
 pub mod refresh;
+pub mod rowfmt;
 pub mod score;
 pub mod sketched;
 pub mod subspace;
@@ -89,7 +93,7 @@ pub use sketchad_obs as obs;
 
 pub use baseline::{MeanDistanceDetector, OjaDetector, RandomScoreDetector};
 pub use config::DetectorConfig;
-pub use detector::StreamingDetector;
+pub use detector::{RefreshTask, StreamingDetector};
 pub use exact::{ExactSvdDetector, ExactWindowedDetector};
 pub use normalize::{NormalizedDetector, OnlineNormalizer};
 pub use refresh::RefreshPolicy;

@@ -415,6 +415,78 @@ pub fn subspace_iteration(s: &Matrix, k: usize, iterations: usize, seed: u64) ->
     Ok(SymEigen { values, vectors })
 }
 
+/// Top-`k` right-singular pairs of a **rectangular** `ℓ × d` matrix `b` by
+/// warm-started block iteration on `BᵀB`, without ever forming the `d × d`
+/// Gram matrix.
+///
+/// `v0` (`d × k₀` with orthonormal-izable columns, `k ≤ k₀ ≤ d`) seeds the
+/// iteration — typically the previous model's basis. When the spectrum moves
+/// slowly between refreshes (the streaming case: one sketch absorbs a few
+/// hundred rows per refresh), the warm basis is already near the invariant
+/// subspace and 2–3 iterations replace a cold `O(min(ℓ,d)²·max(ℓ,d))` SVD.
+///
+/// Each iteration is `Z = B·Q` then `W = Bᵀ·Z` then `Q ← orth(W)` —
+/// `O(ℓ·d·k₀)` per step. Eigenpairs are extracted by Rayleigh–Ritz on
+/// `QᵀBᵀBQ = ZᵀZ` (`k₀ × k₀`). Returned `values` are eigenvalues of `BᵀB`,
+/// i.e. **squared** singular values of `b`, descending; `vectors` holds the
+/// corresponding right singular vectors as `d × k` columns. Fully
+/// deterministic: no randomness enters anywhere.
+///
+/// # Errors
+/// * [`LinAlgError::ShapeMismatch`] when `v0.rows() != b.cols()`.
+/// * [`LinAlgError::InvalidParameter`] unless `1 ≤ k ≤ v0.cols() ≤ d`.
+/// * [`LinAlgError::NotFinite`] for NaN/inf input.
+pub fn warm_subspace_iteration(
+    b: &Matrix,
+    v0: &Matrix,
+    k: usize,
+    iterations: usize,
+) -> Result<SymEigen> {
+    let d = b.cols();
+    if v0.rows() != d {
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (d, v0.cols()),
+            got: v0.shape(),
+            op: "warm_subspace_iteration",
+        });
+    }
+    let block = v0.cols();
+    if k == 0 || k > block || block > d {
+        return Err(LinAlgError::InvalidParameter {
+            op: "warm_subspace_iteration",
+            message: "need 1 <= k <= v0.cols() <= b.cols()",
+        });
+    }
+    if !b.all_finite() || !v0.all_finite() {
+        return Err(LinAlgError::NotFinite {
+            op: "warm_subspace_iteration",
+        });
+    }
+
+    let (mut q, _) = qr_thin(v0)?;
+    for _ in 0..iterations.max(1) {
+        let z = b.matmul(&q)?; // ℓ × k₀
+        let w = b.tr_matmul(&z)?; // d × k₀ = (BᵀB)·Q
+        let (qn, _) = qr_thin(&w)?;
+        q = qn;
+    }
+
+    // Rayleigh–Ritz in the converged subspace: ZᵀZ = QᵀBᵀBQ.
+    let z = b.matmul(&q)?;
+    let small = z.tr_matmul(&z)?;
+    let eig = eigen_sym(&small)?;
+    let lifted = q.matmul(&eig.vectors)?;
+
+    let values = eig.values[..k].to_vec();
+    let mut vectors = Matrix::zeros(d, k);
+    for col in 0..k {
+        for row in 0..d {
+            vectors[(row, col)] = lifted[(row, col)];
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +654,66 @@ mod tests {
         assert!(subspace_iteration(&s, 0, 10, 1).is_err());
         assert!(subspace_iteration(&s, 5, 10, 1).is_err());
         assert!(subspace_iteration(&Matrix::zeros(2, 3), 1, 10, 1).is_err());
+    }
+
+    #[test]
+    fn warm_subspace_iteration_matches_gram_eigensolve() {
+        // ℓ×d matrix with a known right-singular structure: rows live in a
+        // 3-D subspace of R^10 with distinct energies.
+        let mut rng = seeded_rng(11);
+        let v = random_orthonormal_rows(&mut rng, 3, 10); // 3 × 10
+        let mut b = Matrix::zeros(12, 10);
+        for i in 0..12 {
+            let c = [4.0, 2.0, 1.0][i % 3];
+            for j in 0..10 {
+                b[(i, j)] = c * v[(i % 3, j)];
+            }
+        }
+        let gram = b.gram(); // d × d = BᵀB
+        let exact = eigen_sym(&gram).unwrap();
+        // Warm start from a perturbed version of the true basis.
+        let mut v0 = v.transpose(); // 10 × 3 columns
+        for j in 0..3 {
+            v0[(j, j)] += 0.05;
+        }
+        let warm = warm_subspace_iteration(&b, &v0, 3, 3).unwrap();
+        for (got, want) in warm.values.iter().zip(exact.values.iter()) {
+            assert!((got - want).abs() < 1e-8, "eig {got} vs {want}");
+        }
+        // Right singular vectors match up to sign.
+        for j in 0..3 {
+            let dot: f64 = (0..10)
+                .map(|r| warm.vectors[(r, j)] * exact.vectors[(r, j)])
+                .sum();
+            assert!(dot.abs() > 1.0 - 1e-8, "vector {j} misaligned: {dot}");
+        }
+    }
+
+    #[test]
+    fn warm_subspace_iteration_is_deterministic() {
+        let mut rng = seeded_rng(3);
+        let b = gaussian_matrix(&mut rng, 16, 8, 1.0);
+        let v0 = {
+            let mut rng2 = seeded_rng(4);
+            gaussian_matrix(&mut rng2, 8, 4, 1.0)
+        };
+        let a = warm_subspace_iteration(&b, &v0, 4, 2).unwrap();
+        let c = warm_subspace_iteration(&b, &v0, 4, 2).unwrap();
+        assert_eq!(a.values, c.values);
+        assert_eq!(a.vectors.as_slice(), c.vectors.as_slice());
+    }
+
+    #[test]
+    fn warm_subspace_iteration_parameter_validation() {
+        let b = Matrix::zeros(6, 4);
+        let v0 = Matrix::identity(4);
+        assert!(warm_subspace_iteration(&b, &v0, 0, 2).is_err()); // k = 0
+        assert!(warm_subspace_iteration(&b, &v0, 5, 2).is_err()); // k > k₀
+        let v_wrong = Matrix::zeros(3, 2);
+        assert!(warm_subspace_iteration(&b, &v_wrong, 1, 2).is_err()); // d mismatch
+        let mut nan = Matrix::zeros(6, 4);
+        nan[(0, 0)] = f64::NAN;
+        assert!(warm_subspace_iteration(&nan, &v0, 2, 2).is_err());
     }
 
     #[test]

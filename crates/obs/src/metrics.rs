@@ -31,12 +31,14 @@ const COUNTERS: [Counter; 9] = [
     Counter::CheckpointsWritten,
 ];
 
-const GAUGES: [Gauge; 5] = [
+const GAUGES: [Gauge; 7] = [
     Gauge::FdErrorBound,
     Gauge::SketchEnergy,
     Gauge::ModelEnergyCaptured,
     Gauge::QueueDepth,
     Gauge::ResidualEnergy,
+    Gauge::RingDepth,
+    Gauge::RefreshLag,
 ];
 
 const HISTS: [Hist; 2] = [Hist::SubmitLatency, Hist::RefreshDuration];
@@ -72,6 +74,8 @@ fn gauge_index(gauge: Gauge) -> usize {
         Gauge::ModelEnergyCaptured => 2,
         Gauge::QueueDepth => 3,
         Gauge::ResidualEnergy => 4,
+        Gauge::RingDepth => 5,
+        Gauge::RefreshLag => 6,
     }
 }
 
@@ -102,7 +106,7 @@ struct GaugeAgg {
 struct Inner {
     spans: [SpanAgg; 5],
     counters: [u64; 9],
-    gauges: [Option<GaugeAgg>; 5],
+    gauges: [Option<GaugeAgg>; 7],
     hists: [LogHistogram; 2],
     events: VecDeque<Event>,
     event_capacity: usize,
@@ -142,7 +146,7 @@ impl MetricsRecorder {
             inner: Mutex::new(Inner {
                 spans: [SpanAgg::default(); 5],
                 counters: [0; 9],
-                gauges: [None; 5],
+                gauges: [None; 7],
                 hists: [LogHistogram::new(), LogHistogram::new()],
                 events: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
                 event_capacity: capacity,

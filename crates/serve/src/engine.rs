@@ -3,7 +3,8 @@
 use crate::config::{stable_hash, BackpressurePolicy, PartitionStrategy, ServeConfig};
 use crate::error::{panic_message, ServeError};
 use crate::quarantine::Quarantine;
-use crate::queue::{DeathWatch, JobQueue, PushError};
+use crate::queue::{JobQueue, PushError};
+use crate::ring::{DeathWatch, ShardChannel, SpscRing};
 use crate::shard::{run_supervised, Job, ShardShared, WorkerConfig};
 use crate::snapshot::SnapshotScorer;
 use crate::stats::{LatencyHistogram, PipelineStats, ShardStats};
@@ -11,6 +12,7 @@ use crate::telemetry::{EngineProbe, TelemetryConfig, TelemetryHandle};
 use sketchad_core::{validate_point, InputViolation, ScoreKind, StreamingDetector, SubspaceModel};
 use sketchad_durable::{self as durable, StateStore};
 use sketchad_obs::{Counter, Event, MetricsRecorder, ObsReport, Recorder, RecorderHandle, Sampler};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -76,7 +78,7 @@ impl PipelineReport {
 }
 
 struct ShardHandle {
-    queue: Arc<JobQueue>,
+    channel: Arc<ShardChannel>,
     join: Option<JoinHandle<crate::shard::ShardOutput>>,
     shared: Arc<ShardShared>,
     /// This shard's metrics recorder; `None` on uninstrumented engines.
@@ -283,7 +285,16 @@ impl ServeEngine {
                 }
                 Some(_) => {}
             }
-            let queue = Arc::new(JobQueue::new(config.queue_capacity));
+            // The ring is the default ingest channel; the condvar queue
+            // stays for ShedOldest (sender-side eviction needs shared
+            // access to the buffer) and the legacy-ingest bench knob.
+            let use_ring = !config.legacy_ingest
+                && !matches!(config.backpressure, BackpressurePolicy::ShedOldest);
+            let channel = Arc::new(if use_ring {
+                ShardChannel::Ring(SpscRing::new(config.queue_capacity))
+            } else {
+                ShardChannel::Queue(JobQueue::new(config.queue_capacity))
+            });
             let shared = Arc::new(ShardShared::default());
             // Warm restart: restore the detector from durable state and
             // publish its model *before* the worker spawns, so the first
@@ -349,6 +360,7 @@ impl ServeEngine {
                 max_batch: config.max_batch,
                 max_restarts: config.max_restarts,
                 checkpoint_every: config.checkpoint_every,
+                refresh_every: config.refresh_every,
             };
             let rebuild = {
                 let factory = Arc::clone(&factory);
@@ -358,16 +370,16 @@ impl ServeEngine {
                     build(idx, obs.clone())
                 }) as crate::shard::DetectorRebuild
             };
-            let worker_queue = Arc::clone(&queue);
+            let worker_channel = Arc::clone(&channel);
             let worker_shared = Arc::clone(&shared);
             let worker_obs = obs.clone();
             let join = std::thread::Builder::new()
                 .name(format!("sketchad-shard-{idx}"))
                 .spawn(move || {
-                    let mut watch = DeathWatch::arm(Arc::clone(&worker_queue));
+                    let mut watch = DeathWatch::arm(Arc::clone(&worker_channel));
                     let output = run_supervised(
                         worker_cfg,
-                        worker_queue,
+                        worker_channel,
                         detector,
                         rebuild,
                         worker_shared,
@@ -379,7 +391,7 @@ impl ServeEngine {
                 })
                 .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
             shards.push(ShardHandle {
-                queue,
+                channel,
                 join: Some(join),
                 shared,
                 recorder,
@@ -548,7 +560,7 @@ impl ServeEngine {
                 // is recorded as a QueueBlocked event before the (identical)
                 // blocking push; when not observing this is a plain push.
                 let push_result = if handle.obs.enabled() {
-                    match handle.queue.try_push(job) {
+                    match handle.channel.try_push(job) {
                         Ok(()) => Ok(()),
                         Err(PushError::Full(job)) => {
                             handle.obs.incr(Counter::QueueBlocked, 1);
@@ -556,12 +568,12 @@ impl ServeEngine {
                                 shard,
                                 seq: job.seq,
                             });
-                            handle.queue.push_block(job)
+                            handle.channel.push_block(job)
                         }
                         Err(dead) => Err(dead),
                     }
                 } else {
-                    handle.queue.push_block(job)
+                    handle.channel.push_block(job)
                 };
                 match push_result {
                     Ok(()) => SubmitOutcome::Accepted,
@@ -575,7 +587,7 @@ impl ServeEngine {
             }
             BackpressurePolicy::DropNewest => {
                 let handle = &self.shards[shard];
-                match handle.queue.try_push(job) {
+                match handle.channel.try_push(job) {
                     Ok(()) => SubmitOutcome::Accepted,
                     Err(PushError::Full(job)) => {
                         handle.shared.release_slot();
@@ -597,7 +609,7 @@ impl ServeEngine {
             }
             BackpressurePolicy::ShedOldest => {
                 let handle = &self.shards[shard];
-                match handle.queue.push_shed_oldest(job) {
+                match handle.channel.push_shed_oldest(job) {
                     Ok(None) => SubmitOutcome::Accepted,
                     Ok(Some(evicted)) => {
                         // The new point took the evicted one's slot.
@@ -627,6 +639,11 @@ impl ServeEngine {
 
     /// Submits a batch, aggregating per-outcome counts. Stops at the first
     /// hard error (a dead worker thread).
+    ///
+    /// This is the convenience form that loops [`submit`](Self::submit) per
+    /// point; high-throughput callers holding their rows in a slice should
+    /// prefer [`submit_batch_rows`](Self::submit_batch_rows), which routes
+    /// the whole batch with one channel reservation per shard.
     pub fn submit_batch<I>(&mut self, points: I) -> Result<BatchOutcome, ServeError>
     where
         I: IntoIterator<Item = Vec<f64>>,
@@ -643,12 +660,233 @@ impl ServeEngine {
         Ok(outcome)
     }
 
+    /// Submits a slice of rows through the batched fast path: rows are
+    /// hash-routed into per-shard staging buffers (validation, quarantine,
+    /// and shed accounting run per row, exactly as in per-point
+    /// submission), then each shard's group is flushed with **one channel
+    /// reservation per shard per batch** instead of one push per point.
+    ///
+    /// Every shard sees the same points in the same order as `rows.len()`
+    /// calls to [`submit`](Self::submit) would deliver, so scores are
+    /// bitwise identical to per-point submission:
+    ///
+    /// ```
+    /// use sketchad_core::{DetectorConfig, StreamingDetector};
+    /// use sketchad_serve::{ServeConfig, ServeEngine};
+    ///
+    /// fn factory(_shard: usize) -> Box<dyn StreamingDetector + Send> {
+    ///     Box::new(DetectorConfig::new(2, 8).with_warmup(16).with_seed(7).build_fd(4))
+    /// }
+    /// let rows: Vec<Vec<f64>> = (0..100u32)
+    ///     .map(|i| {
+    ///         let t = f64::from(i) * 0.1;
+    ///         vec![t.sin(), t.cos(), 0.0, 0.0]
+    ///     })
+    ///     .collect();
+    ///
+    /// // One batched submission …
+    /// let mut batched = ServeEngine::start(ServeConfig::new(2), factory).unwrap();
+    /// let outcome = batched.submit_batch_rows(&rows).unwrap();
+    /// assert_eq!(outcome.accepted, 100);
+    ///
+    /// // … scores bitwise identically to 100 per-point submissions.
+    /// let mut per_point = ServeEngine::start(ServeConfig::new(2), factory).unwrap();
+    /// for row in &rows {
+    ///     per_point.submit(row.clone()).unwrap();
+    /// }
+    /// let batched = batched.finish().unwrap();
+    /// let per_point = per_point.finish().unwrap();
+    /// assert_eq!(batched.scores_in_order(), per_point.scores_in_order());
+    /// ```
+    ///
+    /// Accounting differences from the per-point path, all metrics-only:
+    /// queue-wait latency is measured from one batch-wide timestamp, a
+    /// stalled `Block` flush records a single `queue_blocked` event per
+    /// shard per batch rather than one per blocked point, and the depth
+    /// reservation, high-water update, and degraded-shard check each run
+    /// once per shard per batch instead of once per row.
+    pub fn submit_batch_rows(&mut self, rows: &[Vec<f64>]) -> Result<BatchOutcome, ServeError> {
+        let n_shards = self.shards.len() as u64;
+        let base = self.submitted.fetch_add(rows.len() as u64, Relaxed);
+        let mut outcome = BatchOutcome::default();
+        let mut staged: Vec<VecDeque<Job>> =
+            (0..self.shards.len()).map(|_| VecDeque::new()).collect();
+        // Degradation is checked once per shard per batch instead of once
+        // per row: a shard that degrades mid-batch sheds from the next
+        // batch onward, which is the same lag the per-point path has for
+        // points already past its own check.
+        let shedding: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|h| self.read_only || h.shared.degraded.load(Relaxed))
+            .collect();
+        let enqueued = Instant::now();
+        for (j, row) in rows.iter().enumerate() {
+            let seq = base + j as u64;
+            // Same routing as per-point submission: round-robin over the
+            // submission sequence (keyless KeyHash falls back to it too).
+            let shard = (seq % n_shards) as usize;
+            if let Err(violation) = validate_point(row, self.dim) {
+                let handle = &self.shards[shard];
+                handle.shared.rejected.fetch_add(1, Relaxed);
+                if handle.obs.enabled() {
+                    handle.obs.incr(Counter::PointsRejected, 1);
+                    handle.obs.event(Event::PointRejected {
+                        shard,
+                        seq,
+                        reason: violation.label().to_string(),
+                    });
+                }
+                self.quarantine.push(seq, violation, row.clone());
+                outcome.rejected += 1;
+                continue;
+            }
+            if shedding[shard] {
+                let handle = &self.shards[shard];
+                handle.shared.shed.fetch_add(1, Relaxed);
+                if handle.obs.enabled() {
+                    handle.obs.incr(Counter::PointsShed, 1);
+                    handle.obs.event(Event::QueueShed { shard, seq });
+                }
+                outcome.shed += 1;
+                continue;
+            }
+            staged[shard].push_back(Job {
+                seq,
+                point: row.clone(),
+                enqueued,
+            });
+            outcome.accepted += 1;
+        }
+        for (shard, group) in staged.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // One depth reservation per shard per batch (the per-point path
+            // reserves before each enqueue; the flush below is the enqueue,
+            // so the same reserve-before-send ordering holds).
+            self.shards[shard].shared.reserve_slots(group.len());
+            match self.backpressure {
+                BackpressurePolicy::Block => self.flush_blocking(shard, group)?,
+                BackpressurePolicy::DropNewest => {
+                    self.flush_drop_newest(shard, group, &mut outcome)?;
+                }
+                BackpressurePolicy::ShedOldest => self.flush_shed_oldest(shard, group)?,
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Flushes one shard's staged group under `Block`: retry batch pushes,
+    /// yielding while the channel is full, until everything is in.
+    fn flush_blocking(
+        &mut self,
+        shard: usize,
+        staged: &mut VecDeque<Job>,
+    ) -> Result<(), ServeError> {
+        let mut blocked_recorded = false;
+        loop {
+            let handle = &self.shards[shard];
+            match handle.channel.try_push_batch(staged) {
+                Ok(_) if staged.is_empty() => return Ok(()),
+                Ok(pushed) => {
+                    if pushed == 0 {
+                        if !blocked_recorded && handle.obs.enabled() {
+                            blocked_recorded = true;
+                            handle.obs.incr(Counter::QueueBlocked, 1);
+                            handle.obs.event(Event::QueueBlocked {
+                                shard,
+                                seq: staged.front().expect("non-empty").seq,
+                            });
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                Err(()) => return Err(self.abort_flush(shard, staged)),
+            }
+        }
+    }
+
+    /// Flushes one shard's staged group under `DropNewest`: one batch push,
+    /// everything that did not fit is dropped with exact counts.
+    fn flush_drop_newest(
+        &mut self,
+        shard: usize,
+        staged: &mut VecDeque<Job>,
+        outcome: &mut BatchOutcome,
+    ) -> Result<(), ServeError> {
+        let handle = &self.shards[shard];
+        match handle.channel.try_push_batch(staged) {
+            Ok(_) => {
+                for job in staged.drain(..) {
+                    handle.shared.release_slot();
+                    handle.shared.dropped.fetch_add(1, Relaxed);
+                    if handle.obs.enabled() {
+                        handle.obs.incr(Counter::QueueDropped, 1);
+                        handle.obs.event(Event::QueueDropped {
+                            shard,
+                            seq: job.seq,
+                        });
+                    }
+                    outcome.accepted -= 1;
+                    outcome.dropped += 1;
+                }
+                Ok(())
+            }
+            Err(()) => Err(self.abort_flush(shard, staged)),
+        }
+    }
+
+    /// Flushes one shard's staged group under `ShedOldest` (always the
+    /// queue channel): per-job pushes, evictions counted as shed.
+    fn flush_shed_oldest(
+        &mut self,
+        shard: usize,
+        staged: &mut VecDeque<Job>,
+    ) -> Result<(), ServeError> {
+        while let Some(job) = staged.pop_front() {
+            let handle = &self.shards[shard];
+            match handle.channel.push_shed_oldest(job) {
+                Ok(None) => {}
+                Ok(Some(evicted)) => {
+                    // The new point took the evicted one's slot.
+                    handle.shared.release_slot();
+                    handle.shared.shed.fetch_add(1, Relaxed);
+                    if handle.obs.enabled() {
+                        handle.obs.incr(Counter::PointsShed, 1);
+                        handle.obs.event(Event::QueueShed {
+                            shard,
+                            seq: evicted.seq,
+                        });
+                    }
+                }
+                Err(_) => {
+                    // The in-hand job was already popped from `staged`;
+                    // roll its reservation back separately.
+                    self.shards[shard].shared.release_slot();
+                    return Err(self.abort_flush(shard, staged));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A dead worker thread surfaced mid-flush: roll back the depth
+    /// reservations for everything unflushed, then harvest the shard.
+    fn abort_flush(&mut self, shard: usize, staged: &mut VecDeque<Job>) -> ServeError {
+        for _ in 0..staged.len() {
+            self.shards[shard].shared.release_slot();
+        }
+        staged.clear();
+        self.harvest_dead_shard(shard)
+    }
+
     /// Joins a shard whose worker thread is gone entirely (the supervisor
     /// contains detector panics, so this is a supervisor-level failure) and
     /// returns it as an error. The error is also remembered so `finish`
     /// re-reports it.
     fn harvest_dead_shard(&mut self, shard: usize) -> ServeError {
-        self.shards[shard].queue.close();
+        self.shards[shard].channel.close();
         let err = match self.shards[shard].join.take() {
             Some(handle) => match handle.join() {
                 Err(payload) => ServeError::WorkerPanicked {
@@ -713,7 +951,7 @@ impl ServeEngine {
     pub fn finish(mut self) -> Result<PipelineReport, ServeError> {
         // Closing the queues is the drain signal.
         for shard in &self.shards {
-            shard.queue.close();
+            shard.channel.close();
         }
         let mut first_error = self.dead.first().cloned();
         let mut scores = Vec::new();
@@ -1040,8 +1278,10 @@ mod tests {
             obs.span("snapshot_publish").unwrap().count as usize,
             snapshots
         );
-        // Queue depth was sampled for every drained job.
+        // Queue depth was sampled for every drained job, and the ring's own
+        // occupancy gauge alongside it (the default channel is the ring).
         assert_eq!(obs.gauge("queue_depth").unwrap().samples, 200);
+        assert_eq!(obs.gauge("ring_depth").unwrap().samples, 200);
     }
 
     #[test]
@@ -1151,6 +1391,132 @@ mod tests {
         assert_eq!(strict.len(), 300);
         assert_eq!(strict, run(64), "max_batch=64 diverged");
         assert_eq!(strict, run(7), "max_batch=7 diverged");
+    }
+
+    #[test]
+    fn batch_submit_rows_matches_per_point_bitwise() {
+        // The staged batch path must route every row to the same shard with
+        // the same sequence number as per-point submission, so the scores
+        // are bitwise identical — batching is an ingest optimisation, never
+        // a semantic change.
+        let rows: Vec<Vec<f64>> = (0..240).map(wave).collect();
+        let run = |batched: bool| -> Vec<u64> {
+            let config = ServeConfig::new(3).with_snapshot_every(8);
+            let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+            if batched {
+                let outcome = engine.submit_batch_rows(&rows).unwrap();
+                assert_eq!(outcome.accepted, 240);
+            } else {
+                for row in &rows {
+                    engine.submit(row.clone()).unwrap();
+                }
+            }
+            let report = engine.finish().unwrap();
+            report
+                .scores_in_order()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        };
+        assert_eq!(run(true), run(false), "batch path diverged");
+    }
+
+    #[test]
+    fn legacy_ingest_matches_ring_scores() {
+        // The condvar queue and the SPSC ring are interchangeable carriers:
+        // same jobs, same order, same scores.
+        let rows: Vec<Vec<f64>> = (0..240).map(wave).collect();
+        let run = |legacy: bool| -> Vec<u64> {
+            let config = ServeConfig::new(2)
+                .with_snapshot_every(8)
+                .with_legacy_ingest(legacy);
+            let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+            engine.submit_batch_rows(&rows).unwrap();
+            let report = engine.finish().unwrap();
+            report
+                .scores_in_order()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        };
+        assert_eq!(run(false), run(true), "legacy queue scores diverged");
+    }
+
+    #[test]
+    fn async_refresh_is_deterministic_across_batch_sizes() {
+        // Off-thread refresh adopts results only at exact refresh_every
+        // boundaries, so scores must not depend on micro-batch sizing or on
+        // how long the refresher thread takes.
+        let run = |max_batch: usize| -> Vec<u64> {
+            let config = ServeConfig::new(2)
+                .with_snapshot_every(8)
+                .with_async_refresh(32)
+                .with_max_batch(max_batch);
+            let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+            engine.submit_batch((0..300).map(wave)).unwrap();
+            let report = engine.finish().unwrap();
+            report
+                .scores_in_order()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        };
+        let strict = run(1);
+        assert_eq!(strict.len(), 300);
+        assert_eq!(strict, run(7), "async refresh with max_batch=7 diverged");
+        assert_eq!(strict, run(64), "async refresh with max_batch=64 diverged");
+    }
+
+    #[test]
+    fn batch_submit_conserves_under_drop_newest() {
+        let rows: Vec<Vec<f64>> = (0..5_000).map(wave).collect();
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(1)
+            .with_backpressure(BackpressurePolicy::DropNewest);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        let outcome = engine.submit_batch_rows(&rows).unwrap();
+        assert_eq!(outcome.submitted(), 5_000);
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_processed, outcome.accepted);
+        assert_eq!(report.stats.total_dropped, outcome.dropped);
+        assert_eq!(report.scores.len() as u64, outcome.accepted);
+        assert_eq!(engine_submitted(&report), 5_000);
+    }
+
+    #[test]
+    fn batch_submit_conserves_under_shed_oldest() {
+        let rows: Vec<Vec<f64>> = (0..5_000).map(wave).collect();
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(2)
+            .with_backpressure(BackpressurePolicy::ShedOldest);
+        let mut engine = ServeEngine::start(config, fd_factory).unwrap();
+        let outcome = engine.submit_batch_rows(&rows).unwrap();
+        // ShedOldest admits everything; losses surface as evictions.
+        assert_eq!(outcome.accepted, 5_000);
+        assert_eq!(outcome.dropped + outcome.rejected + outcome.shed, 0);
+        let report = engine.finish().unwrap();
+        assert_eq!(
+            report.stats.total_processed + report.stats.total_shed,
+            5_000
+        );
+        assert_eq!(report.scores.len() as u64, report.stats.total_processed);
+    }
+
+    #[test]
+    fn batch_submit_rejects_poison_rows_in_place() {
+        let mut rows: Vec<Vec<f64>> = (0..40).map(wave).collect();
+        rows[7] = vec![1.0, f64::NAN, 0.0, 0.0];
+        rows[23] = vec![0.5; 3];
+        let mut engine = ServeEngine::start(ServeConfig::new(2), fd_factory).unwrap();
+        let outcome = engine.submit_batch_rows(&rows).unwrap();
+        assert_eq!(outcome.accepted, 38);
+        assert_eq!(outcome.rejected, 2);
+        let report = engine.finish().unwrap();
+        assert_eq!(report.stats.total_rejected, 2);
+        assert_eq!(report.quarantine.total(), 2);
+        let seqs: Vec<u64> = report.quarantine.rows().map(|r| r.seq).collect();
+        assert!(seqs.contains(&7) && seqs.contains(&23));
+        assert_eq!(engine_submitted(&report), 40);
     }
 
     #[test]

@@ -50,9 +50,16 @@
 //!
 //! * [`config`] — [`ServeConfig`], backpressure and partitioning policies.
 //! * [`engine`] — [`ServeEngine`], submission, shutdown, report assembly.
-//! * `shard` *(private)* — the supervised worker loop owning each detector.
-//! * `queue` *(private)* — the bounded MPSC job queue (shed-oldest capable,
-//!   panic-survivable).
+//! * `shard` *(private)* — the supervised worker loop owning each detector,
+//!   plus the off-thread model refresher
+//!   ([`ServeConfig::with_async_refresh`]).
+//! * `ring` *(private)* — the lock-free SPSC ingest ring (the default
+//!   channel; seqlock-style per-slot counters, batch push/pop). The one
+//!   module in this crate allowed to use `unsafe`; its memory-ordering
+//!   contract is documented in the module and exercised under ASan in CI.
+//! * `queue` *(private)* — the bounded condvar job queue, retained as the
+//!   fallback channel for `ShedOldest` (sender-side eviction) and the
+//!   `legacy_ingest` comparison knob.
 //! * [`quarantine`] — [`Quarantine`] / [`QuarantinedRow`] for refused input.
 //! * [`snapshot`] — [`SnapshotCell`] / [`SnapshotScorer`] read path.
 //! * [`stats`] — [`PipelineStats`], [`LatencyHistogram`], serializable.
@@ -67,13 +74,16 @@
 //! [`ShedOldest`]: BackpressurePolicy::ShedOldest
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `ring` module alone opts back in with a scoped
+// `allow` for its UnsafeCell slot accesses. Everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod quarantine;
 mod queue;
+mod ring;
 mod shard;
 pub mod snapshot;
 pub mod stats;

@@ -16,7 +16,7 @@
 
 use crate::shard::Job;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why a push did not enqueue. The job is handed back so `DropNewest` can
 /// count it and error paths can report its sequence number.
@@ -141,7 +141,9 @@ impl JobQueue {
         }
     }
 
-    /// Non-blocking pop, for opportunistic micro-batching.
+    /// Non-blocking pop; production drains go through
+    /// [`pop_batch`](Self::pop_batch) instead.
+    #[cfg(test)]
     pub(crate) fn try_pop(&self) -> Option<Job> {
         let mut inner = self.lock();
         let job = inner.jobs.pop_front();
@@ -156,6 +158,20 @@ impl JobQueue {
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.lock().jobs.len()
+    }
+
+    /// Non-blocking pop of up to `max` jobs under one lock acquisition,
+    /// appended to `out`; the queue-channel counterpart of the ring's batch
+    /// pop.
+    pub(crate) fn pop_batch(&self, out: &mut Vec<Job>, max: usize) -> usize {
+        let mut inner = self.lock();
+        let n = max.min(inner.jobs.len());
+        out.extend(inner.jobs.drain(..n));
+        drop(inner);
+        if n > 0 {
+            self.not_full.notify_one();
+        }
+        n
     }
 
     /// Shutdown signal: the worker drains the backlog, then exits.
@@ -178,37 +194,10 @@ impl JobQueue {
     }
 }
 
-/// Drop guard the worker thread holds: if the supervisor exits by panic
-/// (its own bug — detector panics are caught inside it), the guard's `Drop`
-/// marks the queue dead on the way out of the thread, upholding the
-/// engine's "a dead shard is an error, never a hang" contract.
-pub(crate) struct DeathWatch {
-    queue: Arc<JobQueue>,
-    armed: bool,
-}
-
-impl DeathWatch {
-    pub(crate) fn arm(queue: Arc<JobQueue>) -> Self {
-        Self { queue, armed: true }
-    }
-
-    /// Normal worker exit: the queue was closed and drained, not abandoned.
-    pub(crate) fn disarm(&mut self) {
-        self.armed = false;
-    }
-}
-
-impl Drop for DeathWatch {
-    fn drop(&mut self) {
-        if self.armed {
-            self.queue.mark_dead();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use std::time::Instant;
 
     fn job(seq: u64) -> Job {

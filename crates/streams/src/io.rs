@@ -1,13 +1,23 @@
-//! CSV persistence for labeled streams.
+//! Persistence for labeled streams: text CSV and the binary
+//! `sketchad-rows/v1` format.
 //!
-//! Format: one header row (`f0,f1,…,f{d-1},label`), then one row per point
-//! with the label as `0`/`1` in the last column. This keeps generated
+//! CSV format: one header row (`f0,f1,…,f{d-1},label`), then one row per
+//! point with the label as `0`/`1` in the last column. This keeps generated
 //! datasets inspectable with standard tooling and lets users feed their own
 //! data into the examples.
+//!
+//! For replay-heavy paths (eval sweeps, benchmarks) CSV pays a float parse
+//! per cell per run; [`write_rows`]/[`read_rows`] store the same stream in
+//! [`sketchad_core::rowfmt`]'s fixed-width binary layout with the 0/1 label
+//! in the key column, so re-reading is a straight memory copy.
+//! [`read_stream`] dispatches on the file extension (`.rows` → binary,
+//! anything else → CSV).
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+use sketchad_core::rowfmt::{read_rows_file, RowsView, RowsWriter};
 
 use crate::point::{LabeledPoint, LabeledStream};
 
@@ -137,6 +147,71 @@ pub fn read_csv(path: &Path) -> Result<LabeledStream, IoError> {
     Ok(LabeledStream::new(name, dim, points))
 }
 
+/// Writes `stream` to `path` in the binary `sketchad-rows/v1` format, with
+/// the 0/1 ground-truth label stored in the key column (1 = anomaly).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_rows(stream: &LabeledStream, path: &Path) -> Result<(), IoError> {
+    let mut w = RowsWriter::create(path, stream.dim, true)?;
+    for p in &stream.points {
+        w.write_row(&p.values, Some(u64::from(p.is_anomaly)))?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a labeled stream from a `sketchad-rows/v1` file written by
+/// [`write_rows`]. Any nonzero key is treated as the anomaly label; files
+/// without a key column load with every label `false`. The stream name is
+/// taken from the file stem.
+///
+/// # Errors
+/// Format violations surface as [`IoError::Parse`] at line 0; filesystem
+/// failures as [`IoError::Io`].
+pub fn read_rows(path: &Path) -> Result<LabeledStream, IoError> {
+    let bytes = read_rows_file(path).map_err(|e| {
+        if e.kind() == io::ErrorKind::InvalidData {
+            IoError::Parse {
+                line: 0,
+                message: e.to_string(),
+            }
+        } else {
+            IoError::Io(e)
+        }
+    })?;
+    let view = RowsView::new(&bytes).expect("read_rows_file validated the buffer");
+    let mut points = Vec::with_capacity(view.len());
+    let mut row = vec![0.0; view.dim()];
+    for i in 0..view.len() {
+        let key = view.read_row_into(i, &mut row).expect("index in range");
+        points.push(LabeledPoint {
+            values: row.clone(),
+            is_anomaly: key.unwrap_or(0) != 0,
+        });
+    }
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("stream")
+        .to_string();
+    Ok(LabeledStream::new(name, view.dim(), points))
+}
+
+/// Reads a labeled stream, dispatching on the file extension: `.rows` goes
+/// through the zero-parse binary reader ([`read_rows`]), everything else
+/// through the CSV parser ([`read_csv`]).
+///
+/// # Errors
+/// Same as the dispatched reader.
+pub fn read_stream(path: &Path) -> Result<LabeledStream, IoError> {
+    if path.extension().and_then(|e| e.to_str()) == Some("rows") {
+        read_rows(path)
+    } else {
+        read_csv(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +307,72 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_csv(Path::new("/nonexistent/sketchad.csv")).unwrap_err();
         assert!(matches!(err, IoError::Io(_)));
+    }
+
+    #[test]
+    fn rows_roundtrip_is_bitwise_and_keeps_labels() {
+        let stream = LabeledStream::new(
+            "binrt",
+            3,
+            vec![
+                LabeledPoint {
+                    values: vec![1.0, f64::MIN_POSITIVE, -0.0],
+                    is_anomaly: false,
+                },
+                LabeledPoint {
+                    values: vec![0.125, -3.0, 9.75],
+                    is_anomaly: true,
+                },
+            ],
+        );
+        let path = tmp_path("binrt.rows");
+        write_rows(&stream, &path).unwrap();
+        let back = read_rows(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.dim, 3);
+        assert_eq!(back.points.len(), 2);
+        for (a, b) in back.points.iter().zip(&stream.points) {
+            assert_eq!(a.is_anomaly, b.is_anomaly);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rows_and_csv_readers_agree() {
+        let stream = LabeledStream::new(
+            "agree",
+            2,
+            vec![
+                LabeledPoint {
+                    values: vec![0.5, -1.25],
+                    is_anomaly: true,
+                },
+                LabeledPoint {
+                    values: vec![2.0, 3.0],
+                    is_anomaly: false,
+                },
+            ],
+        );
+        let csv = tmp_path("agree.csv");
+        let rows = tmp_path("agree.rows");
+        write_csv(&stream, &csv).unwrap();
+        write_rows(&stream, &rows).unwrap();
+        let via_csv = read_stream(&csv).unwrap();
+        let via_rows = read_stream(&rows).unwrap();
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&rows).ok();
+        assert_eq!(via_csv.points, via_rows.points);
+        assert_eq!(via_csv.dim, via_rows.dim);
+    }
+
+    #[test]
+    fn corrupt_rows_file_is_parse_error() {
+        let path = tmp_path("corrupt.rows");
+        std::fs::write(&path, b"not a rows file at all").unwrap();
+        let err = read_rows(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, IoError::Parse { .. }));
     }
 }

@@ -8,7 +8,8 @@
 //! * [`drift`] — rotating-subspace and abrupt-switch drift scenarios;
 //! * [`datasets`] — named, seeded substitutes for the paper's real datasets
 //!   (see DESIGN.md §3 for the substitution table);
-//! * [`io`] — CSV persistence so streams are inspectable and replaceable.
+//! * [`io`] — stream persistence: inspectable CSV plus the zero-parse
+//!   binary `sketchad-rows/v1` format for replay-heavy paths.
 //!
 //! Everything is deterministic given its seed.
 
@@ -27,4 +28,5 @@ pub use datasets::{
 };
 pub use drift::{generate_drift_stream, subspace_distance, DriftKind};
 pub use generator::{generate_low_rank_stream, AnomalyKind, LowRankGenerator, LowRankStreamConfig};
+pub use io::{read_csv, read_rows, read_stream, write_csv, write_rows, IoError};
 pub use point::{LabeledPoint, LabeledStream};
