@@ -11,6 +11,7 @@
 //! artifact records the row/payload sizes so throughput is interpretable.
 
 use serde::Serialize;
+use sketchad_bench::HostMeta;
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_durable::{
     read_snapshot, recover, shard_dir, write_snapshot, FsyncPolicy, Snapshot, StateStore,
@@ -33,6 +34,7 @@ struct Case {
 struct BenchReport {
     id: String,
     description: String,
+    host: HostMeta,
     dim: usize,
     snapshot_payload_bytes: usize,
     cases: Vec<Case>,
@@ -232,6 +234,7 @@ fn main() {
         description: "durable state tier: snapshot write/read, WAL append per fsync policy, \
                       warm-restart recovery time"
             .into(),
+        host: HostMeta::capture(),
         dim,
         snapshot_payload_bytes: payload_bytes,
         cases,

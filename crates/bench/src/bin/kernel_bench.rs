@@ -18,6 +18,7 @@
 //! runs without committing machine-dependent timings.
 
 use serde::Serialize;
+use sketchad_bench::HostMeta;
 use sketchad_core::{ScoreKind, ScoreScratch, SubspaceModel};
 use sketchad_linalg::rng::{gaussian_matrix, seeded_rng};
 use sketchad_linalg::{vecops, Matrix};
@@ -117,6 +118,7 @@ struct LinalgReport {
     id: String,
     description: String,
     generated_by: String,
+    host: HostMeta,
     smoke: bool,
     cases: Vec<LinalgCase>,
     zero_skip_note: String,
@@ -152,6 +154,7 @@ struct ScoreReport {
     id: String,
     description: String,
     generated_by: String,
+    host: HostMeta,
     smoke: bool,
     cases: Vec<ScoreCase>,
     fd_ingest: Vec<FdIngestCase>,
@@ -306,6 +309,7 @@ fn run_linalg(smoke: bool) -> LinalgReport {
         description: "dense kernel micro-benchmarks: seed (naive) vs blocked/multi-accumulator"
             .into(),
         generated_by: "cargo run -p sketchad-bench --release --bin kernel_bench".into(),
+        host: HostMeta::capture(),
         smoke,
         cases,
         zero_skip_note,
@@ -399,6 +403,7 @@ fn run_score(smoke: bool) -> ScoreReport {
             "batched scoring vs per-point (seed-kernel and current) plus FD ingest throughput"
                 .into(),
         generated_by: "cargo run -p sketchad-bench --release --bin kernel_bench".into(),
+        host: HostMeta::capture(),
         smoke,
         cases,
         fd_ingest,

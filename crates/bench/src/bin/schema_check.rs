@@ -51,6 +51,15 @@ fn get_str<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
     }
 }
 
+fn get_num(value: &Value, key: &str) -> Option<f64> {
+    match get(value, key)? {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
 /// Checks one artifact; returns the violations found in it.
 fn check_file(path: &Path) -> Vec<String> {
     let name = path.file_name().unwrap_or_default().to_string_lossy();
@@ -222,6 +231,56 @@ fn check_file(path: &Path) -> Vec<String> {
             }
             None => violation("missing array key \"cases\" or \"runs\"".to_string()),
         }
+        if stem == "BENCH_scaling" {
+            // The producer-scaling matrix additionally pins its contract:
+            // a host block (the numbers are unreadable without knowing the
+            // core count they ran on) and, in every (shards, channel) cell,
+            // a producers=1 anchor run so each speedup has a denominator.
+            match get(&value, "host") {
+                Some(host) if host.as_object().is_some() => {
+                    match get_num(host, "available_parallelism") {
+                        Some(p) if p >= 1.0 => {}
+                        Some(p) => violation(format!("host.available_parallelism {p} < 1")),
+                        None => violation(
+                            "host missing numeric key \"available_parallelism\"".to_string(),
+                        ),
+                    }
+                    if get_str(host, "simd_dispatch").is_none() {
+                        violation("host missing string key \"simd_dispatch\"".to_string());
+                    }
+                }
+                _ => violation("missing object key \"host\"".to_string()),
+            }
+            if let Some(runs) = get(&value, "runs").and_then(Value::as_array) {
+                let mut anchored: std::collections::BTreeMap<(u64, String), bool> =
+                    std::collections::BTreeMap::new();
+                for (i, run) in runs.iter().enumerate() {
+                    let producers = get_num(run, "producers");
+                    let shards = get_num(run, "shards");
+                    let channel = get_str(run, "channel").unwrap_or_default().to_string();
+                    match (producers, shards, channel.as_str()) {
+                        (Some(p), Some(s), "ring" | "queue") if p >= 1.0 && s >= 1.0 => {
+                            *anchored.entry((s as u64, channel)).or_default() |= p == 1.0;
+                        }
+                        _ => violation(format!(
+                            "runs[{i}] needs producers >= 1, shards >= 1, channel ring|queue"
+                        )),
+                    }
+                    match get_num(run, "points_per_sec") {
+                        Some(rate) if rate > 0.0 && rate.is_finite() => {}
+                        _ => violation(format!("runs[{i}] needs a positive points_per_sec")),
+                    }
+                }
+                for ((shards, channel), has_anchor) in anchored {
+                    if !has_anchor {
+                        violation(format!(
+                            "cell (shards {shards}, channel {channel}) has no producers=1 \
+                             anchor run"
+                        ));
+                    }
+                }
+            }
+        }
     } else {
         // Experiment figure/table artifacts: flat rows in `results`,
         // grouped curves in `series`; either may be empty but not both.
@@ -328,6 +387,58 @@ mod tests {
             r#"{"id":"BENCH_x","description":"bench","cases":[{"kernel":"dot"}]}"#,
         );
         assert!(check_file(&b).is_empty(), "{:?}", check_file(&b));
+    }
+
+    #[test]
+    fn scaling_artifact_rules() {
+        let dir = tmpdir("scaling");
+        let good = write(
+            &dir,
+            "BENCH_scaling.json",
+            r#"{"id":"BENCH_scaling","description":"matrix",
+                "host":{"available_parallelism":4,"arch":"x86_64","os":"linux",
+                        "simd_dispatch":"avx2"},
+                "runs":[
+                  {"producers":1,"shards":2,"channel":"ring","points_per_sec":1000.0},
+                  {"producers":2,"shards":2,"channel":"ring","points_per_sec":1800.0}
+                ]}"#,
+        );
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+
+        let no_host = write(
+            &dir,
+            "BENCH_scaling.json",
+            r#"{"id":"BENCH_scaling","description":"matrix",
+                "runs":[{"producers":1,"shards":1,"channel":"ring","points_per_sec":1.0}]}"#,
+        );
+        assert!(check_file(&no_host)
+            .iter()
+            .any(|v| v.contains("missing object key \"host\"")));
+
+        // A cell whose every run is multi-producer has no speedup anchor.
+        let unanchored = write(
+            &dir,
+            "BENCH_scaling.json",
+            r#"{"id":"BENCH_scaling","description":"matrix",
+                "host":{"available_parallelism":4,"arch":"x86_64","os":"linux",
+                        "simd_dispatch":"scalar"},
+                "runs":[{"producers":2,"shards":2,"channel":"queue","points_per_sec":5.0}]}"#,
+        );
+        assert!(check_file(&unanchored)
+            .iter()
+            .any(|v| v.contains("no producers=1 anchor")));
+
+        let bad_rate = write(
+            &dir,
+            "BENCH_scaling.json",
+            r#"{"id":"BENCH_scaling","description":"matrix",
+                "host":{"available_parallelism":1,"arch":"x86_64","os":"linux",
+                        "simd_dispatch":"scalar"},
+                "runs":[{"producers":1,"shards":1,"channel":"ring","points_per_sec":0.0}]}"#,
+        );
+        assert!(check_file(&bad_rate)
+            .iter()
+            .any(|v| v.contains("positive points_per_sec")));
     }
 
     #[test]

@@ -10,29 +10,41 @@
 //!    the headline `batch_speedup_ring` ratio is batch-vs-per-point on the
 //!    default ring channel.
 //!
-//! Both legs land in `results/BENCH_serve.json`. A final instrumented pass
-//! re-runs the 4-shard compute-bound configuration with per-shard
-//! `MetricsRecorder`s and exports the merged per-stage span timings and
-//! refresh/snapshot events as `results/OBS_serve.json`, plus a live
-//! telemetry flight recording (`sketchad-telemetry/v1` JSONL) as
+//! Both legs land in `results/BENCH_serve.json`. A third leg — the
+//! **producer-scaling matrix** — crosses producer-lane count
+//! (`submit_batch_rows_parallel`) with shard count and channel on the
+//! ingest-bound configuration and lands separately in
+//! `results/BENCH_scaling.json`. A final instrumented pass re-runs the
+//! 4-shard compute-bound configuration with per-shard `MetricsRecorder`s
+//! and exports the merged per-stage span timings and refresh/snapshot
+//! events as `results/OBS_serve.json`, plus a live telemetry flight
+//! recording (`sketchad-telemetry/v1` JSONL) as
 //! `results/TELEMETRY_serve.jsonl`.
 //!
 //! ```text
 //! cargo run -p sketchad-bench --release --bin serve_bench -- [--small] [--smoke]
-//!     [--out FILE] [--metrics-out FILE] [--telemetry-out FILE]
+//!     [--dim D] [--producers LIST] [--out FILE] [--scaling-out FILE]
+//!     [--metrics-out FILE] [--telemetry-out FILE]
 //! ```
+//!
+//! `--dim D` sets the ingest-leg dimensionality (default 8); `--producers
+//! LIST` is a comma-separated set of producer-lane counts for the scaling
+//! matrix (default `1,2,4`).
 //!
 //! `--smoke` runs no timing sweep and writes no artifacts: it asserts the
 //! engine's bitwise contract — batch submission produces exactly the same
-//! scores as per-point submission, on the ring and on the legacy queue —
-//! and exits non-zero on any divergence. CI runs this on every push.
+//! scores as per-point submission, on the ring and on the legacy queue, at
+//! one producer lane and at four — and exits non-zero on any divergence.
+//! CI runs this on every push.
 //!
-//! Numbers are measured on whatever hardware runs this — the artifact
-//! records `available_parallelism` so readers can judge whether thread
-//! scaling was even possible (on a single-core container the sharded
-//! configurations mostly measure coordination overhead, not speedup).
+//! Numbers are measured on whatever hardware runs this — every artifact
+//! embeds a `host` block (`available_parallelism`, arch, OS, SIMD dispatch
+//! tier) so readers can judge whether thread scaling was even possible (on
+//! a single-core container the sharded configurations mostly measure
+//! coordination overhead, not speedup).
 
 use serde::Serialize;
+use sketchad_bench::HostMeta;
 use sketchad_core::{DetectorConfig, StreamingDetector};
 use sketchad_obs::{ObsArtifact, RecorderHandle};
 use sketchad_serve::{ServeConfig, ServeEngine, TelemetryConfig};
@@ -47,6 +59,15 @@ const INGEST_MAX_BATCH: usize = 512;
 /// Caller-side chunk size for `submit_batch_rows` — models a network
 /// receive buffer's worth of rows arriving at once.
 const INGEST_CHUNK: usize = 8192;
+/// Caller-side chunk for the producer-scaling matrix: large enough that
+/// one `submit_batch_rows_parallel` call (one lane spawn/join) covers many
+/// ring laps, so the matrix measures lane throughput rather than
+/// thread-spawn overhead.
+const SCALING_CHUNK: usize = 65536;
+/// Timing samples per scaling cell; the best is reported (same
+/// best-of-samples discipline as `kernel_bench`).
+const SCALING_SAMPLES: usize = 2;
+/// Default ingest-leg dimensionality; override with `--dim`.
 const INGEST_D: usize = 8;
 
 #[derive(Serialize)]
@@ -100,10 +121,43 @@ struct BenchReport {
     n: usize,
     d: usize,
     queue_capacity: usize,
+    host: HostMeta,
     available_parallelism: usize,
     direct_baseline_points_per_sec: f64,
     runs: Vec<ShardRun>,
     ingest: IngestSection,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct ScalingRun {
+    producers: usize,
+    shards: usize,
+    /// `"ring"` (default SPSC-per-shard) or `"queue"` (`legacy_ingest`).
+    channel: String,
+    seconds: f64,
+    points_per_sec: f64,
+    /// Rate relative to the 1-producer run of the same (shards, channel)
+    /// cell — the headline multi-producer scaling number.
+    speedup_vs_one_producer: f64,
+}
+
+/// `results/BENCH_scaling.json`: the producer-lane scaling matrix. All runs
+/// use batch dispatch (`submit_batch_rows_parallel`) on the ingest-bound
+/// detector; producer counts above the shard count clamp down inside the
+/// engine, so the matrix only crosses `producers <= shards` cells.
+#[derive(Serialize)]
+struct ScalingReport {
+    id: String,
+    description: String,
+    n: usize,
+    d: usize,
+    ring_capacity: usize,
+    max_batch: usize,
+    chunk: usize,
+    host: HostMeta,
+    producers: Vec<usize>,
+    runs: Vec<ScalingRun>,
     note: String,
 }
 
@@ -143,19 +197,43 @@ fn build_cheap(d: usize) -> Box<dyn StreamingDetector + Send> {
 /// worker scoring strictly point by point with `max_batch = 1`) and batched
 /// (`submit_batch_rows` staging plus micro-batched drain/scoring). The
 /// micro-batch setting is part of the ingest path under test — scores are
-/// bitwise identical either way, which `--smoke` asserts.
-fn run_ingest(points: &[Vec<f64>], shards: usize, batch: bool, legacy: bool) -> (f64, Vec<u64>) {
+/// bitwise identical either way, which `--smoke` asserts. `d` is the point
+/// dimensionality (`--dim`); `producers` the lane count handed to
+/// `submit_batch_rows_parallel` on the batched path (per-point submission
+/// is inherently single-producer).
+fn run_ingest_with(
+    points: &[Vec<f64>],
+    d: usize,
+    shards: usize,
+    batch: bool,
+    legacy: bool,
+    producers: usize,
+) -> (f64, Vec<u64>) {
+    run_ingest_chunked(points, d, shards, batch, legacy, producers, INGEST_CHUNK)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ingest_chunked(
+    points: &[Vec<f64>],
+    d: usize,
+    shards: usize,
+    batch: bool,
+    legacy: bool,
+    producers: usize,
+    chunk_rows: usize,
+) -> (f64, Vec<u64>) {
     let config = ServeConfig::new(shards)
         .with_queue_capacity(INGEST_RING_CAPACITY)
         .with_max_batch(if batch { INGEST_MAX_BATCH } else { 1 })
         .with_snapshot_every(8192)
         .with_legacy_ingest(legacy);
-    let mut engine =
-        ServeEngine::start(config, move |_| build_cheap(INGEST_D)).expect("engine start");
+    let mut engine = ServeEngine::start(config, move |_| build_cheap(d)).expect("engine start");
     let started = Instant::now();
     if batch {
-        for chunk in points.chunks(INGEST_CHUNK) {
-            engine.submit_batch_rows(chunk).expect("submit");
+        for chunk in points.chunks(chunk_rows) {
+            engine
+                .submit_batch_rows_parallel(chunk, producers)
+                .expect("submit");
         }
     } else {
         for p in points {
@@ -177,10 +255,10 @@ fn run_ingest(points: &[Vec<f64>], shards: usize, batch: bool, legacy: bool) -> 
     (seconds, bits)
 }
 
-fn ingest_points(n: usize) -> Vec<Vec<f64>> {
+fn ingest_points(n: usize, d: usize) -> Vec<Vec<f64>> {
     let stream = generate_low_rank_stream(LowRankStreamConfig {
         n,
-        d: INGEST_D,
+        d,
         k: 2,
         anomaly_rate: 0.01,
         seed: 1_001,
@@ -191,18 +269,24 @@ fn ingest_points(n: usize) -> Vec<Vec<f64>> {
 }
 
 /// `--smoke`: assert batch-vs-per-point bitwise score equality on both
-/// channels, then exit without timing anything or writing artifacts.
-fn smoke() {
-    let points = ingest_points(20_000);
+/// channels — at one producer lane and at four — then exit without timing
+/// anything or writing artifacts.
+fn smoke(d: usize) {
+    let points = ingest_points(20_000, d);
     for (legacy, channel) in [(false, "ring"), (true, "queue")] {
-        let (_, per_point) = run_ingest(&points, 2, false, legacy);
-        let (_, batch) = run_ingest(&points, 2, true, legacy);
+        let (_, per_point) = run_ingest_with(&points, d, 2, false, legacy, 1);
+        let (_, batch) = run_ingest_with(&points, d, 2, true, legacy, 1);
+        let (_, batch_lanes) = run_ingest_with(&points, d, 2, true, legacy, 4);
         assert_eq!(
             per_point, batch,
             "batch dispatch diverged from per-point on the {channel} channel"
         );
+        assert_eq!(
+            batch, batch_lanes,
+            "4 producer lanes diverged from 1 on the {channel} channel"
+        );
         println!(
-            "smoke: {channel}: batch == per-point bitwise over {} scores",
+            "smoke: {channel}: batch (1 and 4 lanes) == per-point bitwise over {} scores",
             batch.len()
         );
     }
@@ -212,16 +296,47 @@ fn smoke() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let ingest_d = args
+        .iter()
+        .position(|a| a == "--dim")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--dim takes a positive integer"))
+        .unwrap_or(INGEST_D);
+    assert!(ingest_d >= 1, "--dim must be at least 1");
     if args.iter().any(|a| a == "--smoke") {
-        smoke();
+        smoke(ingest_d);
         return;
     }
+    let producer_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--producers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse::<usize>()
+                        .expect("--producers takes a comma-separated list of positive integers")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    assert!(
+        producer_counts.contains(&1),
+        "--producers must include 1: every speedup is anchored to the single-producer run"
+    );
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::to_string)
         .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let scaling_path = args
+        .iter()
+        .position(|a| a == "--scaling-out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::to_string)
+        .unwrap_or_else(|| "results/BENCH_scaling.json".to_string());
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics-out")
@@ -248,9 +363,8 @@ fn main() {
         ..Default::default()
     });
     let points: Vec<Vec<f64>> = stream.points.iter().map(|p| p.values.clone()).collect();
-    let parallelism = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let host = HostMeta::capture();
+    let parallelism = host.available_parallelism;
 
     // Direct (no engine, no threads) baseline.
     let mut direct = build_detector(d);
@@ -306,11 +420,11 @@ fn main() {
 
     // Ingest-bound leg: dispatch mode × channel, cheap detector.
     let ingest_n = if small { 200_000 } else { 1_000_000 };
-    let ingest = ingest_points(ingest_n);
+    let ingest = ingest_points(ingest_n, ingest_d);
     let mut ingest_runs = Vec::new();
     for shards in [1usize, 2] {
         for (batch, legacy) in [(false, true), (false, false), (true, true), (true, false)] {
-            let (seconds, _) = run_ingest(&ingest, shards, batch, legacy);
+            let (seconds, _) = run_ingest_with(&ingest, ingest_d, shards, batch, legacy, 1);
             let run = IngestRun {
                 shards,
                 dispatch: if batch { "batch" } else { "per_point" }.to_string(),
@@ -349,7 +463,7 @@ fn main() {
                       ratio well below what multi-core hosts see"
             .to_string(),
         n: ingest_n,
-        d: INGEST_D,
+        d: ingest_d,
         sketch: "rs".to_string(),
         ring_capacity: INGEST_RING_CAPACITY,
         max_batch: INGEST_MAX_BATCH,
@@ -358,6 +472,90 @@ fn main() {
         batch_speedup_ring,
         batch_ring_vs_per_point_queue,
     };
+
+    // Producer-scaling matrix: producers × shards × channel, batch dispatch
+    // throughout. Producer counts above the shard count clamp inside the
+    // engine, so skip those cells rather than re-measure the clamped run.
+    let mut scaling_runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for legacy in [false, true] {
+            let channel = if legacy { "queue" } else { "ring" };
+            let mut one_producer_rate = None;
+            for &producers in &producer_counts {
+                if producers > shards {
+                    continue;
+                }
+                let seconds = (0..SCALING_SAMPLES)
+                    .map(|_| {
+                        run_ingest_chunked(
+                            &ingest,
+                            ingest_d,
+                            shards,
+                            true,
+                            legacy,
+                            producers,
+                            SCALING_CHUNK,
+                        )
+                        .0
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let rate = ingest_n as f64 / seconds;
+                let base = *one_producer_rate.get_or_insert(rate);
+                let run = ScalingRun {
+                    producers,
+                    shards,
+                    channel: channel.to_string(),
+                    seconds,
+                    points_per_sec: rate,
+                    speedup_vs_one_producer: rate / base,
+                };
+                println!(
+                    "scaling {} producers x {} shards on {:>5}: {:.2}s — {:.0} points/s \
+                     ({:.2}x vs 1 producer)",
+                    run.producers,
+                    run.shards,
+                    run.channel,
+                    run.seconds,
+                    run.points_per_sec,
+                    run.speedup_vs_one_producer
+                );
+                scaling_runs.push(run);
+            }
+        }
+    }
+    let scaling_note = if parallelism <= 1 {
+        "measured on a single available core: producer lanes and shard workers \
+         time-slice one CPU, so multi-producer cells measure lane coordination \
+         overhead rather than parallel submit speedup"
+            .to_string()
+    } else {
+        format!(
+            "measured with {parallelism} cores available; lanes partition shards by \
+             ownership (shard % producers), so scores are identical across every cell"
+        )
+    };
+    let scaling_report = ScalingReport {
+        id: "BENCH_scaling".to_string(),
+        description: "producer-lane scaling matrix: submit_batch_rows_parallel \
+                      throughput across producers x shards x channel on the \
+                      ingest-bound detector"
+            .to_string(),
+        n: ingest_n,
+        d: ingest_d,
+        ring_capacity: INGEST_RING_CAPACITY,
+        max_batch: INGEST_MAX_BATCH,
+        chunk: SCALING_CHUNK,
+        host: host.clone(),
+        producers: producer_counts.clone(),
+        runs: scaling_runs,
+        note: scaling_note,
+    };
+    if let Some(parent) = std::path::Path::new(&scaling_path).parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let json = serde_json::to_string_pretty(&scaling_report).expect("serialize scaling report");
+    std::fs::write(&scaling_path, json).expect("write scaling report");
+    println!("wrote {scaling_path}");
 
     let note = if parallelism <= 1 {
         "measured on a single available core: shard workers time-slice one CPU, so \
@@ -375,6 +573,7 @@ fn main() {
         n,
         d,
         queue_capacity,
+        host: host.clone(),
         available_parallelism: parallelism,
         direct_baseline_points_per_sec: direct_rate,
         runs,

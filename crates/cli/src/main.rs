@@ -43,7 +43,8 @@ const USAGE: &str =
            [--save-model FILE] [--metrics-out FILE] [--normalize] [--quiet]
   apply    --model FILE --input FILE [--output FILE] [--quiet]
   pipeline (--input FILE | --dataset NAME [--small]) [--shards N]
-           [--queue N] [--on-overload block|drop|shed] [--partition rr|hash]
+           [--producers N] [--queue N]
+           [--on-overload block|drop|shed] [--partition rr|hash]
            [--sketch fd|rp|cs|rs] [--k N] [--ell N] [--warmup N]
            [--score rel-proj|proj|leverage|blended] [--snapshot-every N]
            [--max-batch N] [--max-restarts N] [--output FILE]
@@ -430,6 +431,15 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
     let shards: usize = p
         .get_parse_or("shards", 4, "positive integer")
         .map_err(|e| e.to_string())?;
+    // Producer lanes for the submit side; scores are identical for any
+    // value (lanes own disjoint shards), so this is purely a throughput
+    // knob. Counts beyond the shard count clamp down inside the engine.
+    let producers: usize = p
+        .get_parse_or("producers", 1, "positive integer")
+        .map_err(|e| e.to_string())?;
+    if producers == 0 {
+        return Err("--producers must be at least 1".into());
+    }
     let queue: usize = p
         .get_parse_or("queue", 1024, "positive integer")
         .map_err(|e| e.to_string())?;
@@ -604,9 +614,16 @@ fn cmd_pipeline(p: &ParsedArgs) -> Result<(), String> {
     });
 
     let started = std::time::Instant::now();
-    let batch = engine
-        .submit_batch(stream.iter().map(|(v, _)| v.to_vec()))
-        .map_err(|e| e.to_string())?;
+    let batch = if producers > 1 {
+        let rows: Vec<Vec<f64>> = stream.iter().map(|(v, _)| v.to_vec()).collect();
+        engine
+            .submit_batch_rows_parallel(&rows, producers)
+            .map_err(|e| e.to_string())?
+    } else {
+        engine
+            .submit_batch(stream.iter().map(|(v, _)| v.to_vec()))
+            .map_err(|e| e.to_string())?
+    };
     let report = engine.finish().map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
     watch_stop.store(true, std::sync::atomic::Ordering::Relaxed);

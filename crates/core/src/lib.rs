@@ -49,6 +49,9 @@
 //! * [`rowfmt`] — the `sketchad-rows/v1` binary row format: fixed-width
 //!   f64-LE rows with an optional key column, readable with zero parse
 //!   cost ([`rowfmt::RowsView`] / [`rowfmt::RowsWriter`]).
+//! * [`mmapio`] — zero-copy replay backing: [`mmapio::MmapRows`] maps a
+//!   rows file read-only (buffered fallback everywhere `mmap` isn't
+//!   available) so replay never buffers whole files again.
 //! * [`validate`] — input hygiene ([`validate_point`]) for serving layers:
 //!   non-finite and wrong-dimension rows are detected *before* they can
 //!   poison a sketch or panic a worker.
@@ -70,12 +73,17 @@
 //! non-mutating.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: like linalg's SIMD kernels and serve's SPSC ring,
+// the `mmapio::sys` module alone opts back in with a scoped
+// `#[allow(unsafe_code)]` and documented invariants (read-only private
+// mappings, unique munmap on drop). Everything else stays safe Rust.
+#![deny(unsafe_code)]
 
 pub mod baseline;
 pub mod config;
 pub mod detector;
 pub mod exact;
+pub mod mmapio;
 pub mod normalize;
 pub mod refresh;
 pub mod rowfmt;
@@ -95,6 +103,7 @@ pub use baseline::{MeanDistanceDetector, OjaDetector, RandomScoreDetector};
 pub use config::DetectorConfig;
 pub use detector::{RefreshTask, StreamingDetector};
 pub use exact::{ExactSvdDetector, ExactWindowedDetector};
+pub use mmapio::{MappedBytes, MmapRows};
 pub use normalize::{NormalizedDetector, OnlineNormalizer};
 pub use refresh::RefreshPolicy;
 pub use score::ScoreKind;

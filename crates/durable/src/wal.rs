@@ -142,9 +142,19 @@ pub fn decode_wal_header(bytes: &[u8]) -> Result<WalHeader, DurableError> {
 /// Reads a whole segment: header, every intact record, and whether the tail
 /// was torn. A corrupt *header* is an error (the segment is unusable); a
 /// corrupt *tail* is expected after a crash and reported via [`TailStatus`].
+///
+/// The segment is memory-mapped where the platform allows it
+/// (`sketchad_core::mmapio::MappedBytes`), so replay parses frames straight
+/// out of the page cache instead of first copying the whole file into a
+/// `Vec`. The mapping lives only for the duration of this call — it is
+/// released before recovery truncates torn tails via
+/// [`SegmentWriter::reopen`] — and callers hold no writer on the segment
+/// while reading (recovery and inspection are exclusive), so the
+/// no-concurrent-truncation precondition holds.
 pub fn read_segment(path: &Path) -> Result<(WalHeader, Vec<WalRecord>, TailStatus), DurableError> {
-    let bytes = fs::read(path)?;
-    let header = decode_wal_header(&bytes)?;
+    let mapped = sketchad_core::mmapio::MappedBytes::open(path)?;
+    let bytes = mapped.bytes();
+    let header = decode_wal_header(bytes)?;
     let mut records = Vec::new();
     let mut pos = WAL_HEADER_LEN;
     let tail = loop {
@@ -344,6 +354,31 @@ mod tests {
                 bytes_dropped: torn.len() / 2
             }
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapped_and_buffered_replay_are_identical() {
+        // Same segment, both read paths: the mmap backing must be
+        // invisible to recovery (header, records, tail all equal).
+        let dir = tmp_dir("mmap_eq");
+        let header = WalHeader {
+            shard: 1,
+            start_seq: 4,
+        };
+        let mut w = SegmentWriter::create(&dir, 7, &header).unwrap();
+        let recs = records(6, 3);
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = dir.join(wal_file_name(7));
+        let mapped = read_segment(&path).unwrap();
+        std::env::set_var(sketchad_core::mmapio::NO_MMAP_ENV, "1");
+        let buffered = read_segment(&path);
+        std::env::remove_var(sketchad_core::mmapio::NO_MMAP_ENV);
+        assert_eq!(mapped, buffered.unwrap());
+        assert_eq!(mapped.1, recs);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

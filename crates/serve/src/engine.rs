@@ -263,7 +263,11 @@ impl ServeEngine {
         instrument: bool,
     ) -> Result<Self, ServeError> {
         config.validate()?;
-        let mut shards = Vec::with_capacity(config.shards);
+        // Phase 1, serial: build every shard's detector through the shared
+        // factory. Factories may be stateful (seeded generators, counters),
+        // so the call order — shard 0 first, ascending — is part of the
+        // determinism contract and must not depend on recovery timing.
+        let mut prepared = Vec::with_capacity(config.shards);
         let mut dim = None;
         for idx in 0..config.shards {
             let recorder = instrument.then(|| Arc::new(MetricsRecorder::new()));
@@ -271,7 +275,7 @@ impl ServeEngine {
                 Some(r) => RecorderHandle::from(Arc::clone(r) as Arc<dyn Recorder>),
                 None => RecorderHandle::default(),
             };
-            let mut detector = {
+            let detector = {
                 let mut build = factory.lock().unwrap_or_else(|e| e.into_inner());
                 build(idx, obs.clone())
             };
@@ -296,64 +300,71 @@ impl ServeEngine {
                 ShardChannel::Queue(JobQueue::new(config.queue_capacity))
             });
             let shared = Arc::new(ShardShared::default());
-            // Warm restart: restore the detector from durable state and
-            // publish its model *before* the worker spawns, so the first
-            // point this shard scores already sees the recovered model and
-            // snapshot readers never observe a pre-recovery blank.
-            let store = match &config.state_dir {
-                Some(root) => {
-                    let dir = durable::shard_dir(root, idx as u32);
-                    let durable_err = |message: String| ServeError::Durable {
-                        shard: idx,
-                        message,
-                    };
-                    let recovered =
-                        durable::recover(&dir).map_err(|e| durable_err(e.to_string()))?;
-                    let mut generation = 0;
-                    if let Some(snap) = &recovered.snapshot {
-                        match detector.restore_state(&snap.payload) {
-                            Ok(true) => generation = snap.generation,
-                            // Detector kind without a persistence path: its
-                            // checkpoints can never have been written, so an
-                            // unreadable payload here means a foreign file.
-                            Ok(false) => {
-                                return Err(durable_err(format!(
-                                    "snapshot generation {} exists but this detector \
-                                     does not support state restore",
-                                    snap.generation
-                                )));
-                            }
-                            Err(e) => {
-                                return Err(durable_err(format!("restoring snapshot: {e}")));
-                            }
-                        }
+            prepared.push(PreparedShard {
+                detector,
+                channel,
+                shared,
+                recorder,
+                obs,
+            });
+        }
+        // Phase 2: warm restart — restore each detector from durable state
+        // and publish its model *before* the worker spawns, so the first
+        // point a shard scores already sees the recovered model and
+        // snapshot readers never observe a pre-recovery blank. Shards
+        // recover independently (separate directories, separate
+        // detectors), so WAL replay — the expensive part of a warm restart
+        // — runs in one worker thread per shard. Each shard's replay is
+        // internally ordered and detectors round-trip bitwise, so the
+        // recovered models are identical to sequential recovery; only the
+        // wall clock changes.
+        let mut stores: Vec<Option<StateStore>> = match &config.state_dir {
+            Some(root) => {
+                if config.shards == 1 {
+                    let store = recover_shard(root, 0, &config, &mut prepared[0])?;
+                    vec![Some(store)]
+                } else {
+                    let results: Vec<Result<StateStore, ServeError>> = std::thread::scope(|s| {
+                        let joins: Vec<_> = prepared
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(idx, shard)| {
+                                let config = &config;
+                                std::thread::Builder::new()
+                                    .name(format!("sketchad-recover-{idx}"))
+                                    .spawn_scoped(s, move || {
+                                        recover_shard(root, idx, config, shard)
+                                    })
+                                    .expect("spawn recovery worker")
+                            })
+                            .collect();
+                        joins
+                            .into_iter()
+                            .map(|j| j.join().expect("recovery worker panicked"))
+                            .collect()
+                    });
+                    // Surface the lowest-shard error, matching what the
+                    // old sequential loop reported.
+                    let mut stores = Vec::with_capacity(results.len());
+                    for result in results {
+                        stores.push(Some(result?));
                     }
-                    let replayed = recovered.replay.len() as u64;
-                    for rec in &recovered.replay {
-                        detector.process(&rec.row);
-                    }
-                    shared.replayed.store(replayed, Relaxed);
-                    shared.recovered_generation.store(generation, Relaxed);
-                    if let Some(model) = detector.current_model() {
-                        shared.snapshot.publish(Arc::new(model.clone()));
-                    }
-                    if obs.enabled() && (replayed > 0 || generation > 0) {
-                        obs.incr(Counter::RowsReplayed, replayed);
-                        obs.event(Event::ShardRecovered {
-                            shard: idx,
-                            generation,
-                            replayed,
-                        });
-                    }
-                    // Opening the store truncates any torn WAL tail and
-                    // positions the write cursor after the replayed rows.
-                    Some(
-                        StateStore::open(&dir, idx as u32, config.fsync)
-                            .map_err(|e| durable_err(e.to_string()))?,
-                    )
+                    stores
                 }
-                None => None,
-            };
+            }
+            None => (0..config.shards).map(|_| None).collect(),
+        };
+        // Phase 3, serial: spawn the worker threads.
+        let mut shards = Vec::with_capacity(config.shards);
+        for (idx, prep) in prepared.into_iter().enumerate() {
+            let PreparedShard {
+                detector,
+                channel,
+                shared,
+                recorder,
+                obs,
+            } = prep;
+            let store = stores[idx].take();
             let worker_cfg = WorkerConfig {
                 shard: idx,
                 snapshot_every: config.snapshot_every,
@@ -706,11 +717,63 @@ impl ServeEngine {
     /// reservation, high-water update, and degraded-shard check each run
     /// once per shard per batch instead of once per row.
     pub fn submit_batch_rows(&mut self, rows: &[Vec<f64>]) -> Result<BatchOutcome, ServeError> {
-        let n_shards = self.shards.len() as u64;
+        self.submit_batch_rows_parallel(rows, 1)
+    }
+
+    /// [`submit_batch_rows`](Self::submit_batch_rows) driven by `producers`
+    /// concurrent lanes: the multi-core ingest boundary.
+    ///
+    /// The batch's sequence range is claimed once, then the rows are fanned
+    /// out across `min(producers, shards)` scoped producer threads. Lane
+    /// `p` *owns* every shard `s` with `s % producers == p`: it walks the
+    /// whole slice but validates, stages, and flushes only the rows whose
+    /// sequence routes to a shard it owns. Shard ownership is what keeps
+    /// the lock-free shard rings sound — each ring still sees exactly one
+    /// producer thread — and it is also what keeps scores **bitwise
+    /// identical to single-producer submission for every producer count**:
+    /// a shard's substream is a pure function of the sequence numbers
+    /// (`seq % shards`), never of lane timing.
+    ///
+    /// What *is* timing-dependent is which points lose under a lossy
+    /// policy: `DropNewest` drops and `ShedOldest` evictions depend on how
+    /// far each worker has drained when its lane flushes, exactly as they
+    /// already do between two single-producer runs. Under `Block` (or
+    /// whenever capacity ≥ load, any policy) nothing is lost and the score
+    /// stream is reproducible bit-for-bit across producer counts.
+    ///
+    /// `producers` is clamped to `[1, shards]`; `1` is exactly the serial
+    /// batched path. Lanes stop at the first dead worker thread they meet
+    /// (other lanes finish their flush), and the first dead shard is
+    /// harvested and returned as the error, as in the serial path.
+    ///
+    /// ```
+    /// use sketchad_core::{DetectorConfig, StreamingDetector};
+    /// use sketchad_serve::{ServeConfig, ServeEngine};
+    ///
+    /// fn factory(_shard: usize) -> Box<dyn StreamingDetector + Send> {
+    ///     Box::new(DetectorConfig::new(2, 8).with_warmup(16).with_seed(7).build_fd(4))
+    /// }
+    /// let rows: Vec<Vec<f64>> = (0..100u32)
+    ///     .map(|i| {
+    ///         let t = f64::from(i) * 0.1;
+    ///         vec![t.sin(), t.cos(), 0.0, 0.0]
+    ///     })
+    ///     .collect();
+    ///
+    /// let run = |producers: usize| {
+    ///     let mut engine = ServeEngine::start(ServeConfig::new(4), factory).unwrap();
+    ///     engine.submit_batch_rows_parallel(&rows, producers).unwrap();
+    ///     engine.finish().unwrap().scores_in_order()
+    /// };
+    /// assert_eq!(run(1), run(4), "producer count changed scores");
+    /// ```
+    pub fn submit_batch_rows_parallel(
+        &mut self,
+        rows: &[Vec<f64>],
+        producers: usize,
+    ) -> Result<BatchOutcome, ServeError> {
+        let lanes = producers.clamp(1, self.shards.len());
         let base = self.submitted.fetch_add(rows.len() as u64, Relaxed);
-        let mut outcome = BatchOutcome::default();
-        let mut staged: Vec<VecDeque<Job>> =
-            (0..self.shards.len()).map(|_| VecDeque::new()).collect();
         // Degradation is checked once per shard per batch instead of once
         // per row: a shard that degrades mid-batch sheds from the next
         // batch onward, which is the same lag the per-point path has for
@@ -721,164 +784,56 @@ impl ServeEngine {
             .map(|h| self.read_only || h.shared.degraded.load(Relaxed))
             .collect();
         let enqueued = Instant::now();
-        for (j, row) in rows.iter().enumerate() {
-            let seq = base + j as u64;
-            // Same routing as per-point submission: round-robin over the
-            // submission sequence (keyless KeyHash falls back to it too).
-            let shard = (seq % n_shards) as usize;
-            if let Err(violation) = validate_point(row, self.dim) {
-                let handle = &self.shards[shard];
-                handle.shared.rejected.fetch_add(1, Relaxed);
-                if handle.obs.enabled() {
-                    handle.obs.incr(Counter::PointsRejected, 1);
-                    handle.obs.event(Event::PointRejected {
-                        shard,
-                        seq,
-                        reason: violation.label().to_string(),
-                    });
-                }
-                self.quarantine.push(seq, violation, row.clone());
-                outcome.rejected += 1;
-                continue;
-            }
-            if shedding[shard] {
-                let handle = &self.shards[shard];
-                handle.shared.shed.fetch_add(1, Relaxed);
-                if handle.obs.enabled() {
-                    handle.obs.incr(Counter::PointsShed, 1);
-                    handle.obs.event(Event::QueueShed { shard, seq });
-                }
-                outcome.shed += 1;
-                continue;
-            }
-            staged[shard].push_back(Job {
-                seq,
-                point: row.clone(),
-                enqueued,
-            });
-            outcome.accepted += 1;
+        let lane_input = LaneInput {
+            shards: &self.shards,
+            rows,
+            base,
+            dim: self.dim,
+            shedding: &shedding,
+            backpressure: self.backpressure,
+            enqueued,
+        };
+        let reports: Vec<LaneReport> = if lanes == 1 {
+            vec![run_lane(&lane_input, 0, 1)]
+        } else {
+            let input = &lane_input;
+            std::thread::scope(|s| {
+                let joins: Vec<_> = (0..lanes)
+                    .map(|lane| {
+                        std::thread::Builder::new()
+                            .name(format!("sketchad-lane-{lane}"))
+                            .spawn_scoped(s, move || run_lane(input, lane, lanes))
+                            .expect("spawn producer lane")
+                    })
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("producer lane panicked"))
+                    .collect()
+            })
+        };
+        let mut outcome = BatchOutcome::default();
+        let mut quarantined = Vec::new();
+        let mut dead = Vec::new();
+        for report in reports {
+            outcome.accepted += report.outcome.accepted;
+            outcome.dropped += report.outcome.dropped;
+            outcome.rejected += report.outcome.rejected;
+            outcome.shed += report.outcome.shed;
+            quarantined.extend(report.quarantined);
+            dead.extend(report.dead);
         }
-        for (shard, group) in staged.iter_mut().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            // One depth reservation per shard per batch (the per-point path
-            // reserves before each enqueue; the flush below is the enqueue,
-            // so the same reserve-before-send ordering holds).
-            self.shards[shard].shared.reserve_slots(group.len());
-            match self.backpressure {
-                BackpressurePolicy::Block => self.flush_blocking(shard, group)?,
-                BackpressurePolicy::DropNewest => {
-                    self.flush_drop_newest(shard, group, &mut outcome)?;
-                }
-                BackpressurePolicy::ShedOldest => self.flush_shed_oldest(shard, group)?,
-            }
+        // Lanes quarantined their own shards' rows; re-merging by sequence
+        // restores the per-point path's eviction order under the capacity
+        // bound.
+        quarantined.sort_by_key(|(seq, _, _)| *seq);
+        for (seq, violation, point) in quarantined {
+            self.quarantine.push(seq, violation, point);
+        }
+        if let Some(&shard) = dead.first() {
+            return Err(self.harvest_dead_shard(shard));
         }
         Ok(outcome)
-    }
-
-    /// Flushes one shard's staged group under `Block`: retry batch pushes,
-    /// yielding while the channel is full, until everything is in.
-    fn flush_blocking(
-        &mut self,
-        shard: usize,
-        staged: &mut VecDeque<Job>,
-    ) -> Result<(), ServeError> {
-        let mut blocked_recorded = false;
-        loop {
-            let handle = &self.shards[shard];
-            match handle.channel.try_push_batch(staged) {
-                Ok(_) if staged.is_empty() => return Ok(()),
-                Ok(pushed) => {
-                    if pushed == 0 {
-                        if !blocked_recorded && handle.obs.enabled() {
-                            blocked_recorded = true;
-                            handle.obs.incr(Counter::QueueBlocked, 1);
-                            handle.obs.event(Event::QueueBlocked {
-                                shard,
-                                seq: staged.front().expect("non-empty").seq,
-                            });
-                        }
-                        std::thread::yield_now();
-                    }
-                }
-                Err(()) => return Err(self.abort_flush(shard, staged)),
-            }
-        }
-    }
-
-    /// Flushes one shard's staged group under `DropNewest`: one batch push,
-    /// everything that did not fit is dropped with exact counts.
-    fn flush_drop_newest(
-        &mut self,
-        shard: usize,
-        staged: &mut VecDeque<Job>,
-        outcome: &mut BatchOutcome,
-    ) -> Result<(), ServeError> {
-        let handle = &self.shards[shard];
-        match handle.channel.try_push_batch(staged) {
-            Ok(_) => {
-                for job in staged.drain(..) {
-                    handle.shared.release_slot();
-                    handle.shared.dropped.fetch_add(1, Relaxed);
-                    if handle.obs.enabled() {
-                        handle.obs.incr(Counter::QueueDropped, 1);
-                        handle.obs.event(Event::QueueDropped {
-                            shard,
-                            seq: job.seq,
-                        });
-                    }
-                    outcome.accepted -= 1;
-                    outcome.dropped += 1;
-                }
-                Ok(())
-            }
-            Err(()) => Err(self.abort_flush(shard, staged)),
-        }
-    }
-
-    /// Flushes one shard's staged group under `ShedOldest` (always the
-    /// queue channel): per-job pushes, evictions counted as shed.
-    fn flush_shed_oldest(
-        &mut self,
-        shard: usize,
-        staged: &mut VecDeque<Job>,
-    ) -> Result<(), ServeError> {
-        while let Some(job) = staged.pop_front() {
-            let handle = &self.shards[shard];
-            match handle.channel.push_shed_oldest(job) {
-                Ok(None) => {}
-                Ok(Some(evicted)) => {
-                    // The new point took the evicted one's slot.
-                    handle.shared.release_slot();
-                    handle.shared.shed.fetch_add(1, Relaxed);
-                    if handle.obs.enabled() {
-                        handle.obs.incr(Counter::PointsShed, 1);
-                        handle.obs.event(Event::QueueShed {
-                            shard,
-                            seq: evicted.seq,
-                        });
-                    }
-                }
-                Err(_) => {
-                    // The in-hand job was already popped from `staged`;
-                    // roll its reservation back separately.
-                    self.shards[shard].shared.release_slot();
-                    return Err(self.abort_flush(shard, staged));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// A dead worker thread surfaced mid-flush: roll back the depth
-    /// reservations for everything unflushed, then harvest the shard.
-    fn abort_flush(&mut self, shard: usize, staged: &mut VecDeque<Job>) -> ServeError {
-        for _ in 0..staged.len() {
-            self.shards[shard].shared.release_slot();
-        }
-        staged.clear();
-        self.harvest_dead_shard(shard)
     }
 
     /// Joins a shard whose worker thread is gone entirely (the supervisor
@@ -1019,6 +974,310 @@ impl ServeEngine {
             quarantine: self.quarantine,
         })
     }
+}
+
+/// A shard after phase 1 of startup (detector built, channel and shared
+/// state allocated) and before its worker thread spawns. Recovery (phase
+/// 2) mutates the detector in place — possibly on a recovery worker
+/// thread — and phase 3 consumes the lot into a [`ShardHandle`].
+struct PreparedShard {
+    detector: Box<dyn StreamingDetector + Send>,
+    channel: Arc<ShardChannel>,
+    shared: Arc<ShardShared>,
+    recorder: Option<Arc<MetricsRecorder>>,
+    obs: RecorderHandle,
+}
+
+/// Warm-restarts one shard from its durable directory: restore the newest
+/// valid snapshot into the detector, replay the WAL rows past it, publish
+/// the recovered model, and open the store for writing (which truncates
+/// any torn WAL tail and positions the write cursor after the replayed
+/// rows). Runs on a per-shard recovery thread when the engine has more
+/// than one shard; the logic is identical either way.
+fn recover_shard(
+    root: &std::path::Path,
+    idx: usize,
+    config: &ServeConfig,
+    prep: &mut PreparedShard,
+) -> Result<StateStore, ServeError> {
+    let dir = durable::shard_dir(root, idx as u32);
+    let durable_err = |message: String| ServeError::Durable {
+        shard: idx,
+        message,
+    };
+    let detector = &mut prep.detector;
+    let recovered = durable::recover(&dir).map_err(|e| durable_err(e.to_string()))?;
+    let mut generation = 0;
+    if let Some(snap) = &recovered.snapshot {
+        match detector.restore_state(&snap.payload) {
+            Ok(true) => generation = snap.generation,
+            // Detector kind without a persistence path: its checkpoints
+            // can never have been written, so an unreadable payload here
+            // means a foreign file.
+            Ok(false) => {
+                return Err(durable_err(format!(
+                    "snapshot generation {} exists but this detector \
+                     does not support state restore",
+                    snap.generation
+                )));
+            }
+            Err(e) => {
+                return Err(durable_err(format!("restoring snapshot: {e}")));
+            }
+        }
+    }
+    let replayed = recovered.replay.len() as u64;
+    for rec in &recovered.replay {
+        detector.process(&rec.row);
+    }
+    prep.shared.replayed.store(replayed, Relaxed);
+    prep.shared.recovered_generation.store(generation, Relaxed);
+    if let Some(model) = detector.current_model() {
+        prep.shared.snapshot.publish(Arc::new(model.clone()));
+    }
+    if prep.obs.enabled() && (replayed > 0 || generation > 0) {
+        prep.obs.incr(Counter::RowsReplayed, replayed);
+        prep.obs.event(Event::ShardRecovered {
+            shard: idx,
+            generation,
+            replayed,
+        });
+    }
+    StateStore::open(&dir, idx as u32, config.fsync).map_err(|e| durable_err(e.to_string()))
+}
+
+/// Everything a producer lane needs, borrowed from the engine for the
+/// duration of one batch. Shared read-only across lanes; the per-shard
+/// mutable state (channels, atomics, recorders) is already thread-safe and
+/// partitioned by shard ownership.
+struct LaneInput<'a> {
+    shards: &'a [ShardHandle],
+    rows: &'a [Vec<f64>],
+    base: u64,
+    dim: usize,
+    shedding: &'a [bool],
+    backpressure: BackpressurePolicy,
+    enqueued: Instant,
+}
+
+/// What one producer lane did with its share of a batch.
+struct LaneReport {
+    outcome: BatchOutcome,
+    /// Rows this lane's shards rejected, for the engine to quarantine in
+    /// sequence order after the lanes join (`Quarantine` is single-writer).
+    quarantined: Vec<(u64, InputViolation, Vec<f64>)>,
+    /// Shards whose worker thread was found dead mid-flush; harvested by
+    /// the engine after the lanes join (joining needs `&mut`).
+    dead: Vec<usize>,
+}
+
+/// One producer lane: stages and flushes every row whose shard the lane
+/// owns (`shard % lanes == lane`). With `lanes == 1` this is exactly the
+/// serial batched submit path.
+///
+/// Determinism: which rows a shard receives, and in which order, depends
+/// only on `(base, shards, validation, shedding)` — all identical across
+/// lane counts — never on how lanes interleave.
+fn run_lane(input: &LaneInput<'_>, lane: usize, lanes: usize) -> LaneReport {
+    let n_shards = input.shards.len();
+    let mut report = LaneReport {
+        outcome: BatchOutcome::default(),
+        quarantined: Vec::new(),
+        dead: Vec::new(),
+    };
+    let mut staged: Vec<VecDeque<Job>> = (0..n_shards).map(|_| VecDeque::new()).collect();
+    if lanes == 1 {
+        for j in 0..input.rows.len() {
+            lane_stage_row(input, j, &mut staged, &mut report);
+        }
+    } else {
+        // A shard's sequences stride the batch with period `n_shards`, so
+        // the lane can jump straight to its own rows instead of
+        // filter-walking the whole slice: per owned shard, start at the
+        // first in-batch sequence routed to it and step by `n_shards`.
+        // Per-shard visit order is still ascending-seq — the determinism
+        // contract cares only about that, not about interleaving across
+        // shards (quarantine entries are re-sorted after the join).
+        for shard in (lane..n_shards).step_by(lanes) {
+            let offset =
+                (shard as u64 + n_shards as u64 - input.base % n_shards as u64) % n_shards as u64;
+            let mut j = offset as usize;
+            while j < input.rows.len() {
+                lane_stage_row(input, j, &mut staged, &mut report);
+                j += n_shards;
+            }
+        }
+    }
+    for (shard, group) in staged.iter_mut().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let handle = &input.shards[shard];
+        // One depth reservation per shard per batch (the per-point path
+        // reserves before each enqueue; the flush below is the enqueue,
+        // so the same reserve-before-send ordering holds).
+        handle.shared.reserve_slots(group.len());
+        let flushed = match input.backpressure {
+            BackpressurePolicy::Block => lane_flush_blocking(handle, shard, group),
+            BackpressurePolicy::DropNewest => {
+                lane_flush_drop_newest(handle, shard, group, &mut report.outcome)
+            }
+            BackpressurePolicy::ShedOldest => lane_flush_shed_oldest(handle, shard, group),
+        };
+        if flushed.is_err() {
+            report.dead.push(shard);
+        }
+    }
+    report
+}
+
+/// Validates, sheds, or stages row `j` of the batch onto its shard's
+/// group. Routing is the same round-robin as per-point submission:
+/// `shard = seq % n_shards` (keyless `KeyHash` falls back to it too).
+fn lane_stage_row(
+    input: &LaneInput<'_>,
+    j: usize,
+    staged: &mut [VecDeque<Job>],
+    report: &mut LaneReport,
+) {
+    let seq = input.base + j as u64;
+    let shard = (seq % input.shards.len() as u64) as usize;
+    let row = &input.rows[j];
+    if let Err(violation) = validate_point(row, input.dim) {
+        let handle = &input.shards[shard];
+        handle.shared.rejected.fetch_add(1, Relaxed);
+        if handle.obs.enabled() {
+            handle.obs.incr(Counter::PointsRejected, 1);
+            handle.obs.event(Event::PointRejected {
+                shard,
+                seq,
+                reason: violation.label().to_string(),
+            });
+        }
+        report.quarantined.push((seq, violation, row.clone()));
+        report.outcome.rejected += 1;
+        return;
+    }
+    if input.shedding[shard] {
+        let handle = &input.shards[shard];
+        handle.shared.shed.fetch_add(1, Relaxed);
+        if handle.obs.enabled() {
+            handle.obs.incr(Counter::PointsShed, 1);
+            handle.obs.event(Event::QueueShed { shard, seq });
+        }
+        report.outcome.shed += 1;
+        return;
+    }
+    staged[shard].push_back(Job {
+        seq,
+        point: row.clone(),
+        enqueued: input.enqueued,
+    });
+    report.outcome.accepted += 1;
+}
+
+/// Flushes one shard's staged group under `Block`: retry batch pushes,
+/// yielding while the channel is full, until everything is in. `Err` means
+/// the worker thread is dead (reservations already rolled back).
+fn lane_flush_blocking(
+    handle: &ShardHandle,
+    shard: usize,
+    staged: &mut VecDeque<Job>,
+) -> Result<(), ()> {
+    let mut blocked_recorded = false;
+    loop {
+        match handle.channel.try_push_batch(staged) {
+            Ok(_) if staged.is_empty() => return Ok(()),
+            Ok(pushed) => {
+                if pushed == 0 {
+                    if !blocked_recorded && handle.obs.enabled() {
+                        blocked_recorded = true;
+                        handle.obs.incr(Counter::QueueBlocked, 1);
+                        handle.obs.event(Event::QueueBlocked {
+                            shard,
+                            seq: staged.front().expect("non-empty").seq,
+                        });
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            Err(()) => return abort_lane_flush(handle, staged),
+        }
+    }
+}
+
+/// Flushes one shard's staged group under `DropNewest`: one batch push,
+/// everything that did not fit is dropped with exact counts.
+fn lane_flush_drop_newest(
+    handle: &ShardHandle,
+    shard: usize,
+    staged: &mut VecDeque<Job>,
+    outcome: &mut BatchOutcome,
+) -> Result<(), ()> {
+    match handle.channel.try_push_batch(staged) {
+        Ok(_) => {
+            for job in staged.drain(..) {
+                handle.shared.release_slot();
+                handle.shared.dropped.fetch_add(1, Relaxed);
+                if handle.obs.enabled() {
+                    handle.obs.incr(Counter::QueueDropped, 1);
+                    handle.obs.event(Event::QueueDropped {
+                        shard,
+                        seq: job.seq,
+                    });
+                }
+                outcome.accepted -= 1;
+                outcome.dropped += 1;
+            }
+            Ok(())
+        }
+        Err(()) => abort_lane_flush(handle, staged),
+    }
+}
+
+/// Flushes one shard's staged group under `ShedOldest` (always the queue
+/// channel): per-job pushes, evictions counted as shed.
+fn lane_flush_shed_oldest(
+    handle: &ShardHandle,
+    shard: usize,
+    staged: &mut VecDeque<Job>,
+) -> Result<(), ()> {
+    while let Some(job) = staged.pop_front() {
+        match handle.channel.push_shed_oldest(job) {
+            Ok(None) => {}
+            Ok(Some(evicted)) => {
+                // The new point took the evicted one's slot.
+                handle.shared.release_slot();
+                handle.shared.shed.fetch_add(1, Relaxed);
+                if handle.obs.enabled() {
+                    handle.obs.incr(Counter::PointsShed, 1);
+                    handle.obs.event(Event::QueueShed {
+                        shard,
+                        seq: evicted.seq,
+                    });
+                }
+            }
+            Err(_) => {
+                // The in-hand job was already popped from `staged`; roll
+                // its reservation back separately.
+                handle.shared.release_slot();
+                return abort_lane_flush(handle, staged);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A dead worker thread surfaced mid-flush: roll back the depth
+/// reservations for everything unflushed and return the flush's `Err`.
+/// The caller reports the shard so the engine can join (harvest) the dead
+/// worker once the lanes are back.
+fn abort_lane_flush(handle: &ShardHandle, staged: &mut VecDeque<Job>) -> Result<(), ()> {
+    for _ in 0..staged.len() {
+        handle.shared.release_slot();
+    }
+    staged.clear();
+    Err(())
 }
 
 #[cfg(test)]

@@ -70,11 +70,21 @@ struct Slot {
 ///
 /// # Invariants (upheld by the engine, not the type system)
 ///
-/// At most one thread pushes at a time (the engine's submit path — `&mut
-/// self` methods on `ServeEngine` serialize producers) and at most one
-/// thread pops at a time (the shard's worker thread; a restarted worker is
-/// the *same* thread, so the discipline survives panics). `close` /
-/// `mark_dead` / `len` are safe from any thread.
+/// At most one thread pushes at a time and at most one thread pops at a
+/// time (the shard's worker thread; a restarted worker is the *same*
+/// thread, so the discipline survives panics). Two engine paths satisfy
+/// the producer side:
+///
+/// * the `&mut self` submit methods on `ServeEngine`, which serialize all
+///   producers through one exclusive borrow;
+/// * `submit_batch_rows_parallel`'s producer lanes, which partition shards
+///   by ownership — lane `p` of `P` is the unique pusher for every shard
+///   `s` with `s % P == p`, so each ring still sees exactly one producer
+///   thread for the whole scoped region. Lanes are joined (scope exit)
+///   before any other path may push again, and the join's happens-before
+///   edge hands the producer cursor to the next pusher.
+///
+/// `close` / `mark_dead` / `len` are safe from any thread.
 pub(crate) struct SpscRing {
     slots: Box<[Slot]>,
     mask: u64,
@@ -615,5 +625,118 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(seen, N, "every pushed job must be popped exactly once");
+    }
+
+    /// Lane-partitioned multi-producer stress under full-lap wraparound
+    /// pressure, with a mid-run worker death. Mirrors the engine's
+    /// `submit_batch_rows_parallel` contract: N producer lanes each the
+    /// *sole* pusher for their own tiny ring (SPSC per ring is preserved;
+    /// multi-producer means many rings, never two pushers on one). One
+    /// consumer "dies" with its `DeathWatch` armed partway through — its
+    /// lane's producer must fail fast instead of hanging, while every
+    /// surviving lane drains its full sequence in order.
+    #[test]
+    fn lane_partitioned_producers_survive_wraps_and_a_death_watch_kill() {
+        const LANES: usize = 4;
+        const PER_LANE: u64 = 12_000;
+        const KILLED: usize = 2;
+        const KILL_AFTER: u64 = 512;
+
+        let channels: Vec<Arc<ShardChannel>> = (0..LANES)
+            .map(|_| Arc::new(ShardChannel::Ring(SpscRing::new(8))))
+            .collect();
+
+        // Consumers: each ring's unique popper, guarded like a real worker.
+        // The killed one returns early without disarming — exactly the
+        // supervisor-panic path — so Drop marks its channel dead.
+        let consumers: Vec<_> = channels
+            .iter()
+            .enumerate()
+            .map(|(idx, ch)| {
+                let ch = Arc::clone(ch);
+                std::thread::spawn(move || {
+                    let mut watch = DeathWatch::arm(Arc::clone(&ch));
+                    let mut seen = 0u64;
+                    while let Some(j) = ch.pop_block() {
+                        assert_eq!(j.seq, seen, "ring {idx} delivered out of order");
+                        seen += 1;
+                        if idx == KILLED && seen == KILL_AFTER {
+                            return seen; // armed drop → mark_dead
+                        }
+                    }
+                    watch.disarm();
+                    seen
+                })
+            })
+            .collect();
+
+        // Producers: lane p owns ring p outright (the S == P case of the
+        // engine's `shard % lanes == lane` ownership rule). Seeded bursts
+        // against capacity-8 rings force a full lap every few iterations.
+        let producers: Vec<_> = channels
+            .iter()
+            .enumerate()
+            .map(|(lane, ch)| {
+                let ch = Arc::clone(ch);
+                std::thread::spawn(move || {
+                    let mut rng: u64 = 0xA076_1D64_78BD_642F ^ ((lane as u64) << 17);
+                    let mut staged: VecDeque<Job> = VecDeque::new();
+                    let mut next = 0u64;
+                    while next < PER_LANE || !staged.is_empty() {
+                        rng = rng
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        let burst = 1 + (rng >> 33) % 7;
+                        for _ in 0..burst {
+                            if next < PER_LANE {
+                                staged.push_back(job(next));
+                                next += 1;
+                            }
+                        }
+                        // Alternate both push APIs across the wraps.
+                        if rng & 1 == 0 {
+                            if ch.try_push_batch(&mut staged).is_err() {
+                                return Err(lane); // dead channel: fail fast
+                            }
+                        } else if let Some(j) = staged.pop_front() {
+                            match ch.push_block(j) {
+                                Ok(()) => {}
+                                Err(PushError::Full(j)) => staged.push_front(j),
+                                Err(PushError::Dead(_)) => return Err(lane),
+                            }
+                        }
+                    }
+                    Ok(lane)
+                })
+            })
+            .collect();
+
+        let mut dead_lanes = Vec::new();
+        for (lane, p) in producers.into_iter().enumerate() {
+            match p.join().expect("producer panicked") {
+                Ok(done) => assert_eq!(done, lane),
+                Err(l) => dead_lanes.push(l),
+            }
+        }
+        // Only the killed lane's producer may observe death; the join
+        // completing at all proves nobody hung on the dead ring.
+        assert_eq!(dead_lanes, vec![KILLED], "exactly the killed lane fails");
+
+        for ch in &channels {
+            ch.close();
+        }
+        for (idx, c) in consumers.into_iter().enumerate() {
+            let seen = c.join().expect("consumer panicked");
+            if idx == KILLED {
+                assert_eq!(seen, KILL_AFTER);
+            } else {
+                assert_eq!(seen, PER_LANE, "lane {idx} lost jobs");
+            }
+        }
+        // The dead channel keeps refusing pushes after the fact.
+        assert!(matches!(
+            channels[KILLED].try_push(job(0)),
+            Err(PushError::Dead(_))
+        ));
     }
 }

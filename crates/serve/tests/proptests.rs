@@ -1,0 +1,117 @@
+//! Property-based determinism tests for the multi-producer submit path.
+//!
+//! The engine's contract (`ServeEngine::submit_batch_rows_parallel`): the
+//! shard a point lands on is a pure function of its sequence number, and
+//! each ring keeps exactly one producer lane, so the *scores* are bitwise
+//! identical no matter how many producer lanes split the batch. These
+//! properties pin that down across shard counts, batch shapes, and all
+//! three backpressure policies — sized loss-free (queue capacity ≥ batch)
+//! so even the lossy policies drop nothing and the full score sequence is
+//! comparable bit for bit.
+
+use proptest::prelude::*;
+use sketchad_core::{DetectorConfig, StreamingDetector};
+use sketchad_serve::{BackpressurePolicy, ServeConfig, ServeEngine};
+
+const DIM: usize = 8;
+
+fn fd_factory(_shard: usize) -> Box<dyn StreamingDetector + Send> {
+    Box::new(
+        DetectorConfig::new(2, 8)
+            .with_warmup(16)
+            .with_seed(7)
+            .build_fd(DIM),
+    )
+}
+
+/// Deterministic pseudo-random rows: an LCG-driven wave per dimension.
+fn rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..n)
+        .map(|i| {
+            (0..DIM)
+                .map(|j| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    let noise = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    (i as f64 * 0.013 + j as f64 * 0.7).sin() + noise * 0.01
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One full pipeline run: start → parallel submit → drained scores.
+fn run(
+    shards: usize,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    data: &[Vec<f64>],
+    producers: usize,
+) -> Vec<u64> {
+    let config = ServeConfig::new(shards)
+        .with_queue_capacity(capacity)
+        .with_backpressure(policy)
+        .with_snapshot_every(64);
+    let mut engine = ServeEngine::start(config, fd_factory).expect("start");
+    let outcome = engine
+        .submit_batch_rows_parallel(data, producers)
+        .expect("submit");
+    assert_eq!(outcome.accepted, data.len() as u64, "sized loss-free");
+    assert_eq!(outcome.dropped + outcome.shed, 0, "sized loss-free");
+    let report = engine.finish().expect("drain");
+    report
+        .scores_in_order()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scores are bitwise-equal across producer counts {1, 2, 4} for every
+    /// backpressure policy when the run is loss-free.
+    #[test]
+    fn producer_count_never_changes_scores(
+        shards in 1usize..6,
+        n in 64usize..320,
+        seed in 0u64..1000,
+    ) {
+        let data = rows(n, seed);
+        // Capacity ≥ the whole batch: Block never blocks, DropNewest never
+        // drops, ShedOldest never sheds — all three become comparable.
+        let capacity = n;
+        for policy in [
+            BackpressurePolicy::Block,
+            BackpressurePolicy::DropNewest,
+            BackpressurePolicy::ShedOldest,
+        ] {
+            let reference = run(shards, capacity, policy, &data, 1);
+            for producers in [2usize, 4] {
+                let got = run(shards, capacity, policy, &data, producers);
+                prop_assert_eq!(
+                    &reference,
+                    &got,
+                    "policy {:?}: {} producers diverged from 1",
+                    policy,
+                    producers
+                );
+            }
+        }
+    }
+
+    /// Producer counts beyond the shard count clamp down to it (a lane
+    /// with no shards to own would be pure overhead) and still match.
+    #[test]
+    fn oversubscribed_producers_clamp_and_match(
+        n in 64usize..200,
+        seed in 0u64..1000,
+    ) {
+        let data = rows(n, seed);
+        let reference = run(2, n, BackpressurePolicy::Block, &data, 1);
+        let got = run(2, n, BackpressurePolicy::Block, &data, 16);
+        prop_assert_eq!(&reference, &got);
+    }
+}

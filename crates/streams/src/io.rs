@@ -17,7 +17,8 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use sketchad_core::rowfmt::{read_rows_file, RowsView, RowsWriter};
+use sketchad_core::mmapio::MmapRows;
+use sketchad_core::rowfmt::RowsWriter;
 
 use crate::point::{LabeledPoint, LabeledStream};
 
@@ -166,11 +167,16 @@ pub fn write_rows(stream: &LabeledStream, path: &Path) -> Result<(), IoError> {
 /// without a key column load with every label `false`. The stream name is
 /// taken from the file stem.
 ///
+/// The file is memory-mapped where the platform allows it
+/// ([`MmapRows`]): rows decode straight out of the page cache instead of
+/// an intermediate whole-file buffer. The buffered fallback (non-Unix,
+/// `SKETCHAD_NO_MMAP=1`) decodes bitwise-identically.
+///
 /// # Errors
 /// Format violations surface as [`IoError::Parse`] at line 0; filesystem
 /// failures as [`IoError::Io`].
 pub fn read_rows(path: &Path) -> Result<LabeledStream, IoError> {
-    let bytes = read_rows_file(path).map_err(|e| {
+    let rows = MmapRows::open(path).map_err(|e| {
         if e.kind() == io::ErrorKind::InvalidData {
             IoError::Parse {
                 line: 0,
@@ -180,7 +186,7 @@ pub fn read_rows(path: &Path) -> Result<LabeledStream, IoError> {
             IoError::Io(e)
         }
     })?;
-    let view = RowsView::new(&bytes).expect("read_rows_file validated the buffer");
+    let view = rows.view();
     let mut points = Vec::with_capacity(view.len());
     let mut row = vec![0.0; view.dim()];
     for i in 0..view.len() {
