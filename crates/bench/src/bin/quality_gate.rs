@@ -1,0 +1,156 @@
+//! CI quality-regression gate: re-runs the anchored smoke subset of the
+//! benchmark matrix and compares it cell-for-cell against the committed
+//! `results/MATRIX_eval.json` baseline.
+//!
+//! The structural `schema_check` gate catches artifacts whose *shape*
+//! drifted; this binary catches PRs whose *detection quality* drifted — a
+//! kernel rewrite that subtly changes scores, a refresh-policy tweak that
+//! slows alarms. Tolerances (see `sketchad_eval::matrix::GateTolerance`)
+//! are the documented policy: an anchored cell may lose at most 0.02 AUC,
+//! and its mean detection delay may grow at most 20% (plus one point of
+//! slack). Wall-time is explicitly not compared — the deterministic
+//! metrics block is the contract, CI hardware variance is not.
+//!
+//! Usage: `quality_gate [--baseline <path>] [--out <path>]`
+//!
+//! * `--baseline` — committed matrix artifact to compare against
+//!   (default `results/MATRIX_eval.json`).
+//! * `--out` — also write the freshly-run smoke matrix there (CI feeds
+//!   this to `schema_check`, validating the writer and the committed
+//!   artifact through the same rule).
+//!
+//! Exits 0 when every anchored cell is within tolerance, 1 on any
+//! regression, 2 on usage/environment errors.
+
+use std::path::{Path, PathBuf};
+
+use sketchad_eval::matrix::{
+    compare_anchored, run_matrix_with_progress, GateTolerance, MatrixArtifact, MatrixSpec,
+};
+use sketchad_streams::DatasetScale;
+
+fn main() {
+    let mut baseline_path = PathBuf::from("results/MATRIX_eval.json");
+    let mut out: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("quality_gate: --baseline needs a path");
+                    std::process::exit(2);
+                };
+                baseline_path = PathBuf::from(v);
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("quality_gate: --out needs a path");
+                    std::process::exit(2);
+                };
+                out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("usage: quality_gate [--baseline <path>] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("quality_gate: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let baseline = match MatrixArtifact::read_json(&baseline_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "quality_gate: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    if baseline.scale != "small" {
+        // Anchored cells are only comparable at matching stream scale; the
+        // committed artifact is produced at small scale by `matrix run`.
+        eprintln!(
+            "quality_gate: baseline scale {:?} is not \"small\" — smoke cells would not \
+             be comparable",
+            baseline.scale
+        );
+        std::process::exit(2);
+    }
+    let anchored = baseline.anchored().count();
+    if anchored == 0 {
+        eprintln!("quality_gate: baseline has no anchored cells");
+        std::process::exit(2);
+    }
+    println!(
+        "quality_gate: baseline {} ({} cells, {} anchored)",
+        baseline_path.display(),
+        baseline.cells.len(),
+        anchored
+    );
+
+    let spec = MatrixSpec {
+        scale: DatasetScale::Small,
+        smoke: true,
+    };
+    let fresh = run_matrix_with_progress(&spec, |cell| {
+        println!(
+            "quality_gate: ran {:32} auc={} delay={} bytes={}",
+            cell.key(),
+            cell.metrics.auc.map_or("n/a".into(), |a| format!("{a:.4}")),
+            cell.metrics
+                .detection_delay
+                .map_or("n/a".into(), |d| format!("{d:.2}")),
+            cell.metrics.sketch_bytes,
+        );
+    });
+    println!(
+        "quality_gate: smoke matrix finished in {:.2}s ({} cells)",
+        fresh.total_seconds,
+        fresh.cells.len()
+    );
+
+    if let Some(out_path) = &out {
+        write_fresh(&fresh, out_path);
+    }
+
+    let tol = GateTolerance::default();
+    let violations = compare_anchored(&baseline, &fresh, &tol);
+    if violations.is_empty() {
+        println!(
+            "quality_gate: PASS — {anchored} anchored cell(s) within tolerance \
+             (max AUC drop {}, max delay growth {}x + {})",
+            tol.max_auc_drop, tol.max_delay_ratio, tol.delay_slack
+        );
+    } else {
+        eprintln!(
+            "quality_gate: FAIL — {} regression(s) beyond tolerance:",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn write_fresh(fresh: &MatrixArtifact, out_path: &Path) {
+    // Keep the artifact id == file stem invariant schema_check enforces.
+    let mut artifact = fresh.clone();
+    if let Some(stem) = out_path.file_stem().and_then(|s| s.to_str()) {
+        artifact.id = stem.to_string();
+    }
+    if let Err(e) = artifact.write_json(out_path) {
+        eprintln!("quality_gate: cannot write {}: {e}", out_path.display());
+        std::process::exit(2);
+    }
+    println!("quality_gate: wrote smoke matrix to {}", out_path.display());
+}

@@ -11,9 +11,17 @@
 //!   deserializer and carry the current `sketchad-obs/v1` schema tag.
 //! * `BENCH_*.json` — `id` matching the file stem, a non-empty
 //!   `description`, and a non-empty `cases` or `runs` array.
+//! * `MATRIX_*.json` — must round-trip through the real
+//!   `sketchad_eval::matrix::MatrixArtifact` deserializer with the
+//!   `sketchad-matrix/v1` schema tag, non-empty anchored cells, AUCs in
+//!   `[0, 1]`, and a Pareto block.
 //! * experiment artifacts (`f*.json`, `t*.json`, `a*.json`) — `id`
 //!   matching the file stem, `description`, and a non-empty `results`
 //!   array whose entries are objects.
+//! * any other `.json` file is a **violation**: new JSON artifact families
+//!   must land together with a schema rule, not slide past the gate.
+//! * files with unrecognized extensions are reported as a note (listed,
+//!   not fatal), so nothing under a checked directory is silently skipped.
 //! * `*.jsonl` telemetry flight recordings — at least one line, every line
 //!   a valid `TelemetryRecord` carrying the `sketchad-telemetry/v1` schema
 //!   tag, with strictly increasing sample steps.
@@ -33,6 +41,7 @@
 use serde::Value;
 use sketchad_core::rowfmt::RowsView;
 use sketchad_durable::{read_snapshot, snapshot::parse_snapshot_name, wal, TailStatus};
+use sketchad_eval::matrix::{MatrixArtifact, MATRIX_SCHEMA};
 use sketchad_obs::{ObsArtifact, TelemetryRecord, OBS_SCHEMA, TELEMETRY_SCHEMA};
 use std::path::Path;
 
@@ -58,6 +67,15 @@ fn get_num(value: &Value, key: &str) -> Option<f64> {
         Value::Float(f) => Some(*f),
         _ => None,
     }
+}
+
+/// True for the experiment-artifact naming family: an `f`/`t`/`a` prefix
+/// followed by digits (figure / table / ablation ids like `f5`, `t12`).
+fn is_experiment_stem(stem: &str) -> bool {
+    let mut chars = stem.chars();
+    matches!(chars.next(), Some('f' | 't' | 'a'))
+        && stem.len() > 1
+        && chars.all(|c| c.is_ascii_digit())
 }
 
 /// Checks one artifact; returns the violations found in it.
@@ -191,6 +209,56 @@ fn check_file(path: &Path) -> Vec<String> {
         return violations;
     }
 
+    if name.starts_with("MATRIX_") {
+        // The benchmark-matrix artifact: the real deserializer, then the
+        // invariants the quality gate and `matrix select` rely on.
+        match serde_json::from_str::<MatrixArtifact>(&text) {
+            Ok(artifact) => {
+                if artifact.schema != MATRIX_SCHEMA {
+                    violation(format!(
+                        "schema tag {:?} (expected {MATRIX_SCHEMA:?})",
+                        artifact.schema
+                    ));
+                }
+                if artifact.id != stem {
+                    violation(format!(
+                        "id {:?} does not match file stem {stem:?}",
+                        artifact.id
+                    ));
+                }
+                if artifact.cells.is_empty() {
+                    violation("no cells".to_string());
+                } else if artifact.anchored().count() == 0 {
+                    violation(
+                        "no anchored cells — the quality gate has nothing to compare".to_string(),
+                    );
+                }
+                if artifact.pareto.is_empty() && !artifact.cells.is_empty() {
+                    violation("missing Pareto summary".to_string());
+                }
+                if artifact.host.available_parallelism < 1 {
+                    violation("host.available_parallelism < 1".to_string());
+                }
+                for cell in &artifact.cells {
+                    let key = cell.key();
+                    if let Some(auc) = cell.metrics.auc {
+                        if !(0.0..=1.0).contains(&auc) {
+                            violation(format!("{key}: AUC {auc} outside [0, 1]"));
+                        }
+                    }
+                    if cell.metrics.sketch_bytes == 0 {
+                        violation(format!("{key}: zero resident sketch bytes"));
+                    }
+                    if cell.cost.seconds < 0.0 || !cell.cost.seconds.is_finite() {
+                        violation(format!("{key}: invalid wall-time {}", cell.cost.seconds));
+                    }
+                }
+            }
+            Err(e) => violation(format!("not a valid MatrixArtifact: {e}")),
+        }
+        return violations;
+    }
+
     let value: Value = match serde_json::from_str(&text) {
         Ok(v) => v,
         Err(e) => {
@@ -281,6 +349,20 @@ fn check_file(path: &Path) -> Vec<String> {
                 }
             }
         }
+    } else if !is_experiment_stem(&stem) {
+        // A `.json` file matching no known artifact family: new families
+        // must land with their own rule, not slide past the gate. If the
+        // file declares a schema tag, surface it in the violation.
+        match get_str(&value, "schema") {
+            Some(tag) => violation(format!(
+                "unknown schema tag {tag:?} — add a schema_check rule for this artifact family"
+            )),
+            None => violation(
+                "unknown JSON artifact family (expected OBS_*/BENCH_*/MATRIX_* or an \
+                 f*/t*/a* experiment id) — add a schema_check rule"
+                    .to_string(),
+            ),
+        }
     } else {
         // Experiment figure/table artifacts: flat rows in `results`,
         // grouped curves in `series`; either may be empty but not both.
@@ -303,16 +385,22 @@ fn check_file(path: &Path) -> Vec<String> {
     violations
 }
 
-/// Recursively gathers checkable artifacts (durable state dirs nest
-/// `shard-NNNN` subdirectories under the root handed to us).
+/// True when `path` has an extension a schema rule exists for.
+fn has_known_extension(path: &Path) -> bool {
+    path.extension()
+        .is_some_and(|x| x == "json" || x == "jsonl" || x == "skad" || x == "skwl" || x == "rows")
+}
+
+/// Recursively gathers **every** file (durable state dirs nest `shard-NNNN`
+/// subdirectories under the root handed to us). Files without a schema rule
+/// are collected too — main reports them as notes rather than silently
+/// skipping them.
 fn collect_artifacts(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
             collect_artifacts(&path, out)?;
-        } else if path.extension().is_some_and(|x| {
-            x == "json" || x == "jsonl" || x == "skad" || x == "skwl" || x == "rows"
-        }) {
+        } else {
             out.push(path);
         }
     }
@@ -326,12 +414,21 @@ fn main() {
         eprintln!("schema_check: {} is not a directory", root.display());
         std::process::exit(2);
     }
-    let mut paths = Vec::new();
-    if let Err(e) = collect_artifacts(root, &mut paths) {
+    let mut all_files = Vec::new();
+    if let Err(e) = collect_artifacts(root, &mut all_files) {
         eprintln!("schema_check: cannot read {}: {e}", root.display());
         std::process::exit(2);
     }
-    paths.sort();
+    all_files.sort();
+    let (paths, unknown): (Vec<_>, Vec<_>) =
+        all_files.into_iter().partition(|p| has_known_extension(p));
+    for path in &unknown {
+        println!(
+            "schema_check: note: {} has no schema rule (unrecognized extension) — \
+             checked for existence only",
+            path.display()
+        );
+    }
     if paths.is_empty() {
         eprintln!("schema_check: no JSON artifacts under {}", root.display());
         std::process::exit(2);
@@ -341,7 +438,11 @@ fn main() {
         all_violations.extend(check_file(path));
     }
     if all_violations.is_empty() {
-        println!("schema_check: {} artifact(s) OK", paths.len());
+        println!(
+            "schema_check: {} artifact(s) OK ({} unrecognized file(s) noted)",
+            paths.len(),
+            unknown.len()
+        );
     } else {
         eprintln!(
             "schema_check: {} violation(s) across {} artifact(s):",
@@ -473,6 +574,129 @@ mod tests {
             &serde_json::to_string(&artifact).unwrap(),
         );
         assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+    }
+
+    #[test]
+    fn unknown_json_family_is_a_violation() {
+        let dir = tmpdir("unknown");
+        // Unknown schema tag: named in the violation.
+        let tagged = write(
+            &dir,
+            "NOVEL_thing.json",
+            r#"{"schema":"sketchad-novel/v1","id":"NOVEL_thing","description":"d"}"#,
+        );
+        assert!(
+            check_file(&tagged)[0].contains("unknown schema tag \"sketchad-novel/v1\""),
+            "{:?}",
+            check_file(&tagged)
+        );
+        // No schema tag and no known family either.
+        let untagged = write(&dir, "random.json", r#"{"id":"random","description":"d"}"#);
+        assert!(
+            check_file(&untagged)
+                .iter()
+                .any(|v| v.contains("unknown JSON artifact family")),
+            "{:?}",
+            check_file(&untagged)
+        );
+        // Known families are unaffected.
+        assert!(is_experiment_stem("f12") && is_experiment_stem("t1") && is_experiment_stem("a2"));
+        assert!(
+            !is_experiment_stem("f") && !is_experiment_stem("fx1") && !is_experiment_stem("x1")
+        );
+    }
+
+    #[test]
+    fn collect_gathers_unrecognized_files() {
+        let dir = tmpdir("collect");
+        write(
+            &dir,
+            "f9.json",
+            r#"{"id":"f9","description":"d","results":[{}]}"#,
+        );
+        write(&dir, "README.txt", "not an artifact");
+        let mut files = Vec::new();
+        collect_artifacts(&dir, &mut files).unwrap();
+        assert_eq!(files.len(), 2, "every file is collected");
+        let (known, unknown): (Vec<_>, Vec<_>) =
+            files.into_iter().partition(|p| has_known_extension(p));
+        assert_eq!(known.len(), 1);
+        assert_eq!(unknown.len(), 1);
+        assert!(unknown[0].to_string_lossy().ends_with("README.txt"));
+    }
+
+    #[test]
+    fn matrix_artifact_rule() {
+        use sketchad_eval::matrix::{
+            pareto_frontiers, CellCost, CellMetrics, CellParams, MatrixCell,
+        };
+        use sketchad_eval::HostMeta;
+
+        let dir = tmpdir("matrix");
+        let cell = MatrixCell {
+            scenario: "synth-lowrank".into(),
+            sketch: "fd".into(),
+            budget: "mid".into(),
+            anchor: true,
+            params: CellParams {
+                k: 10,
+                ell: 18,
+                eps: 0.125,
+                refresh_period: 64,
+                warmup: 64,
+                seed: 7,
+            },
+            metrics: CellMetrics {
+                auc: Some(0.95),
+                ap: Some(0.6),
+                best_f1: Some(0.7),
+                detection_delay: Some(1.0),
+                sketch_bytes: 2880,
+                points: 800,
+                dim: 25,
+            },
+            cost: CellCost {
+                seconds: 0.05,
+                points_per_sec: 16_000.0,
+            },
+        };
+        let artifact = MatrixArtifact {
+            schema: MATRIX_SCHEMA.into(),
+            id: "MATRIX_ok".into(),
+            description: "test matrix".into(),
+            scale: "small".into(),
+            smoke: false,
+            host: HostMeta::capture(),
+            total_seconds: 0.05,
+            pareto: pareto_frontiers(std::slice::from_ref(&cell)),
+            cells: vec![cell],
+        };
+        let good = dir.join("MATRIX_ok.json");
+        artifact.write_json(&good).unwrap();
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+
+        // Wrong schema tag.
+        let mut bad = artifact.clone();
+        bad.schema = "sketchad-matrix/v0".into();
+        bad.id = "MATRIX_bad".into();
+        let p = dir.join("MATRIX_bad.json");
+        bad.write_json(&p).unwrap();
+        assert!(check_file(&p).iter().any(|v| v.contains("schema tag")));
+
+        // Out-of-range AUC and no anchors.
+        let mut broken = artifact.clone();
+        broken.id = "MATRIX_broken".into();
+        broken.cells[0].metrics.auc = Some(1.5);
+        broken.cells[0].anchor = false;
+        let p = dir.join("MATRIX_broken.json");
+        broken.write_json(&p).unwrap();
+        let v = check_file(&p);
+        assert!(v.iter().any(|m| m.contains("outside [0, 1]")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("no anchored cells")), "{v:?}");
+
+        // Not a MatrixArtifact at all.
+        let garbage = write(&dir, "MATRIX_garbage.json", r#"{"id":"MATRIX_garbage"}"#);
+        assert!(check_file(&garbage)[0].contains("not a valid MatrixArtifact"));
     }
 
     #[test]

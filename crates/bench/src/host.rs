@@ -1,55 +1,20 @@
-//! Host metadata stamped into every benchmark artifact header.
+//! Host metadata for benchmark artifact headers.
 //!
-//! Throughput numbers are meaningless without knowing what ran them: a
-//! "2.1× with 4 shards" on a single-core container is coordination overhead,
-//! not scaling. Every `BENCH_*.json` artifact therefore embeds a [`HostMeta`]
-//! block so readers (and the schema checker) can judge the numbers against
-//! the hardware that produced them.
+//! The type itself now lives in [`sketchad_eval::host`] so the matrix
+//! artifact reader can deserialize it without pulling in the bench crate;
+//! this module keeps the historical `sketchad_bench::HostMeta` path alive
+//! for the bench binaries.
 
-use serde::Serialize;
-
-/// The machine facts that gate interpretation of a benchmark run.
-#[derive(Serialize, Clone, Debug)]
-pub struct HostMeta {
-    /// `std::thread::available_parallelism()` at capture time — the ceiling
-    /// on any thread-scaling result in the artifact.
-    pub available_parallelism: usize,
-    /// Target architecture (`std::env::consts::ARCH`).
-    pub arch: &'static str,
-    /// Target OS (`std::env::consts::OS`).
-    pub os: &'static str,
-    /// The SIMD dispatch tier the linalg kernels resolved to on this CPU
-    /// (`sketchad_linalg::active_simd_tier()`), e.g. `"avx2"` or `"scalar"`.
-    pub simd_dispatch: &'static str,
-}
-
-impl HostMeta {
-    /// Capture the current host's facts.
-    pub fn capture() -> Self {
-        Self {
-            available_parallelism: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
-            arch: std::env::consts::ARCH,
-            os: std::env::consts::OS,
-            simd_dispatch: sketchad_linalg::active_simd_tier(),
-        }
-    }
-}
+pub use sketchad_eval::host::HostMeta;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn capture_is_sane_and_serializes() {
+    fn reexport_captures() {
         let host = HostMeta::capture();
         assert!(host.available_parallelism >= 1);
-        assert!(!host.arch.is_empty());
-        assert!(!host.os.is_empty());
-        assert!(!host.simd_dispatch.is_empty());
-        let json = serde_json::to_string(&host).unwrap();
-        assert!(json.contains("\"available_parallelism\""));
-        assert!(json.contains("\"simd_dispatch\""));
+        assert_eq!(host.arch, std::env::consts::ARCH);
     }
 }

@@ -57,7 +57,16 @@ impl std::error::Error for ArgError {}
 const VALUE_OPTIONS_ALLOW_DASH: &[&str] = &[];
 
 /// Known bare flags (everything else with `--` expects a value).
-const KNOWN_FLAGS: &[&str] = &["small", "help", "quiet", "normalize", "watch", "follow"];
+const KNOWN_FLAGS: &[&str] = &[
+    "small",
+    "full",
+    "smoke",
+    "help",
+    "quiet",
+    "normalize",
+    "watch",
+    "follow",
+];
 
 /// Parses the raw argument list.
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {

@@ -11,6 +11,12 @@
 //!                [--score rel-proj|proj|leverage|blended] [--warmup 256]
 //!                [--decay 0.9:100] [--fp-rate 0.01] [--output scores.csv]
 //!
+//! # benchmark matrix: run the scenario × sketch × budget sweep, inspect
+//! # the committed artifact, or derive per-scenario recommendations
+//! sketchad matrix run [--smoke] [--full] [--out results/MATRIX_eval.json]
+//! sketchad matrix report [--input results/MATRIX_eval.json]
+//! sketchad matrix select [--input results/MATRIX_eval.json]
+//!
 //! # list available datasets
 //! sketchad datasets
 //! ```
@@ -35,7 +41,7 @@ use sketchad_obs::{MetricsRecorder, ObsArtifact, Recorder, RecorderHandle};
 use sketchad_streams::{io as stream_io, DatasetScale, LabeledStream};
 
 const USAGE: &str =
-    "usage: sketchad <generate|score|apply|pipeline|recover|watch|datasets> [options]
+    "usage: sketchad <generate|score|apply|pipeline|matrix|recover|watch|datasets> [options]
   generate --dataset NAME --output FILE [--small]
   score    --input FILE [--sketch fd|rp|cs|rs] [--k N] [--ell N]
            [--score rel-proj|proj|leverage|blended] [--warmup N]
@@ -53,6 +59,10 @@ const USAGE: &str =
            [--metrics-out FILE] [--metrics-addr HOST:PORT]
            [--telemetry-out FILE.jsonl] [--telemetry-every-ms N]
            [--metrics-hold-ms N] [--watch] [--quiet]
+  matrix   [run|report|select] (default run)
+           run    [--smoke] [--full] [--out FILE] [--quiet]
+           report [--input FILE]
+           select [--input FILE]
   recover  --state-dir DIR [--quiet]
   watch    --input FILE.jsonl [--follow] [--for-ms N] [--every-ms N]
   datasets";
@@ -92,6 +102,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "score" => cmd_score(&parsed),
         "apply" => cmd_apply(&parsed),
         "pipeline" => cmd_pipeline(&parsed),
+        "matrix" => cmd_matrix(&parsed),
         "recover" => cmd_recover(&parsed),
         "watch" => cmd_watch(&parsed),
         "datasets" => {
@@ -745,6 +756,130 @@ fn parse_fsync(raw: &str) -> Result<sketchad_serve::FsyncPolicy, String> {
                 .ok_or_else(|| format!("unknown fsync policy {other:?} (always|never|every:N)"))?;
             Ok(FsyncPolicy::EveryN(n))
         }
+    }
+}
+
+/// Default location of the committed benchmark-matrix artifact.
+const MATRIX_ARTIFACT: &str = "results/MATRIX_eval.json";
+
+/// The benchmark matrix: `run` executes the scenario × sketch × budget
+/// sweep and writes the versioned artifact, `report` renders a committed
+/// artifact as tables, `select` derives the per-scenario-family
+/// configuration recommendation from it.
+fn cmd_matrix(p: &ParsedArgs) -> Result<(), String> {
+    use sketchad_eval::{
+        fmt_f, recommend, run_matrix_with_progress, MatrixArtifact, MatrixSpec, Table,
+    };
+
+    // The mode is a positional (`matrix select`); bare `matrix` runs.
+    let mode = p.get_or("arg0", "run");
+    match mode {
+        "run" => {
+            let out = p.get_or("out", MATRIX_ARTIFACT);
+            let spec = MatrixSpec {
+                scale: if p.has_flag("full") {
+                    DatasetScale::Full
+                } else {
+                    DatasetScale::Small
+                },
+                smoke: p.has_flag("smoke"),
+            };
+            let quiet = p.has_flag("quiet");
+            let mut artifact = run_matrix_with_progress(&spec, |cell| {
+                if !quiet {
+                    println!(
+                        "ran {:32} auc={} delay={} bytes={} ({})",
+                        cell.key(),
+                        fmt_opt(cell.metrics.auc),
+                        fmt_opt(cell.metrics.detection_delay),
+                        cell.metrics.sketch_bytes,
+                        sketchad_eval::fmt_secs(cell.cost.seconds),
+                    );
+                }
+            });
+            let out_path = Path::new(out);
+            // schema_check requires the artifact id to match the file stem.
+            if let Some(stem) = out_path.file_stem().and_then(|s| s.to_str()) {
+                artifact.id = stem.to_string();
+            }
+            artifact.write_json(out_path).map_err(|e| e.to_string())?;
+            println!(
+                "wrote matrix artifact ({} cells, {} anchored, {:.2}s) to {out}",
+                artifact.cells.len(),
+                artifact.anchored().count(),
+                artifact.total_seconds
+            );
+            Ok(())
+        }
+        "report" => {
+            let input = p.get_or("input", MATRIX_ARTIFACT);
+            let artifact =
+                MatrixArtifact::read_json(Path::new(input)).map_err(|e| e.to_string())?;
+            let mut cells = Table::new(
+                format!("matrix cells ({input}, scale={})", artifact.scale),
+                &[
+                    "scenario", "sketch", "budget", "anchor", "auc", "ap", "delay", "bytes",
+                    "pts/s",
+                ],
+            );
+            for c in &artifact.cells {
+                cells.add_row(vec![
+                    c.scenario.clone(),
+                    c.sketch.clone(),
+                    c.budget.clone(),
+                    if c.anchor { "*".into() } else { String::new() },
+                    fmt_opt(c.metrics.auc),
+                    fmt_opt(c.metrics.ap),
+                    fmt_opt(c.metrics.detection_delay),
+                    c.metrics.sketch_bytes.to_string(),
+                    format!("{:.0}", c.cost.points_per_sec),
+                ]);
+            }
+            print!("{}", cells.render());
+            let mut pareto = Table::new(
+                "Pareto frontier per scenario (maximize AUC, minimize bytes)",
+                &["scenario", "sketch", "budget", "auc", "bytes"],
+            );
+            for front in &artifact.pareto {
+                for point in &front.frontier {
+                    pareto.add_row(vec![
+                        front.scenario.clone(),
+                        point.sketch.clone(),
+                        point.budget.clone(),
+                        fmt_f(point.auc),
+                        point.sketch_bytes.to_string(),
+                    ]);
+                }
+            }
+            print!("{}", pareto.render());
+            Ok(())
+        }
+        "select" => {
+            let input = p.get_or("input", MATRIX_ARTIFACT);
+            let artifact =
+                MatrixArtifact::read_json(Path::new(input)).map_err(|e| e.to_string())?;
+            let recs = recommend(&artifact);
+            if recs.is_empty() {
+                return Err(format!("{input}: no scenario in the matrix has an AUC"));
+            }
+            let mut table = Table::new(
+                format!("recommended configuration per scenario family ({input})"),
+                &["scenario", "sketch", "budget", "auc", "delay", "bytes"],
+            );
+            for r in &recs {
+                table.add_row(vec![
+                    r.scenario.clone(),
+                    r.sketch.clone(),
+                    r.budget.clone(),
+                    fmt_f(r.auc),
+                    fmt_opt(r.detection_delay),
+                    r.sketch_bytes.to_string(),
+                ]);
+            }
+            print!("{}", table.render());
+            Ok(())
+        }
+        other => Err(format!("unknown matrix mode {other:?} (run|report|select)")),
     }
 }
 

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `matrix` subcommand through the real binary:
+//! the committed artifact must drive `select`, and two smoke runs must
+//! agree byte-for-byte on every deterministic cell block.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use serde_json::Value;
+
+/// Looks up an object field in the vendored JSON [`Value`] tree.
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == key))
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+/// Path to the matrix artifact committed at the repository root.
+fn committed_artifact() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/MATRIX_eval.json")
+}
+
+fn sketchad(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sketchad"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn matrix_select_recommends_per_scenario_family_from_committed_artifact() {
+    let artifact = committed_artifact();
+    assert!(
+        artifact.is_file(),
+        "{} must be committed (regenerate with `sketchad matrix run`)",
+        artifact.display()
+    );
+    let out = sketchad(&["matrix", "select", "--input", artifact.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("recommended configuration per scenario family"),
+        "{stdout}"
+    );
+    // One recommendation line per scenario family in the matrix.
+    for scenario in [
+        "synth-lowrank",
+        "synth-burst",
+        "synth-powerlaw",
+        "p53-like",
+        "dorothea-like",
+        "rcv1-like",
+        "synth-drift",
+        "synth-rotate",
+    ] {
+        assert!(
+            stdout.contains(scenario),
+            "no recommendation for {scenario}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn matrix_report_renders_cells_and_pareto() {
+    let artifact = committed_artifact();
+    let out = sketchad(&["matrix", "report", "--input", artifact.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("matrix cells"), "{stdout}");
+    assert!(stdout.contains("Pareto frontier per scenario"), "{stdout}");
+}
+
+/// Satellite determinism contract: two `matrix run --smoke` invocations in
+/// separate processes produce byte-identical deterministic blocks (params,
+/// metrics, Pareto frontiers) for every cell. Only wall-time may differ.
+#[test]
+fn matrix_smoke_runs_are_deterministic() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let a = dir.join(format!("sketchad-matrix-det-a-{pid}.json"));
+    let b = dir.join(format!("sketchad-matrix-det-b-{pid}.json"));
+    for path in [&a, &b] {
+        let out = sketchad(&[
+            "matrix",
+            "run",
+            "--smoke",
+            "--quiet",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let parse = |p: &PathBuf| -> Value {
+        serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap()
+    };
+    let (ja, jb) = (parse(&a), parse(&b));
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+
+    assert_eq!(
+        field(&ja, "schema"),
+        &Value::String("sketchad-matrix/v1".into())
+    );
+    assert_eq!(field(&ja, "smoke"), &Value::Bool(true));
+    let ca = field(&ja, "cells").as_array().unwrap();
+    let cb = field(&jb, "cells").as_array().unwrap();
+    assert_eq!(ca.len(), 40, "8 scenarios x 5 anchored arms");
+    assert_eq!(ca.len(), cb.len());
+    for (x, y) in ca.iter().zip(cb.iter()) {
+        for name in [
+            "scenario", "sketch", "budget", "anchor", "params", "metrics",
+        ] {
+            assert_eq!(
+                field(x, name),
+                field(y, name),
+                "nondeterministic {name} in {:?}",
+                field(x, "scenario")
+            );
+        }
+        assert_eq!(
+            field(x, "anchor"),
+            &Value::Bool(true),
+            "smoke cells are all anchored"
+        );
+    }
+    assert_eq!(
+        field(&ja, "pareto"),
+        field(&jb, "pareto"),
+        "Pareto frontiers must agree"
+    );
+}
+
+#[test]
+fn matrix_unknown_mode_is_an_error() {
+    let out = sketchad(&["matrix", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown matrix mode"));
+}

@@ -5,7 +5,7 @@
 //! is the API surface the examples and experiment harness use.
 
 use sketchad_sketch::{
-    BlockWindowSketch, CountSketch, FrequentDirections, RandomProjection, RowSampling,
+    BlockWindowSketch, CountSketch, FrequentDirections, RandomProjection, RowSampling, SparseJl,
 };
 
 use crate::refresh::RefreshPolicy;
@@ -126,6 +126,12 @@ impl DetectorConfig {
         self.finish(RowSampling::new(self.ell, dim, self.seed))
     }
 
+    /// Builds a sparse-JL detector (`s = min(4, ℓ)` buckets touched per
+    /// coordinate — the sparse-embedding arm of the benchmark matrix).
+    pub fn build_sjl(&self, dim: usize) -> SketchDetector<SparseJl> {
+        self.finish(SparseJl::new(self.ell, dim, 4.min(self.ell), self.seed))
+    }
+
     /// Builds a sliding-window FD detector: the window covers
     /// `block_len × num_blocks` recent points.
     pub fn build_windowed_fd(
@@ -161,6 +167,7 @@ mod tests {
         assert!(c.build_rp(10).name().contains("random-projection"));
         assert!(c.build_cs(10).name().contains("count-sketch"));
         assert!(c.build_rs(10).name().contains("row-sampling"));
+        assert!(c.build_sjl(10).name().contains("sparse-jl"));
         assert!(c
             .build_windowed_fd(10, 50, 4)
             .name()

@@ -125,6 +125,15 @@ pub trait StreamingDetector {
         None
     }
 
+    /// Resident bytes held by the detector's sketch state, when the
+    /// detector is sketch-backed (see
+    /// `sketchad_sketch::MatrixSketch::resident_bytes`). `None` for
+    /// detector kinds with no sketch to charge — the benchmark matrix
+    /// records this as the memory cost of a detector configuration.
+    fn sketch_resident_bytes(&self) -> Option<usize> {
+        None
+    }
+
     /// Scores a batch of points, folding each into the detector state, and
     /// appends the scores to `out` (after clearing it).
     ///

@@ -409,6 +409,10 @@ impl<S: MatrixSketch> StreamingDetector for SketchDetector<S> {
         self.processed as usize >= self.warmup && self.model.is_some()
     }
 
+    fn sketch_resident_bytes(&self) -> Option<usize> {
+        Some(self.sketch.resident_bytes())
+    }
+
     fn name(&self) -> String {
         format!(
             "{}[k={},{}]",

@@ -151,6 +151,81 @@ pub fn prequential_auc(scores: &[f64], labels: &[bool], chunk: usize) -> Vec<(us
     out
 }
 
+/// Empirical quantile of the scores on **normal-labeled** points: the
+/// operating threshold a deployment running at false-positive rate
+/// `1 − q` would use. Linear interpolation between order statistics.
+///
+/// Returns `None` when there are no normal points.
+///
+/// # Panics
+/// Panics on length mismatch, NaN scores, or `q` outside `[0, 1]`.
+pub fn normal_score_quantile(scores: &[f64], labels: &[bool], q: f64) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut normal: Vec<f64> = scores
+        .iter()
+        .zip(labels.iter())
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    if normal.is_empty() {
+        return None;
+    }
+    normal.sort_by(|a, b| a.partial_cmp(b).expect("scores must not contain NaN"));
+    let pos = q * (normal.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(normal[lo] * (1.0 - frac) + normal[hi] * frac)
+}
+
+/// Mean detection delay over anomaly **episodes** (maximal runs of
+/// consecutive anomaly labels), in points.
+///
+/// For each episode the delay is the offset of the first in-episode score
+/// strictly above `threshold` (0 = caught on arrival); an episode the
+/// detector never flags is censored at its full length. The mean over
+/// episodes is the "how long does a real event run before the alarm"
+/// number that AUC — a pure ranking metric — cannot express.
+///
+/// Returns `None` when the stream has no anomaly episodes.
+///
+/// # Panics
+/// Panics on length mismatch or when an anomaly-position score is NaN.
+pub fn detection_delay(scores: &[f64], labels: &[bool], threshold: f64) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut episodes = 0usize;
+    let mut total_delay = 0.0f64;
+    let mut i = 0;
+    while i < labels.len() {
+        if !labels[i] {
+            i += 1;
+            continue;
+        }
+        // Episode [i, j).
+        let mut j = i;
+        while j < labels.len() && labels[j] {
+            j += 1;
+        }
+        episodes += 1;
+        let mut delay = (j - i) as f64; // censored: never detected
+        for (offset, &s) in scores[i..j].iter().enumerate() {
+            assert!(!s.is_nan(), "scores must not contain NaN");
+            if s > threshold {
+                delay = offset as f64;
+                break;
+            }
+        }
+        total_delay += delay;
+        i = j;
+    }
+    if episodes == 0 {
+        None
+    } else {
+        Some(total_delay / episodes as f64)
+    }
+}
+
 /// Confusion counts at a fixed threshold (`score > threshold` = positive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Confusion {
@@ -323,6 +398,40 @@ mod tests {
     #[should_panic(expected = "chunk must be positive")]
     fn prequential_auc_zero_chunk_panics() {
         prequential_auc(&[1.0], &[true], 0);
+    }
+
+    #[test]
+    fn normal_quantile_interpolates() {
+        let scores = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let labels = [false, false, false, false, true];
+        // Four normal scores 1..4: median = 2.5, max = 4.
+        assert_eq!(normal_score_quantile(&scores, &labels, 0.5), Some(2.5));
+        assert_eq!(normal_score_quantile(&scores, &labels, 1.0), Some(4.0));
+        assert_eq!(normal_score_quantile(&scores, &labels, 0.0), Some(1.0));
+        // No normals → undefined.
+        assert_eq!(normal_score_quantile(&[1.0], &[true], 0.5), None);
+    }
+
+    #[test]
+    fn detection_delay_counts_episode_offsets() {
+        // Episode 1 (len 3): flagged at offset 1. Episode 2 (len 2): never
+        // flagged → censored at 2. Mean = (1 + 2) / 2.
+        let labels = [false, true, true, true, false, true, true];
+        let scores = [0.0, 0.1, 0.9, 0.9, 0.0, 0.1, 0.2];
+        let d = detection_delay(&scores, &labels, 0.5).unwrap();
+        assert!((d - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_delay_zero_when_caught_on_arrival() {
+        let labels = [false, true, false];
+        let scores = [0.0, 1.0, 0.0];
+        assert_eq!(detection_delay(&scores, &labels, 0.5), Some(0.0));
+    }
+
+    #[test]
+    fn detection_delay_none_without_episodes() {
+        assert_eq!(detection_delay(&[0.1, 0.2], &[false, false], 0.5), None);
     }
 
     #[test]

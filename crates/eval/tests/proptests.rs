@@ -1,8 +1,11 @@
-//! Property-based tests for the evaluation metrics.
+//! Property-based tests for the evaluation metrics and the benchmark
+//! matrix's Pareto-frontier extraction.
 
 use proptest::prelude::*;
+use sketchad_eval::matrix::{CellCost, CellMetrics, CellParams, MatrixCell};
 use sketchad_eval::{
-    average_precision, best_f1, precision_at_k, prequential_auc, roc_auc, spearman,
+    average_precision, best_f1, pareto_frontiers, precision_at_k, prequential_auc, roc_auc,
+    spearman,
 };
 
 /// Strategy: parallel scores/labels with both classes present.
@@ -21,8 +24,111 @@ fn labeled_scores() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
     )
 }
 
+/// Strategy: a batch of synthetic matrix cells over a few scenario
+/// families, with optional AUCs and varying byte footprints.
+fn matrix_cells() -> impl Strategy<Value = Vec<MatrixCell>> {
+    prop::collection::vec(
+        (0usize..3, 0usize..5, 0usize..3, 0u32..=100, 1usize..10_000),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(scenario, sketch, budget, auc_pct, bytes)| {
+                let budgets = ["low", "mid", "high"];
+                MatrixCell {
+                    scenario: format!("s{scenario}"),
+                    sketch: ["fd", "rp", "cs", "sjl", "ensemble"][sketch].to_string(),
+                    budget: budgets[budget].to_string(),
+                    anchor: budget == 1,
+                    params: CellParams {
+                        k: 10,
+                        ell: 18,
+                        eps: 0.125,
+                        refresh_period: 64,
+                        warmup: 64,
+                        seed: 1,
+                    },
+                    metrics: CellMetrics {
+                        // ~5% of cells lack an AUC (single-class streams).
+                        auc: (auc_pct > 5).then(|| f64::from(auc_pct) / 100.0),
+                        ap: None,
+                        best_f1: None,
+                        detection_delay: None,
+                        sketch_bytes: bytes,
+                        points: 400,
+                        dim: 20,
+                    },
+                    cost: CellCost {
+                        seconds: 0.1,
+                        points_per_sec: 4000.0,
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+/// Seeded Fisher–Yates permutation (splitmix64 index stream), so the
+/// shuffle is reproducible from the generated seed.
+fn shuffled(cells: &[MatrixCell], mut seed: u64) -> Vec<MatrixCell> {
+    let mut out = cells.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.swap(i, (z as usize) % (i + 1));
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pareto-frontier extraction is invariant to the cell ordering: the
+    /// artifact must not depend on the grid traversal order.
+    #[test]
+    fn pareto_frontiers_are_order_invariant(
+        cells in matrix_cells(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let canonical = pareto_frontiers(&cells);
+        let permuted = pareto_frontiers(&shuffled(&cells, seed));
+        prop_assert_eq!(canonical, permuted);
+    }
+
+    /// Frontier soundness: every frontier point is non-dominated and every
+    /// AUC-carrying cell is dominated by (or is) some frontier point.
+    #[test]
+    fn pareto_frontier_points_are_nondominated(cells in matrix_cells()) {
+        let fronts = pareto_frontiers(&cells);
+        for front in &fronts {
+            for p in &front.frontier {
+                let dominated = cells.iter().any(|c| {
+                    c.scenario == front.scenario
+                        && c.metrics.auc.is_some_and(|a| {
+                            let b = c.metrics.sketch_bytes;
+                            a >= p.auc
+                                && b <= p.sketch_bytes
+                                && (a > p.auc || b < p.sketch_bytes)
+                        })
+                });
+                prop_assert!(!dominated, "dominated point on frontier: {:?}", p);
+            }
+        }
+        for c in &cells {
+            let Some(auc) = c.metrics.auc else { continue };
+            let front = fronts
+                .iter()
+                .find(|f| f.scenario == c.scenario)
+                .expect("every scenario with an AUC has a frontier");
+            let covered = front.frontier.iter().any(|p| {
+                p.auc >= auc && p.sketch_bytes <= c.metrics.sketch_bytes
+            });
+            prop_assert!(covered, "cell not covered by its frontier: {:?}", c.key());
+        }
+    }
 
     /// All ranking metrics stay in [0, 1].
     #[test]

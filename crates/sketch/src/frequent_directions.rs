@@ -226,6 +226,13 @@ impl MatrixSketch for FrequentDirections {
         self.buffer.top_rows(self.occupied)
     }
 
+    fn resident_bytes(&self) -> usize {
+        // The doubling-buffer variant holds a 2ℓ × d working buffer, not
+        // the ℓ × d surface `capacity()` advertises; charge what is
+        // actually resident.
+        self.buffer.rows() * self.dim * std::mem::size_of::<f64>()
+    }
+
     fn decay(&mut self, alpha: f64) {
         assert_valid_decay(alpha);
         let row_scale = alpha.sqrt();
@@ -533,6 +540,13 @@ mod tests {
         // → 1 + ⌊(n − 2ℓ − 1)/ℓ⌋ shrinks for n > 2ℓ.
         let expected = 1 + ((n - 2 * ell - 1) / ell) as u64;
         assert_eq!(shrinks, expected, "shrink schedule drifted");
+    }
+
+    #[test]
+    fn resident_bytes_charges_the_doubling_buffer() {
+        let fd = FrequentDirections::new(4, 10);
+        // 2ℓ × d f64 cells, regardless of occupancy.
+        assert_eq!(fd.resident_bytes(), 2 * 4 * 10 * 8);
     }
 
     #[test]

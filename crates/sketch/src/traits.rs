@@ -88,6 +88,18 @@ pub trait MatrixSketch {
         let _ = recorder;
     }
 
+    /// Resident bytes held by the sketch's numeric state: the memory cost a
+    /// capacity-planning or benchmark-matrix consumer should charge this
+    /// sketch for. The default charges the exposed sketch surface
+    /// (`capacity × dim` f64 cells); sketches whose working set differs from
+    /// that surface (e.g. [`FrequentDirections`]' doubling buffer, the
+    /// block-window combinator's live blocks) override it.
+    ///
+    /// [`FrequentDirections`]: crate::FrequentDirections
+    fn resident_bytes(&self) -> usize {
+        self.capacity() * self.dim() * std::mem::size_of::<f64>()
+    }
+
     /// Short human-readable algorithm name (for tables and logs).
     fn name(&self) -> &'static str;
 

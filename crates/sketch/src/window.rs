@@ -160,6 +160,16 @@ impl<S: MatrixSketch + Clone> MatrixSketch for BlockWindowSketch<S> {
         self.blocks_created = 1;
     }
 
+    fn resident_bytes(&self) -> usize {
+        // Charge every live block (completed + active) at its own resident
+        // figure instead of the conservative `capacity()` upper bound.
+        self.completed
+            .iter()
+            .map(|b| b.resident_bytes())
+            .sum::<usize>()
+            + self.active.resident_bytes()
+    }
+
     fn name(&self) -> &'static str {
         "block-window"
     }
@@ -255,6 +265,19 @@ mod tests {
         let b0 = w.completed[0].sketch();
         let b1 = w.active.sketch();
         assert_ne!(b0, b1, "blocks reused identical randomness");
+    }
+
+    #[test]
+    fn resident_bytes_sums_live_blocks() {
+        let inner = FrequentDirections::new(2, 3);
+        let mut w = BlockWindowSketch::new(inner, 2, 3);
+        for _ in 0..5 {
+            w.update(&[1.0, 1.0, 1.0]);
+        }
+        // Each live FD block holds a 2ℓ × d buffer.
+        let per_block = 2 * 2 * 3 * 8;
+        assert_eq!(w.resident_bytes(), w.live_blocks() * per_block);
+        assert!(w.resident_bytes() <= w.capacity() * w.dim() * 8);
     }
 
     #[test]
